@@ -1,0 +1,320 @@
+// Benchmark harness: one benchmark per table and figure of the paper.
+// Each benchmark runs a scaled-down version of the campaign that
+// regenerates the artifact (the cmd/ tools run the full versions) and
+// reports the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a smoke reproduction of the whole study.
+package gpurel
+
+import (
+	"testing"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/beam"
+	"gpurel/internal/core"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/fit"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/microbench"
+	"gpurel/internal/profiler"
+	"gpurel/internal/suite"
+)
+
+// --- Table I ---
+
+func benchProfileSuite(b *testing.B, dev *device.Device) {
+	entries := suite.ForDevice(dev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range entries {
+			r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := profiler.Profile(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1_Kepler(b *testing.B) { benchProfileSuite(b, device.K40c()) }
+func BenchmarkTable1_Volta(b *testing.B)  { benchProfileSuite(b, device.V100()) }
+
+// --- Figure 1 ---
+
+func BenchmarkFig1_InstructionMix(b *testing.B) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FMXM", kernels.MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var fma float64
+	for i := 0; i < b.N; i++ {
+		cp, err := profiler.Profile(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fma = cp.Mix[isa.ClassFMA]
+	}
+	b.ReportMetric(100*fma, "FMA%")
+}
+
+// --- Figure 3 ---
+
+func benchMicroBeam(b *testing.B, dev *device.Device, micro string) {
+	var build kernels.Builder
+	for _, m := range microbench.Catalog(dev) {
+		if m.Name == micro {
+			build = m.Build
+		}
+	}
+	if build == nil {
+		b.Fatalf("no micro %s", micro)
+	}
+	r, err := kernels.NewRunner(micro, build, dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var fitRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := beam.Run(beam.Config{ECC: micro != "RF", Trials: 60, Seed: uint64(i)}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fitRate = res.SDCFIT.Rate
+	}
+	b.ReportMetric(fitRate, "SDC-FIT-au")
+}
+
+func BenchmarkFig3_Micro_FADD_Kepler(b *testing.B) { benchMicroBeam(b, device.K40c(), "FADD") }
+func BenchmarkFig3_Micro_IMAD_Kepler(b *testing.B) { benchMicroBeam(b, device.K40c(), "IMAD") }
+func BenchmarkFig3_Micro_RF_Kepler(b *testing.B)   { benchMicroBeam(b, device.K40c(), "RF") }
+func BenchmarkFig3_Micro_LDST_Kepler(b *testing.B) { benchMicroBeam(b, device.K40c(), "LDST") }
+func BenchmarkFig3_Micro_HMMA_Volta(b *testing.B)  { benchMicroBeam(b, device.V100(), "HMMA") }
+func BenchmarkFig3_Micro_DFMA_Volta(b *testing.B)  { benchMicroBeam(b, device.V100(), "DFMA") }
+
+// --- Figure 4 ---
+
+func BenchmarkFig4_AVF_SASSIFI(b *testing.B) {
+	dev := device.K40c()
+	b.ResetTimer()
+	var avf float64
+	for i := 0; i < b.N; i++ {
+		res, err := faultinj.Run(faultinj.Config{
+			Tool: faultinj.Sassifi, FaultsPerClass: 15, Seed: uint64(i),
+		}, "FMXM", kernels.MxMBuilder(isa.F32), dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avf = res.SDCAVF.P
+	}
+	b.ReportMetric(avf, "SDC-AVF")
+}
+
+func BenchmarkFig4_AVF_NVBitFI(b *testing.B) {
+	dev := device.V100()
+	b.ResetTimer()
+	var avf float64
+	for i := 0; i < b.N; i++ {
+		res, err := faultinj.Run(faultinj.Config{
+			Tool: faultinj.NVBitFI, TotalFaults: 60, Seed: uint64(i),
+		}, "FGEMM", kernels.GEMMBuilder(isa.F32), dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avf = res.SDCAVF.P
+	}
+	b.ReportMetric(avf, "SDC-AVF")
+}
+
+// --- Figure 5 ---
+
+func benchCodeBeam(b *testing.B, ecc bool) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FMXM", kernels.MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var fitRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := beam.Run(beam.Config{ECC: ecc, Trials: 60, Seed: uint64(i)}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fitRate = res.SDCFIT.Rate
+	}
+	b.ReportMetric(fitRate, "SDC-FIT-au")
+}
+
+func BenchmarkFig5_CodeFIT_ECCOff(b *testing.B) { benchCodeBeam(b, false) }
+func BenchmarkFig5_CodeFIT_ECCOn(b *testing.B)  { benchCodeBeam(b, true) }
+
+// --- Figure 6 + §VII-B ---
+
+// fig6Inputs builds the prediction inputs once (profiling + injection +
+// micro beams for one code), so the benchmark isolates the model itself.
+func fig6Inputs(b *testing.B) (*profiler.CodeProfile, *faultinj.Result, *fit.UnitFITs) {
+	b.Helper()
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FMXM", kernels.MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := profiler.Profile(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	avf, err := faultinj.Run(faultinj.Config{
+		Tool: faultinj.Sassifi, FaultsPerClass: 15, Seed: 1,
+	}, "FMXM", kernels.MxMBuilder(isa.F32), dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	micro := map[string]*beam.Result{}
+	phi := map[string]float64{}
+	var rfBytes int
+	for _, m := range microbench.Catalog(dev) {
+		mr, err := kernels.NewRunner(m.Name, m.Build, dev, asm.O2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := beam.Run(beam.Config{ECC: m.Name != "RF", Trials: 40, Seed: 2}, mr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		micro[m.Name] = res
+		mp, err := profiler.Profile(mr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phi[m.Name] = mp.Phi()
+		if m.Name == "RF" {
+			inst, _ := mr.Build(dev, asm.O2)
+			l := inst.Launches[0]
+			rfBytes = l.GridX * l.GridY * l.BlockThreads * l.Prog.NumRegs * 4
+		}
+	}
+	units, err := fit.FromMicroResults(dev.Name, micro, nil, phi, rfBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cp, avf, units
+}
+
+func BenchmarkFig6_Prediction(b *testing.B) {
+	cp, avf, units := fig6Inputs(b)
+	b.ResetTimer()
+	var pred float64
+	for i := 0; i < b.N; i++ {
+		p := fit.Predict(cp, avf, units, false)
+		pred = p.SDCFIT
+	}
+	b.ReportMetric(pred, "pred-SDC-FIT-au")
+}
+
+func BenchmarkDUE_Underestimation(b *testing.B) {
+	cp, avf, units := fig6Inputs(b)
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FMXM", kernels.MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	beamRes, err := beam.Run(beam.Config{ECC: true, Trials: 80, Seed: 4}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		p := fit.Predict(cp, avf, units, true)
+		if p.DUEFIT > 0 {
+			ratio = beamRes.DUEFIT.Rate / p.DUEFIT
+		}
+	}
+	b.ReportMetric(ratio, "beam/pred-DUE")
+}
+
+// --- §V-B: MMA vs software MxM ---
+
+func BenchmarkMMAvsSoftwareMxM(b *testing.B) {
+	dev := device.V100()
+	sw, err := kernels.NewRunner("HMXM", kernels.MxMBuilder(isa.F16), dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc, err := kernels.NewRunner("HGEMM-MMA", kernels.GEMMMMABuilder(true), dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		swRes, err := beam.Run(beam.Config{ECC: true, Trials: 60, Seed: uint64(i)}, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tcRes, err := beam.Run(beam.Config{ECC: true, Trials: 60, Seed: uint64(i)}, tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tcRes.SDCFIT.Rate > 0 {
+			ratio = swRes.SDCFIT.Rate / tcRes.SDCFIT.Rate
+		}
+	}
+	b.ReportMetric(ratio, "sw/tc-FIT")
+}
+
+// --- substrate benchmarks: raw simulator throughput ---
+
+func BenchmarkSimGoldenMxM(b *testing.B) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FMXM", kernels.MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lane uint64
+	for _, p := range r.GoldenProfiles() {
+		lane += p.LaneOps
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernels.NewRunner("FMXM", kernels.MxMBuilder(isa.F32), dev, asm.O2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(lane), "lane-ops/run")
+}
+
+func BenchmarkSimGoldenYOLOv3(b *testing.B) {
+	dev := device.K40c()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernels.NewRunner("FYOLOV3", kernels.YOLOBuilder(true, isa.F32), dev, asm.O2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStudyTiny(b *testing.B) {
+	if testing.Short() {
+		b.Skip("study benchmark is heavy")
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := core.RunDevice(device.V100(), core.Options{
+			MicroTrials: 20, CodeTrials: 15,
+			SassifiPerClass: 5, NVBitFITotal: 20, MicroAVFFaults: 10,
+			Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

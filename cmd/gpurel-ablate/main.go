@@ -1,0 +1,126 @@
+// Command gpurel-ablate quantifies what each term of the prediction
+// model contributes by re-running the Figure-6 comparison for one code
+// with individual terms disabled: Equation 4's phi factor, the
+// full-utilization normalization, the §V-A de-masking, and Equation 3's
+// memory term.
+//
+//	gpurel-ablate -device kepler -code FMXM -ecc=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/beam"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/fit"
+	"gpurel/internal/kernels"
+	"gpurel/internal/microbench"
+	"gpurel/internal/profiler"
+	"gpurel/internal/stats"
+	"gpurel/internal/suite"
+)
+
+func main() {
+	devName := flag.String("device", "kepler", "device: kepler or volta")
+	code := flag.String("code", "FMXM", "workload")
+	ecc := flag.Bool("ecc", false, "ECC state")
+	trials := flag.Int("trials", 300, "beam trials")
+	faults := flag.Int("faults", 400, "injection faults")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	var dev *device.Device
+	switch *devName {
+	case "kepler", "k40c":
+		dev = device.K40c()
+	case "volta", "v100":
+		dev = device.V100()
+	default:
+		fail(fmt.Errorf("unknown device %q", *devName))
+	}
+	e, err := suite.Find(suite.ForDevice(dev), *code)
+	if err != nil {
+		fail(err)
+	}
+
+	// Gather the inputs: profile, AVF, micro-benchmark unit FITs, beam.
+	runner, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+	if err != nil {
+		fail(err)
+	}
+	cp, err := profiler.Profile(runner)
+	if err != nil {
+		fail(err)
+	}
+	tool := faultinj.NVBitFI
+	if dev.Arch == device.Kepler {
+		tool = faultinj.Sassifi
+	}
+	avf, err := faultinj.Run(faultinj.Config{
+		Tool: tool, FaultsPerClass: *faults / 4, TotalFaults: *faults, Seed: *seed,
+	}, e.Name, e.Build, dev)
+	if err != nil {
+		fail(err)
+	}
+	micro := map[string]*beam.Result{}
+	phi := map[string]float64{}
+	var rfBytes int
+	for _, m := range microbench.Catalog(dev) {
+		mr, err := kernels.NewRunner(m.Name, m.Build, dev, asm.O2)
+		if err != nil {
+			fail(err)
+		}
+		res, err := beam.Run(beam.Config{ECC: m.Name != "RF", Trials: *trials, Seed: *seed}, mr)
+		if err != nil {
+			fail(err)
+		}
+		micro[m.Name] = res
+		if mp, err := profiler.Profile(mr); err == nil {
+			phi[m.Name] = mp.Phi()
+		}
+		if m.Name == "RF" {
+			inst, _ := mr.Build(dev, asm.O2)
+			l := inst.Launches[0]
+			rfBytes = l.GridX * l.GridY * l.BlockThreads * l.Prog.NumRegs * 4
+		}
+		fmt.Fprintf(os.Stderr, "micro %s done\n", m.Name)
+	}
+	units, err := fit.FromMicroResults(dev.Name, micro, nil, phi, rfBytes)
+	if err != nil {
+		fail(err)
+	}
+	beamRes, err := beam.Run(beam.Config{ECC: *ecc, Trials: *trials, Seed: *seed}, runner)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("ablation study: %s on %s, ECC %v (beam SDC FIT %.4f a.u.)\n\n",
+		e.Name, dev.Name, *ecc, beamRes.SDCFIT.Rate)
+	fmt.Printf("%-28s  %12s  %10s\n", "model variant", "predicted", "ratio")
+	fmt.Printf("%-28s  %12s  %10s\n", "----------------------------", "------------", "----------")
+	rows := []struct {
+		name string
+		ab   fit.Ablation
+	}{
+		{"full model (Eq. 1-4)", fit.Ablation{}},
+		{"without phi (Eq. 4)", fit.Ablation{NoPhi: true}},
+		{"without micro-phi norm", fit.Ablation{NoMicroPhiNorm: true}},
+		{"without de-masking (§V-A)", fit.Ablation{NoDemask: true}},
+		{"without memory term (Eq. 3)", fit.Ablation{NoMemTerm: true}},
+	}
+	for _, r := range rows {
+		p := fit.PredictAblated(cp, avf, units, *ecc, r.ab)
+		fmt.Printf("%-28s  %12.4f  %+9.1fx\n",
+			r.name, p.SDCFIT, stats.SignedRatio(beamRes.SDCFIT.Rate, p.SDCFIT))
+	}
+	fmt.Println("\nratio is beam/prediction (+x: beam higher; -x: prediction higher)")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command gpurel-beam runs simulated neutron-beam campaigns:
+//
+//	gpurel-beam -fig3                 micro-benchmark FIT rates (Figure 3)
+//	gpurel-beam -fig5                 workload FIT rates, ECC on/off (Figure 5)
+//	gpurel-beam -code FMXM -ecc=false one specific configuration
+//
+// Trials scale the statistics; the defaults keep a full figure under a
+// few minutes of CPU time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/beam"
+	"gpurel/internal/core"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/microbench"
+	"gpurel/internal/report"
+	"gpurel/internal/suite"
+)
+
+func main() {
+	devName := flag.String("device", "kepler", "device: kepler or volta")
+	fig3 := flag.Bool("fig3", false, "run the micro-benchmark campaigns (Figure 3)")
+	fig5 := flag.Bool("fig5", false, "run the workload campaigns (Figure 5)")
+	code := flag.String("code", "", "run a single workload")
+	ecc := flag.Bool("ecc", true, "ECC state for -code")
+	trials := flag.Int("trials", 350, "beam trials per configuration")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	dev, err := pickDevice(*devName)
+	if err != nil {
+		fail(err)
+	}
+	ds := &core.DeviceStudy{
+		Dev:       dev,
+		MicroBeam: map[string]*beam.Result{},
+		Beam:      map[core.BeamKey]*beam.Result{},
+	}
+
+	switch {
+	case *fig3:
+		for _, m := range microbench.Catalog(dev) {
+			r, err := kernels.NewRunner(m.Name, m.Build, dev, asm.O2)
+			if err != nil {
+				fail(err)
+			}
+			res, err := beam.Run(beam.Config{ECC: m.Name != "RF", Trials: *trials, Seed: *seed}, r)
+			if err != nil {
+				fail(err)
+			}
+			ds.MicroBeam[m.Name] = res
+			fmt.Fprintf(os.Stderr, "done %s\n", m.Name)
+		}
+		fmt.Print(report.Figure3(ds, *csv))
+	case *fig5:
+		entries := suite.ForDevice(dev)
+		for _, key := range core.BeamConfigs(dev, entries) {
+			e, err := suite.Find(entries, key.Code)
+			if err != nil {
+				fail(err)
+			}
+			r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+			if err != nil {
+				fail(err)
+			}
+			res, err := beam.Run(beam.Config{ECC: key.ECC, Trials: *trials, Seed: *seed}, r)
+			if err != nil {
+				fail(err)
+			}
+			ds.Beam[key] = res
+			fmt.Fprintf(os.Stderr, "done %s ecc=%v\n", key.Code, key.ECC)
+		}
+		// Figure 5 normalizes against the micro floor; run the cheapest
+		// reference micro for the normalization constant.
+		ref, err := kernels.NewRunner("FADD", microbench.ArithBuilder(refOp(dev)), dev, asm.O2)
+		if err != nil {
+			fail(err)
+		}
+		refRes, err := beam.Run(beam.Config{ECC: true, Trials: *trials, Seed: *seed}, ref)
+		if err != nil {
+			fail(err)
+		}
+		ds.MicroBeam["REF"] = refRes
+		fmt.Print(report.Figure5(ds, *csv))
+	case *code != "":
+		entries := suite.ForDevice(dev)
+		e, err := suite.Find(entries, *code)
+		if err != nil {
+			fail(err)
+		}
+		r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+		if err != nil {
+			fail(err)
+		}
+		res, err := beam.Run(beam.Config{ECC: *ecc, Trials: *trials, Seed: *seed}, r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s on %s, ECC %v: SDC FIT %.4f [%.4f, %.4f] a.u. (%d events), DUE FIT %.4f (%d events), %d trials\n",
+			res.Name, res.Device, res.ECC,
+			res.SDCFIT.Rate, res.SDCFIT.CI.Lower, res.SDCFIT.CI.Upper, res.SDC,
+			res.DUEFIT.Rate, res.DUE, res.Trials)
+		for src := beam.Source(0); src < beam.SrcCount; src++ {
+			s := res.BySource[src]
+			fmt.Printf("  %-16s strikes %4d  SDC %3d  DUE %3d\n", src, s.Strikes, s.SDC, s.DUE)
+		}
+	default:
+		fail(fmt.Errorf("pick one of -fig3, -fig5, or -code NAME"))
+	}
+}
+
+// refOp is the normalization micro-benchmark of Figure 5: FADD on
+// Kepler, HFMA on Volta (the devices' lowest DUE micros in the paper).
+func refOp(dev *device.Device) isa.Op {
+	if dev.Arch == device.Kepler {
+		return isa.OpFADD
+	}
+	return isa.OpHFMA
+}
+
+func pickDevice(name string) (*device.Device, error) {
+	switch name {
+	case "kepler", "k40c":
+		return device.K40c(), nil
+	case "volta", "v100":
+		return device.V100(), nil
+	default:
+		return nil, fmt.Errorf("unknown device %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command gpurel-inject runs architecture-level fault-injection
+// campaigns in the style of SASSIFI and NVBitFI and reports the AVFs of
+// Figure 4.
+//
+//	gpurel-inject -device kepler -tool sassifi            all codes
+//	gpurel-inject -device volta -code FGEMM -faults 2000  one code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gpurel/internal/core"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/report"
+	"gpurel/internal/suite"
+)
+
+func main() {
+	devName := flag.String("device", "kepler", "device: kepler or volta")
+	toolName := flag.String("tool", "nvbitfi", "injector: sassifi or nvbitfi")
+	code := flag.String("code", "", "inject into a single workload (default: all)")
+	faults := flag.Int("faults", 500, "NVBitFI total faults / SASSIFI faults per class (quarter of total)")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	dev, err := pickDevice(*devName)
+	if err != nil {
+		fail(err)
+	}
+	tool := faultinj.NVBitFI
+	if *toolName == "sassifi" {
+		tool = faultinj.Sassifi
+	}
+	cfg := faultinj.Config{
+		Tool:           tool,
+		FaultsPerClass: *faults / 4,
+		TotalFaults:    *faults,
+		Seed:           *seed,
+	}
+
+	entries := suite.ForDevice(dev)
+	if *code != "" {
+		e, err := suite.Find(entries, *code)
+		if err != nil {
+			fail(err)
+		}
+		entries = []suite.Entry{e}
+	}
+	ds := &core.DeviceStudy{
+		Dev: dev,
+		AVF: map[faultinj.Tool]map[string]*faultinj.Result{tool: {}},
+	}
+	for _, e := range entries {
+		res, err := faultinj.Run(cfg, e.Name, e.Build, dev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skip %s: %v\n", e.Name, err)
+			continue
+		}
+		ds.AVF[tool][e.Name] = res
+		fmt.Fprintf(os.Stderr, "done %s\n", e.Name)
+	}
+	fmt.Print(report.Figure4(ds, *csv))
+
+	// Per-class detail for single-code runs.
+	if *code != "" {
+		if res, ok := ds.AVF[tool][*code]; ok {
+			var classes []string
+			for c := range res.PerClass {
+				classes = append(classes, c.String())
+			}
+			sort.Strings(classes)
+			fmt.Println("\nper-class AVFs:")
+			for _, cn := range classes {
+				for c, ca := range res.PerClass {
+					if c.String() != cn {
+						continue
+					}
+					fmt.Printf("  %-7s n=%-5d SDC %.3f DUE %.3f\n",
+						cn, ca.Injected, ca.SDCAVF.P, ca.DUEAVF.P)
+				}
+			}
+		}
+	}
+}
+
+func pickDevice(name string) (*device.Device, error) {
+	switch name {
+	case "kepler", "k40c":
+		return device.K40c(), nil
+	case "volta", "v100":
+		return device.V100(), nil
+	default:
+		return nil, fmt.Errorf("unknown device %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

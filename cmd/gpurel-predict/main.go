@@ -1,0 +1,92 @@
+// Command gpurel-predict runs the complete single-device study —
+// micro-benchmark beam, profiling, injection, workload beam — and then
+// applies the Equation 1-4 prediction model, printing the Figure 6
+// comparison and the §VII-B DUE analysis.
+//
+// A Kepler run needs the Volta NVBitFI AVFs for its library codes, so
+// -device kepler implies the Volta injection campaigns too (§III-D).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel/internal/core"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/report"
+	"gpurel/internal/suite"
+)
+
+func main() {
+	devName := flag.String("device", "kepler", "device: kepler or volta")
+	trials := flag.Int("trials", 350, "beam trials per configuration")
+	faults := flag.Int("faults", 500, "injection faults per code")
+	seed := flag.Uint64("seed", 1, "study seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	opts := core.Options{
+		MicroTrials:     *trials,
+		CodeTrials:      *trials,
+		SassifiPerClass: *faults / 4,
+		NVBitFITotal:    *faults,
+		Seed:            *seed,
+	}
+	if !*quiet {
+		opts.Progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+
+	dev, err := pickDevice(*devName)
+	if err != nil {
+		fail(err)
+	}
+	ds, err := core.RunDevice(dev, opts)
+	if err != nil {
+		fail(err)
+	}
+	var voltaAVF map[string]*faultinj.Result
+	if dev.Arch == device.Kepler {
+		// Library codes on Kepler take their AVF from Volta NVBitFI
+		// campaigns over the proxy workloads (§III-D).
+		voltaAVF = map[string]*faultinj.Result{}
+		vdev := device.V100()
+		for _, e := range suite.Volta() {
+			if e.Name != "FGEMM" && e.Name != "FYOLOV3" && e.Name != "FGEMM-MMA" {
+				continue
+			}
+			res, err := faultinj.Run(faultinj.Config{
+				Tool: faultinj.NVBitFI, TotalFaults: *faults, Seed: *seed,
+			}, e.Name, e.Build, vdev)
+			if err != nil {
+				fail(err)
+			}
+			voltaAVF[e.Name] = res
+			opts.Progress("volta proxy AVF %s: SDC %.3f", e.Name, res.SDCAVF.P)
+		}
+	}
+	if err := ds.Finalize(voltaAVF); err != nil {
+		fail(err)
+	}
+	fmt.Print(report.Figure6(ds, *csv))
+	fmt.Println()
+	fmt.Print(report.DUETable(ds, *csv))
+}
+
+func pickDevice(name string) (*device.Device, error) {
+	switch name {
+	case "kepler", "k40c":
+		return device.K40c(), nil
+	case "volta", "v100":
+		return device.V100(), nil
+	default:
+		return nil, fmt.Errorf("unknown device %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

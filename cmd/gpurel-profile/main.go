@@ -1,0 +1,64 @@
+// Command gpurel-profile characterizes the Table I workloads on a
+// simulated GPU the way nvprof / Nsight Compute characterize them on
+// real silicon: shared memory, registers per thread, issued IPC, and
+// achieved occupancy (Table I), plus the dynamic instruction-class mix
+// (Figure 1).
+//
+// Usage:
+//
+//	gpurel-profile [-device kepler|volta] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/core"
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+	"gpurel/internal/profiler"
+	"gpurel/internal/report"
+	"gpurel/internal/suite"
+)
+
+func main() {
+	devName := flag.String("device", "kepler", "device to profile: kepler or volta")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	dev, err := pickDevice(*devName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ds := &core.DeviceStudy{Dev: dev, Profiles: map[string]*profiler.CodeProfile{}}
+	for _, e := range suite.ForDevice(dev) {
+		r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		cp, err := profiler.Profile(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		ds.Profiles[e.Name] = cp
+	}
+	fmt.Print(report.TableI(ds, *csv))
+	fmt.Println()
+	fmt.Print(report.Figure1(ds, *csv))
+}
+
+func pickDevice(name string) (*device.Device, error) {
+	switch name {
+	case "kepler", "k40c":
+		return device.K40c(), nil
+	case "volta", "v100":
+		return device.V100(), nil
+	default:
+		return nil, fmt.Errorf("unknown device %q (want kepler or volta)", name)
+	}
+}

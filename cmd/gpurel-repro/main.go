@@ -1,0 +1,129 @@
+// Command gpurel-repro regenerates every table and figure of the paper
+// in one run: the full two-device study (Volta first, so its NVBitFI
+// AVFs can proxy for Kepler's library codes), written as text and CSV
+// artifacts under -out.
+//
+//	gpurel-repro -out out -trials 350 -faults 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gpurel/internal/core"
+	"gpurel/internal/report"
+)
+
+func main() {
+	outDir := flag.String("out", "out", "output directory")
+	trials := flag.Int("trials", 350, "beam trials per configuration")
+	faults := flag.Int("faults", 500, "injection faults per code")
+	seed := flag.Uint64("seed", 1, "study seed")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	fromDir := flag.String("from", "", "re-render artifacts from a directory of saved study_*.json files instead of running campaigns")
+	flag.Parse()
+
+	if *fromDir != "" {
+		kepler, err := core.LoadDeviceStudy(filepath.Join(*fromDir, "study_kepler.json"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		volta, err := core.LoadDeviceStudy(filepath.Join(*fromDir, "study_volta.json"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		study := &core.Study{Kepler: kepler, Volta: volta}
+		writeAll(*outDir, study)
+		fmt.Printf("re-rendered artifacts from %s into %s\n", *fromDir, *outDir)
+		return
+	}
+
+	opts := core.Options{
+		MicroTrials:     *trials,
+		CodeTrials:      *trials,
+		SassifiPerClass: *faults / 4,
+		NVBitFITotal:    *faults,
+		Seed:            *seed,
+	}
+	if !*quiet {
+		opts.Progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	start := time.Now()
+	study, err := core.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	writeAll(*outDir, study)
+	for _, ds := range report.Devices(study) {
+		devTag := "kepler"
+		if ds.Dev.Name != "Tesla K40c" {
+			devTag = "volta"
+		}
+		if err := ds.SaveJSON(filepath.Join(*outDir, "study_"+devTag+".json")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("study complete in %s; artifacts in %s\n",
+		time.Since(start).Round(time.Second), *outDir)
+
+	// Print the headline summary inline.
+	var b strings.Builder
+	for _, ds := range report.Devices(study) {
+		b.WriteString(report.Figure6(ds, false))
+		b.WriteString(report.DUETable(ds, false))
+		b.WriteString("\n")
+	}
+	fmt.Print(b.String())
+}
+
+// writeAll renders every table and figure, text and CSV, per device.
+func writeAll(outDir string, study *core.Study) {
+	type artifact struct {
+		name   string
+		render func(*core.DeviceStudy, bool) string
+	}
+	artifacts := []artifact{
+		{"table1", report.TableI},
+		{"fig1", report.Figure1},
+		{"fig3", report.Figure3},
+		{"fig4", report.Figure4},
+		{"fig5", report.Figure5},
+		{"fig6", report.Figure6},
+		{"due", report.DUETable},
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, ds := range report.Devices(study) {
+		devTag := "kepler"
+		if ds.Dev.Name != "Tesla K40c" {
+			devTag = "volta"
+		}
+		for _, a := range artifacts {
+			write(outDir, fmt.Sprintf("%s_%s.txt", a.name, devTag), a.render(ds, false))
+			write(outDir, fmt.Sprintf("%s_%s.csv", a.name, devTag), a.render(ds, true))
+		}
+		write(outDir, fmt.Sprintf("full_%s.txt", devTag), report.Full(ds, false))
+	}
+}
+
+func write(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

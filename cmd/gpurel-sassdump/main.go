@@ -1,0 +1,76 @@
+// Command gpurel-sassdump disassembles the kernels of a workload the way
+// nvdisasm dumps SASS, for both compiler generations side by side — the
+// quickest way to see the codegen differences that drive the
+// SASSIFI-versus-NVBitFI AVF gap (§VI).
+//
+//	gpurel-sassdump -device kepler -code FMXM
+//	gpurel-sassdump -device volta -code HGEMM-MMA -opt O2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/suite"
+)
+
+func main() {
+	devName := flag.String("device", "kepler", "device: kepler or volta")
+	code := flag.String("code", "FMXM", "workload to disassemble")
+	optName := flag.String("opt", "both", "compiler pipeline: O1, O2, or both")
+	flag.Parse()
+
+	var dev *device.Device
+	switch *devName {
+	case "kepler", "k40c":
+		dev = device.K40c()
+	case "volta", "v100":
+		dev = device.V100()
+	case "titanv":
+		dev = device.TitanV()
+	default:
+		fail(fmt.Errorf("unknown device %q", *devName))
+	}
+	e, err := suite.Find(suite.ForDevice(dev), *code)
+	if err != nil {
+		fail(err)
+	}
+
+	var opts []asm.OptLevel
+	switch *optName {
+	case "O1":
+		opts = []asm.OptLevel{asm.O1}
+	case "O2":
+		opts = []asm.OptLevel{asm.O2}
+	default:
+		opts = []asm.OptLevel{asm.O1, asm.O2}
+	}
+	for _, opt := range opts {
+		inst, err := e.Build(dev, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("// %s on %s, pipeline %s (%d kernel launches)\n\n",
+			e.Name, dev.Name, opt, len(inst.Launches))
+		seen := map[string]bool{}
+		for _, l := range inst.Launches {
+			if seen[l.Prog.Name] {
+				continue
+			}
+			seen[l.Prog.Name] = true
+			fmt.Printf("// kernel %s: %d instructions, %d regs/thread, %dB shared, grid %dx%d x %d threads\n",
+				l.Prog.Name, len(l.Prog.Instrs), l.Prog.NumRegs, l.Prog.SharedMem,
+				l.GridX, l.GridY, l.BlockThreads)
+			fmt.Print(l.Prog.Disassemble())
+			fmt.Println()
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Package gpurel is a pure-Go reproduction of "Demystifying GPU
+// Reliability: Comparing and Combining Beam Experiments, Fault
+// Simulation, and Profiling" (IPDPS 2021).
+//
+// The root package only anchors the module documentation and the
+// benchmark harness (bench_test.go), which regenerates every table and
+// figure of the paper; the implementation lives under internal/:
+//
+//	internal/isa         SASS-like instruction set
+//	internal/asm         kernel builder + two-generation compiler backend
+//	internal/device      Kepler K40c / Volta V100 models + silicon sensitivity
+//	internal/mem, ecc    memory substrate and SECDED
+//	internal/sim         SIMT architectural simulator with fault hooks
+//	internal/kernels     the 15 workloads of Table I
+//	internal/cnn         YOLOv2/v3-mini substrate
+//	internal/microbench  the §V micro-benchmarks
+//	internal/profiler    Table I / Figure 1 metrics
+//	internal/faultinj    SASSIFI / NVBitFI analogues (Figure 4)
+//	internal/beam        neutron-beam Monte Carlo (Figures 3, 5)
+//	internal/fit         Equation 1-4 prediction + Figure 6
+//	internal/core        study orchestration
+//	internal/report      table/figure renderers
+//
+// See README.md, DESIGN.md, and EXPERIMENTS.md.
+package gpurel

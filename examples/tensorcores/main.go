@@ -1,0 +1,66 @@
+// Tensor-core reliability argument of §V-B: one warp-wide HMMA performs
+// the work of many scalar FMAs, so even though the MMA unit's FIT rate
+// is ~9-12x an FMA's, a matrix multiplication built on tensor cores
+// executes far fewer vulnerable operations and ends up *more* reliable
+// than the software MxM it replaces. This example measures both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/beam"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/microbench"
+)
+
+func main() {
+	dev := device.V100()
+	const trials = 250
+
+	// Per-unit sensitivity: the HMMA micro-benchmark versus the FFMA one.
+	unitFIT := func(name string, build kernels.Builder) float64 {
+		r, err := kernels.NewRunner(name, build, dev, asm.O2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := beam.Run(beam.Config{ECC: true, Trials: trials, Seed: 3}, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.SDCFIT.Rate
+	}
+	fma := unitFIT("FFMA", microbench.ArithBuilder(isa.OpFFMA))
+	mma := unitFIT("HMMA", microbench.MMABuilder(true))
+	fmt.Printf("micro-benchmark SDC FIT: FFMA %.2f a.u., HMMA %.2f a.u. (%.1fx)\n",
+		fma, mma, mma/fma)
+
+	// Whole-application comparison: software FP16 MxM versus the
+	// tensor-core GEMM of the same size.
+	appFIT := func(name string, build kernels.Builder) float64 {
+		r, err := kernels.NewRunner(name, build, dev, asm.O2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := beam.Run(beam.Config{ECC: true, Trials: trials, Seed: 3}, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.SDCFIT.Rate
+	}
+	sw := appFIT("HMXM", kernels.MxMBuilder(isa.F16))
+	tc := appFIT("HGEMM-MMA", kernels.GEMMMMABuilder(true))
+	fmt.Printf("application SDC FIT (ECC on): software HMXM %.3f a.u., tensor-core HGEMM-MMA %.3f a.u.\n", sw, tc)
+	if tc < sw {
+		fmt.Printf("-> the tensor-core version is %.1fx more reliable despite the\n", sw/tc)
+		fmt.Println("   more sensitive unit, because one MMA replaces a warp of FMAs")
+		fmt.Println("   plus their fetch/decode and loop-control traffic (§V-B).")
+	} else {
+		fmt.Printf("-> in this configuration the tensor-core version measured %.1fx\n", tc/sw)
+		fmt.Println("   the software FIT; §V-B expects the advantage to grow with the")
+		fmt.Println("   MMA tile size.")
+	}
+}

@@ -1,0 +1,3 @@
+module gpurel
+
+go 1.22

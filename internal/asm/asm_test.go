@@ -1,0 +1,323 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"gpurel/internal/isa"
+)
+
+func TestRegisterAllocation(t *testing.T) {
+	b := New("k", O1)
+	r0 := b.R()
+	r1 := b.R()
+	if r0 != 0 || r1 != 1 {
+		t.Fatalf("bump allocation broken: %v %v", r0, r1)
+	}
+	b.R() // r2
+	pair := b.RPair()
+	if pair%2 != 0 {
+		t.Fatalf("pair not even-aligned: %v", pair)
+	}
+	frag := b.RVec(8, 8)
+	if frag%8 != 0 {
+		t.Fatalf("fragment not 8-aligned: %v", frag)
+	}
+}
+
+func TestPredicateReuse(t *testing.T) {
+	b := New("k", O1)
+	for i := 0; i < 20; i++ {
+		p := b.P()
+		b.ReleaseP(p)
+	}
+	b.MovImm(b.R(), 1)
+	b.Exit()
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("predicate reuse failed: %v", err)
+	}
+}
+
+func TestPredicateExhaustion(t *testing.T) {
+	b := New("k", O1)
+	for i := 0; i < isa.NumPred; i++ {
+		b.P()
+	}
+	b.P() // eighth: must fail
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "predicate") {
+		t.Fatalf("expected predicate exhaustion, got %v", err)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	b := New("k", O1)
+	b.Label("x")
+	b.Label("x") // duplicate
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("k", O1)
+	b.Bra("nowhere")
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestMissingExit(t *testing.T) {
+	b := New("k", O1)
+	b.MovImm(b.R(), 1)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no EXIT") {
+		t.Fatalf("want missing-exit error, got %v", err)
+	}
+}
+
+func TestGuardApplied(t *testing.T) {
+	b := New("k", O1)
+	p := b.P()
+	r := b.R()
+	b.Guarded(p, true, func() {
+		b.IAdd(r, isa.R(r), isa.ImmInt(1))
+	})
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := prog.Instrs[0]
+	if in.Pred != p || !in.PredNeg {
+		t.Fatalf("guard not applied: %+v", in)
+	}
+	if prog.Instrs[1].Pred != isa.PT {
+		t.Fatal("guard leaked past Guarded region")
+	}
+}
+
+func TestSharedAllocationAligned(t *testing.T) {
+	b := New("k", O1)
+	a := b.AllocShared(12)
+	c := b.AllocShared(4)
+	if a != 0 || c != 16 {
+		t.Fatalf("shared allocation offsets: %d, %d (want 0, 16)", a, c)
+	}
+	if b.SharedBytes() != 20 {
+		t.Fatalf("shared footprint = %d", b.SharedBytes())
+	}
+}
+
+func TestBranchResolution(t *testing.T) {
+	b := New("k", O1)
+	r := b.R()
+	b.MovImm(r, 0)
+	b.Label("loop")
+	b.IAdd(r, isa.R(r), isa.ImmInt(1))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, isa.R(r), isa.ImmInt(10))
+	b.BraIf(p, false, "loop")
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bra := prog.Instrs[3]
+	if bra.Op != isa.OpBRA || bra.Target != 1 {
+		t.Fatalf("branch target = %d, want 1", bra.Target)
+	}
+}
+
+// buildWithTemps emits a kernel with a dead temporary and a copy chain so
+// the O2 passes have work to do: out = (x+1) via a redundant MOV, plus a
+// dead multiply.
+func buildWithTemps(opt OptLevel) *isa.Program {
+	b := New("k", opt)
+	x := b.R()
+	tmp := b.R()
+	cpy := b.R()
+	dead := b.R()
+	out := b.R()
+	b.MovImm(x, 41)
+	b.IAdd(tmp, isa.R(x), isa.ImmInt(1))
+	b.Mov(cpy, isa.R(tmp))           // copy: O2 propagates through it
+	b.IMul(dead, isa.R(x), isa.R(x)) // dead: nothing reads it
+	b.IAdd(out, isa.R(cpy), isa.ImmInt(0))
+	addr := b.R()
+	b.MovImm(addr, 0x100)
+	b.Stg(addr, 0, out)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestO2RemovesDeadCode(t *testing.T) {
+	p1 := buildWithTemps(O1)
+	p2 := buildWithTemps(O2)
+	if len(p2.Instrs) >= len(p1.Instrs) {
+		t.Fatalf("O2 (%d instrs) should be shorter than O1 (%d)", len(p2.Instrs), len(p1.Instrs))
+	}
+	for i := range p2.Instrs {
+		if p2.Instrs[i].Op == isa.OpIMUL {
+			t.Fatal("dead IMUL survived O2 DCE")
+		}
+	}
+	// Copy propagation rewires the consumer to tmp and DCE removes the MOV.
+	for i := range p2.Instrs {
+		if p2.Instrs[i].Op == isa.OpMOV {
+			t.Fatal("copy MOV survived O2")
+		}
+	}
+}
+
+func TestO2KeepsStoresAndControl(t *testing.T) {
+	p2 := buildWithTemps(O2)
+	var hasStg, hasExit bool
+	for i := range p2.Instrs {
+		switch p2.Instrs[i].Op {
+		case isa.OpSTG:
+			hasStg = true
+		case isa.OpEXIT:
+			hasExit = true
+		}
+	}
+	if !hasStg || !hasExit {
+		t.Fatal("O2 removed side-effecting instructions")
+	}
+}
+
+func TestDCEPreservesLabelsAcrossCompaction(t *testing.T) {
+	b := New("k", O2)
+	x := b.R()
+	dead := b.R()
+	b.MovImm(x, 0)
+	b.IMul(dead, isa.R(x), isa.R(x)) // dead, before the loop label
+	b.Label("loop")
+	b.IAdd(x, isa.R(x), isa.ImmInt(1))
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, isa.R(x), isa.ImmInt(3))
+	b.BraIf(p, false, "loop")
+	addr := b.R()
+	b.MovImm(addr, 0x100)
+	b.Stg(addr, 0, x)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the backward branch and check it targets the IADD.
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == isa.OpBRA {
+			if prog.Instrs[prog.Instrs[i].Target].Op != isa.OpIADD {
+				t.Fatalf("branch target drifted after DCE: targets %s",
+					prog.Instrs[prog.Instrs[i].Target].Op)
+			}
+			return
+		}
+	}
+	t.Fatal("no branch found")
+}
+
+func TestForCounterUnrollOnlyAtO2(t *testing.T) {
+	build := func(opt OptLevel) *isa.Program {
+		b := New("k", opt)
+		acc := b.R()
+		i := b.R()
+		b.MovImm(acc, 0)
+		b.ForCounter(i, 0, 8, LoopOpts{Unroll: 4}, func() {
+			b.IAdd(acc, isa.R(acc), isa.R(i))
+		})
+		addr := b.R()
+		b.MovImm(addr, 0x100)
+		b.Stg(addr, 0, acc)
+		b.Exit()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	countOp := func(p *isa.Program, op isa.Op) int {
+		n := 0
+		for i := range p.Instrs {
+			if p.Instrs[i].Op == op {
+				n++
+			}
+		}
+		return n
+	}
+	p1, p2 := build(O1), build(O2)
+	// O1: one IADD body + one counter increment; O2: four of each.
+	if countOp(p1, isa.OpISETP) != 1 || countOp(p2, isa.OpISETP) != 1 {
+		t.Fatal("loop test should appear once")
+	}
+	if countOp(p2, isa.OpIADD) != 4*countOp(p1, isa.OpIADD) {
+		t.Fatalf("O2 unroll factor wrong: O1 has %d IADDs, O2 has %d",
+			countOp(p1, isa.OpIADD), countOp(p2, isa.OpIADD))
+	}
+}
+
+func TestForCounterEmptyAndStep(t *testing.T) {
+	b := New("k", O1)
+	i := b.R()
+	b.ForCounter(i, 5, 5, LoopOpts{}, func() { t.Fatal("body of empty loop emitted") })
+	b.ForCounter(i, 0, 10, LoopOpts{Step: 3}, func() {})
+	b.Exit()
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIfElseStructure(t *testing.T) {
+	b := New("k", O1)
+	p := b.P()
+	r := b.R()
+	b.MovImm(r, 0)
+	b.ISetp(p, isa.CmpGT, isa.R(r), isa.ImmInt(5))
+	b.IfElse(p, false,
+		func() { b.IAdd(r, isa.R(r), isa.ImmInt(1)) },
+		func() { b.IAdd(r, isa.R(r), isa.ImmInt(2)) })
+	addr := b.R()
+	b.MovImm(addr, 0x100)
+	b.Stg(addr, 0, r)
+	b.Exit()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect exactly one SSY and two BRAs (conditional + join jump).
+	var ssy, bra int
+	for i := range prog.Instrs {
+		switch prog.Instrs[i].Op {
+		case isa.OpSSY:
+			ssy++
+		case isa.OpBRA:
+			bra++
+		}
+	}
+	if ssy != 1 || bra != 2 {
+		t.Fatalf("IfElse shape: %d SSY, %d BRA (want 1, 2)\n%s", ssy, bra, prog.Disassemble())
+	}
+}
+
+func TestVerifyCatchesMisalignedF64(t *testing.T) {
+	b := New("k", O1)
+	b.R() // R0, so next pair request would be R2... build misaligned manually
+	bad := isa.Reg(1)
+	b.DAdd(bad, 2, 4)
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "pair-aligned") {
+		t.Fatalf("want pair-alignment error, got %v", err)
+	}
+}
+
+func TestOptLevelString(t *testing.T) {
+	if O1.String() != "O1" || O2.String() != "O2" {
+		t.Fatal("bad OptLevel names")
+	}
+}

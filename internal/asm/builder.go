@@ -1,0 +1,234 @@
+// Package asm is the kernel authoring and compilation layer: a builder
+// API for emitting SASS-like instructions, structured control-flow helpers
+// that generate correct SSY-based divergence management, and an optimizing
+// backend with two pipelines that stand in for the two CUDA compiler
+// generations the paper's fault injectors require:
+//
+//   - O1 ("CUDA 7.0-era", the SASSIFI toolchain): no optimization; the
+//     code keeps every temporary and every loop test the author wrote.
+//   - O2 ("CUDA 10.1-era", the NVBitFI toolchain): block-local copy
+//     propagation, global dead-code elimination, and unrolling of loops
+//     the author marked unrollable.
+//
+// The paper observes that the same source compiled by the two toolchains
+// yields different SASS and hence different AVFs (§VI); compiling every
+// workload through both pipelines reproduces that mechanism.
+package asm
+
+import (
+	"fmt"
+
+	"gpurel/internal/isa"
+)
+
+// OptLevel selects the backend pipeline.
+type OptLevel uint8
+
+// Optimization levels.
+const (
+	O1 OptLevel = iota // legacy toolchain: no optimization
+	O2                 // modern toolchain: copy-prop + DCE + unrolling
+)
+
+// String names the level.
+func (o OptLevel) String() string {
+	if o == O1 {
+		return "O1"
+	}
+	return "O2"
+}
+
+// Builder accumulates instructions for one kernel. Errors stick: the
+// first problem is reported by Build and later calls are no-ops, so
+// kernel authors do not need to check every emission.
+type Builder struct {
+	name string
+	opt  OptLevel
+
+	instrs  []isa.Instr
+	targets map[int]string // instruction index -> label it branches to
+	labels  map[string]int // label -> instruction index it precedes
+
+	nextReg   int
+	nextPred  int
+	freePreds []isa.PredReg
+	shared    int
+
+	guard    isa.PredReg
+	guardNeg bool
+
+	err error
+}
+
+// New creates a builder for a kernel compiled at the given level.
+func New(name string, opt OptLevel) *Builder {
+	return &Builder{
+		name:    name,
+		opt:     opt,
+		targets: make(map[int]string),
+		labels:  make(map[string]int),
+		guard:   isa.PT,
+	}
+}
+
+// Opt returns the builder's optimization level, so kernel sources can
+// consult it (e.g. to pick a tile shape) the way real kernels use
+// __CUDA_ARCH__.
+func (b *Builder) Opt() OptLevel { return b.opt }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm(%s): %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// R allocates the next free general-purpose register.
+func (b *Builder) R() isa.Reg {
+	if b.nextReg >= isa.NumGPR {
+		b.fail("out of registers")
+		return 0
+	}
+	r := isa.Reg(b.nextReg)
+	b.nextReg++
+	return r
+}
+
+// RPair allocates an even-aligned register pair (for FP64 values) and
+// returns the base register.
+func (b *Builder) RPair() isa.Reg { return b.RVec(2, 2) }
+
+// RVec allocates n consecutive registers with the given alignment and
+// returns the base. MMA fragments use RVec(4, 4) and RVec(8, 8).
+func (b *Builder) RVec(n, align int) isa.Reg {
+	for b.nextReg%align != 0 {
+		b.nextReg++
+	}
+	if b.nextReg+n > isa.NumGPR {
+		b.fail("out of registers allocating %d-vector", n)
+		return 0
+	}
+	r := isa.Reg(b.nextReg)
+	b.nextReg += n
+	return r
+}
+
+// P allocates a predicate register, reusing ones returned via ReleaseP.
+func (b *Builder) P() isa.PredReg {
+	if n := len(b.freePreds); n > 0 {
+		p := b.freePreds[n-1]
+		b.freePreds = b.freePreds[:n-1]
+		return p
+	}
+	if b.nextPred >= isa.NumPred {
+		b.fail("out of predicate registers")
+		return 0
+	}
+	p := isa.PredReg(b.nextPred)
+	b.nextPred++
+	return p
+}
+
+// AllocShared reserves bytes of shared memory (8-byte aligned) and
+// returns the base offset within the block's shared region.
+func (b *Builder) AllocShared(bytes int) uint32 {
+	base := (b.shared + 7) &^ 7
+	b.shared = base + bytes
+	return uint32(base)
+}
+
+// SharedBytes returns the shared-memory footprint per block.
+func (b *Builder) SharedBytes() int { return b.shared }
+
+// Guarded emits the instructions produced by fn under guard predicate p:
+// they execute only in threads where p holds (or !p when neg is set).
+// Guards nest by composition only through distinct predicates.
+func (b *Builder) Guarded(p isa.PredReg, neg bool, fn func()) {
+	if b.guard != isa.PT {
+		b.fail("nested Guarded regions are not supported; compute a combined predicate")
+		return
+	}
+	b.guard, b.guardNeg = p, neg
+	fn()
+	b.guard, b.guardNeg = isa.PT, false
+}
+
+// emit appends one instruction under the current guard.
+func (b *Builder) emit(in isa.Instr) {
+	in.Pred, in.PredNeg = b.guard, b.guardNeg
+	b.emitPred(in)
+}
+
+// emitPred appends one instruction with an explicit guard, bypassing the
+// builder's current guard (used by BraIf and the control-flow helpers).
+func (b *Builder) emitPred(in isa.Instr) {
+	if b.err != nil {
+		return
+	}
+	if !usesDstP(in.Op) {
+		in.DstP = isa.PT
+	}
+	b.instrs = append(b.instrs, in)
+}
+
+// usesDstP reports whether the opcode's DstP field is meaningful (SETP
+// writes it; SEL reads it as the select condition).
+func usesDstP(op isa.Op) bool {
+	switch op {
+	case isa.OpISETP, isa.OpFSETP, isa.OpDSETP, isa.OpHSETP, isa.OpSEL:
+		return true
+	}
+	return false
+}
+
+// Label defines a branch target at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+// uniqueLabel generates an internal label.
+func (b *Builder) uniqueLabel(prefix string) string {
+	return fmt.Sprintf(".%s_%d", prefix, len(b.instrs))
+}
+
+// Build resolves labels, runs the backend pipeline for the builder's
+// optimization level, verifies the program, and returns it.
+func (b *Builder) Build() (*isa.Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.opt >= O2 {
+		b.copyPropagate()
+		b.eliminateDeadCode()
+	} else {
+		b.insertLegacyMoves()
+	}
+	if err := b.resolve(); err != nil {
+		return nil, err
+	}
+	p := &isa.Program{
+		Name:      b.name,
+		Instrs:    b.instrs,
+		SharedMem: b.shared,
+	}
+	p.NumRegs = p.MaxReg()
+	if err := verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// resolve rewrites symbolic branch targets into absolute indices.
+func (b *Builder) resolve() error {
+	for idx, label := range b.targets {
+		t, ok := b.labels[label]
+		if !ok {
+			return fmt.Errorf("asm(%s): undefined label %q", b.name, label)
+		}
+		b.instrs[idx].Target = t
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package asm
+
+import "gpurel/internal/isa"
+
+// Structured control flow. The helpers emit the SSY-based divergence
+// management the simulator's PDOM reconvergence stack expects, so kernel
+// authors never hand-write reconvergence points.
+
+// If executes then() in threads where p holds (or !p when neg). The warp
+// reconverges at the end of the body.
+func (b *Builder) If(p isa.PredReg, neg bool, then func()) {
+	join := b.uniqueLabel("join")
+	b.SSY(join)
+	b.BraIf(p, !neg, join) // threads failing the condition skip the body
+	then()
+	b.Label(join)
+}
+
+// IfElse executes then() where the condition holds and els() elsewhere,
+// reconverging afterwards.
+func (b *Builder) IfElse(p isa.PredReg, neg bool, then, els func()) {
+	elseL := b.uniqueLabel("else")
+	join := b.uniqueLabel("join")
+	b.SSY(join)
+	b.BraIf(p, !neg, elseL)
+	then()
+	b.Bra(join)
+	b.Label(elseL)
+	els()
+	b.Label(join)
+}
+
+// LoopOpts tunes ForCounter code generation.
+type LoopOpts struct {
+	// Step is the counter increment (default 1).
+	Step int32
+	// Unroll marks the loop as unrollable by this factor. The O2 backend
+	// unrolls when the trip count divides evenly; the O1 backend ignores
+	// the hint, mirroring older compilers' conservative codegen.
+	Unroll int
+}
+
+// ForCounter emits a counted, warp-uniform loop: for i = start; i < end;
+// i += step. The counter register i is live inside body. The loop's
+// predicate register is allocated and released internally.
+func (b *Builder) ForCounter(i isa.Reg, start, end int32, opts LoopOpts, body func()) {
+	step := opts.Step
+	if step == 0 {
+		step = 1
+	}
+	if step < 0 {
+		b.fail("ForCounter requires a positive step")
+		return
+	}
+	if end <= start {
+		return // statically empty loop
+	}
+	trip := int((end - start + step - 1) / step)
+
+	b.MovImmInt(i, start)
+	loop := b.uniqueLabel("loop")
+	b.Label(loop)
+
+	unroll := 1
+	if b.opt >= O2 && opts.Unroll > 1 && trip%opts.Unroll == 0 {
+		unroll = opts.Unroll
+	}
+	for u := 0; u < unroll; u++ {
+		body()
+		b.IAdd(i, isa.R(i), isa.ImmInt(step))
+	}
+
+	p := b.P()
+	b.ISetp(p, isa.CmpLT, isa.R(i), isa.ImmInt(end))
+	b.BraIf(p, false, loop)
+	b.ReleaseP(p)
+}
+
+// ReleaseP returns a predicate register to the allocator so sequences of
+// loops do not exhaust the seven predicates.
+func (b *Builder) ReleaseP(p isa.PredReg) {
+	b.freePreds = append(b.freePreds, p)
+}

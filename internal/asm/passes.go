@@ -1,0 +1,244 @@
+package asm
+
+import "gpurel/internal/isa"
+
+// Backend optimization passes for the O2 ("CUDA 10.1-era") pipeline.
+// Both passes run before label resolution, on the symbolic program, and
+// keep the label and branch-target maps consistent.
+//
+// The paper attributes the ~18% average AVF difference between SASSIFI
+// (old toolchain) and NVBitFI (new toolchain) to exactly this kind of
+// codegen difference: optimized code has fewer dead or ineffectual
+// instructions, so a randomly placed fault is more likely to land on a
+// value that reaches the output (§VI).
+
+// insertLegacyMoves models the older ("CUDA 7.0-era") backend's register
+// allocation, which routes noticeably more results through MOV
+// temporaries than modern nvcc. Every fourth rewritable arithmetic
+// result is written to a scratch register and copied to its real
+// destination. The extra architecturally-dead MOV sites dilute the
+// fault-injection site population, which is precisely why the paper
+// measures SASSIFI AVFs ~18% below NVBitFI's on the same sources (§VI).
+func (b *Builder) insertLegacyMoves() {
+	if b.nextReg >= isa.NumGPR-1 {
+		return
+	}
+	tmp := isa.Reg(b.nextReg)
+	b.nextReg++
+	out := make([]isa.Instr, 0, len(b.instrs)+len(b.instrs)/4)
+	newIdx := make([]int, len(b.instrs)+1)
+	targets := make(map[int]string, len(b.targets))
+	count := 0
+	for idx := range b.instrs {
+		in := b.instrs[idx]
+		newIdx[idx] = len(out)
+		if label, ok := b.targets[idx]; ok {
+			targets[len(out)] = label
+		}
+		if legacyRewritable(&in) {
+			count++
+			if count%4 == 0 {
+				mov := isa.Instr{
+					Op: isa.OpMOV, Pred: in.Pred, PredNeg: in.PredNeg,
+					DstP: isa.PT, Dst: in.Dst,
+					Srcs: [3]isa.Operand{{Reg: tmp}},
+				}
+				in.Dst = tmp
+				out = append(out, in, mov)
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	newIdx[len(b.instrs)] = len(out)
+	for label, i := range b.labels {
+		b.labels[label] = newIdx[i]
+	}
+	b.instrs = out
+	b.targets = targets
+}
+
+func legacyRewritable(in *isa.Instr) bool {
+	switch in.Op {
+	case isa.OpFADD, isa.OpFMUL, isa.OpFFMA,
+		isa.OpHADD, isa.OpHMUL, isa.OpHFMA,
+		isa.OpIADD, isa.OpIMUL, isa.OpIMAD,
+		isa.OpLOP, isa.OpSHF, isa.OpIMNMX:
+		return in.Dst != isa.RZ && in.DstRegs() == 1
+	}
+	return false
+}
+
+// blockLeaders returns a set of instruction indices that start a basic
+// block: entry, every label position, and every branch successor.
+func (b *Builder) blockLeaders() map[int]bool {
+	leaders := map[int]bool{0: true}
+	for _, idx := range b.labels {
+		leaders[idx] = true
+	}
+	for i := range b.instrs {
+		if b.instrs[i].Op.IsControl() {
+			leaders[i+1] = true
+		}
+	}
+	return leaders
+}
+
+// copyPropagate rewrites register sources through unpredicated MOVs
+// within each basic block, exposing the moves to dead-code elimination.
+func (b *Builder) copyPropagate() {
+	leaders := b.blockLeaders()
+	cp := make(map[isa.Reg]isa.Reg)
+
+	resolve := func(r isa.Reg) isa.Reg {
+		if s, ok := cp[r]; ok {
+			return s
+		}
+		return r
+	}
+	invalidate := func(base isa.Reg, n int) {
+		for r := base; r < base+isa.Reg(n); r++ {
+			delete(cp, r)
+			for k, v := range cp {
+				if v == r {
+					delete(cp, k)
+				}
+			}
+		}
+	}
+
+	for i := range b.instrs {
+		if leaders[i] {
+			clear(cp)
+		}
+		in := &b.instrs[i]
+
+		// Rewrite single-register sources. Multi-register reads (F64
+		// pairs, MMA fragments, wide store data) stay untouched: a MOV
+		// only captures one 32-bit register.
+		switch in.Op {
+		case isa.OpDADD, isa.OpDMUL, isa.OpDFMA, isa.OpDSETP,
+			isa.OpHMMA, isa.OpFMMA, isa.OpF2F:
+			// all sources may be multi-register: skip
+		case isa.OpSTG, isa.OpSTS:
+			in.Srcs[0].Reg = resolve(in.Srcs[0].Reg) // address is single
+			if !in.Wide {
+				in.Srcs[2].Reg = resolve(in.Srcs[2].Reg)
+			}
+		default:
+			for s := range in.Srcs {
+				if !in.Srcs[s].IsImm {
+					in.Srcs[s].Reg = resolve(in.Srcs[s].Reg)
+				}
+			}
+		}
+
+		// Writes invalidate mappings, predicated or not.
+		if n := in.DstRegs(); n > 0 {
+			invalidate(in.Dst, n)
+		}
+
+		// Record plain unpredicated register-to-register moves.
+		if in.Op == isa.OpMOV && in.Pred == isa.PT && !in.Srcs[0].IsImm &&
+			in.Dst != isa.RZ && in.Srcs[0].Reg != in.Dst {
+			cp[in.Dst] = in.Srcs[0].Reg
+		}
+	}
+}
+
+// eliminateDeadCode removes instructions whose only effect is writing
+// registers that no instruction ever reads (including loads: a dead load
+// disappears, together with any DUE its address could have raised — a
+// real behavioural consequence of compiler optimization). It iterates to
+// a fixpoint and then compacts the program, updating labels and branch
+// targets.
+func (b *Builder) eliminateDeadCode() {
+	for {
+		read := make(map[isa.Reg]bool)
+		for i := range b.instrs {
+			for _, span := range b.instrs[i].SrcRegSpans() {
+				for r := span[0]; r < span[0]+span[1]; r++ {
+					read[r] = true
+				}
+			}
+		}
+		removedAny := false
+		keep := make([]bool, len(b.instrs))
+		for i := range b.instrs {
+			keep[i] = true
+			in := &b.instrs[i]
+			if in.Op.IsControl() || in.Op == isa.OpSTG || in.Op == isa.OpSTS ||
+				in.Op == isa.OpRED || in.Op == isa.OpNOP {
+				continue
+			}
+			if isSetp(in.Op) {
+				// Predicate liveness is not tracked: predicate writers stay.
+				continue
+			}
+			n := in.DstRegs()
+			if n == 0 && in.Dst == isa.RZ && in.Op.WritesGPR() {
+				// Pure write to RZ: architecturally a no-op.
+				keep[i] = false
+				removedAny = true
+				continue
+			}
+			if n == 0 {
+				continue
+			}
+			dead := true
+			for r := in.Dst; r < in.Dst+isa.Reg(n); r++ {
+				if read[r] {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				keep[i] = false
+				removedAny = true
+			}
+		}
+		if !removedAny {
+			return
+		}
+		b.compact(keep)
+	}
+}
+
+func isSetp(op isa.Op) bool {
+	switch op {
+	case isa.OpISETP, isa.OpFSETP, isa.OpDSETP, isa.OpHSETP:
+		return true
+	}
+	return false
+}
+
+// compact removes instructions marked false in keep, remapping labels and
+// branch-target bookkeeping.
+func (b *Builder) compact(keep []bool) {
+	newIdx := make([]int, len(b.instrs)+1)
+	n := 0
+	for i := range b.instrs {
+		newIdx[i] = n
+		if keep[i] {
+			n++
+		}
+	}
+	newIdx[len(b.instrs)] = n
+
+	instrs := make([]isa.Instr, 0, n)
+	targets := make(map[int]string, len(b.targets))
+	for i := range b.instrs {
+		if !keep[i] {
+			continue
+		}
+		if label, ok := b.targets[i]; ok {
+			targets[len(instrs)] = label
+		}
+		instrs = append(instrs, b.instrs[i])
+	}
+	for label, idx := range b.labels {
+		b.labels[label] = newIdx[idx]
+	}
+	b.instrs = instrs
+	b.targets = targets
+}

@@ -1,0 +1,70 @@
+package asm
+
+import (
+	"fmt"
+
+	"gpurel/internal/isa"
+)
+
+// verify performs static checks on a built program: branch targets in
+// range, register operands within the file, F64 pair alignment, MMA
+// fragment alignment, and the presence of a terminator. It is the last
+// gate before a program reaches the simulator.
+func verify(p *isa.Program) error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("asm(%s): empty program", p.Name)
+	}
+	hasExit := false
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Op == isa.OpEXIT {
+			hasExit = true
+		}
+		if in.Op == isa.OpBRA || in.Op == isa.OpSSY {
+			if in.Target < 0 || in.Target > len(p.Instrs) {
+				return fmt.Errorf("asm(%s): instruction %d: branch target %d out of range",
+					p.Name, i, in.Target)
+			}
+		}
+		if n := in.DstRegs(); n > 0 {
+			if int(in.Dst)+n > isa.NumGPR {
+				return fmt.Errorf("asm(%s): instruction %d: destination %s+%d exceeds register file",
+					p.Name, i, in.Dst, n)
+			}
+		}
+		for _, span := range in.SrcRegSpans() {
+			if int(span[0])+int(span[1]) > isa.NumGPR {
+				return fmt.Errorf("asm(%s): instruction %d: source %s+%d exceeds register file",
+					p.Name, i, span[0], span[1])
+			}
+		}
+		switch in.Op {
+		case isa.OpDADD, isa.OpDMUL, isa.OpDFMA:
+			if in.Dst%2 != 0 {
+				return fmt.Errorf("asm(%s): instruction %d: F64 destination %s not pair-aligned",
+					p.Name, i, in.Dst)
+			}
+			for s := 0; s < 3; s++ {
+				if !in.Srcs[s].IsImm && in.Srcs[s].Reg != isa.RZ && in.Srcs[s].Reg%2 != 0 &&
+					(s < 2 || in.Op == isa.OpDFMA) {
+					return fmt.Errorf("asm(%s): instruction %d: F64 source %s not pair-aligned",
+						p.Name, i, in.Srcs[s].Reg)
+				}
+			}
+		case isa.OpHMMA:
+			if in.Srcs[0].Reg%4 != 0 || in.Srcs[1].Reg%4 != 0 ||
+				in.Srcs[2].Reg%4 != 0 || in.Dst%4 != 0 {
+				return fmt.Errorf("asm(%s): instruction %d: HMMA fragments must be 4-aligned", p.Name, i)
+			}
+		case isa.OpFMMA:
+			if in.Srcs[0].Reg%4 != 0 || in.Srcs[1].Reg%4 != 0 ||
+				in.Srcs[2].Reg%4 != 0 || in.Dst%4 != 0 {
+				return fmt.Errorf("asm(%s): instruction %d: FMMA fragments must be 4-aligned", p.Name, i)
+			}
+		}
+	}
+	if !hasExit {
+		return fmt.Errorf("asm(%s): program has no EXIT", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package beam
+
+import (
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+)
+
+func runBeam(t *testing.T, name string, b kernels.Builder, dev *device.Device, ecc bool, trials int) *Result {
+	t.Helper()
+	r, err := kernels.NewRunner(name, b, dev, 1 /* asm.O2 */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{ECC: ecc, Trials: trials, Seed: 9}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBeamMxMECCOffVsOn(t *testing.T) {
+	dev := device.K40c()
+	off := runBeam(t, "FMXM", kernels.MxMBuilder(isa.F32), dev, false, 250)
+	on := runBeam(t, "FMXM", kernels.MxMBuilder(isa.F32), dev, true, 250)
+	if off.SDC == 0 {
+		t.Fatal("ECC-off beam should observe SDCs")
+	}
+	if on.SDCFIT.Rate >= off.SDCFIT.Rate {
+		t.Fatalf("ECC must reduce the SDC FIT: off=%g on=%g", off.SDCFIT.Rate, on.SDCFIT.Rate)
+	}
+	if off.Trials != 250 || on.Trials != 250 {
+		t.Fatal("trial bookkeeping wrong")
+	}
+	// Counts must be consistent.
+	var strikes int
+	for _, s := range off.BySource {
+		strikes += s.Strikes
+	}
+	if strikes != off.Trials {
+		t.Fatalf("strikes %d != trials %d", strikes, off.Trials)
+	}
+}
+
+func TestBeamDeterminism(t *testing.T) {
+	dev := device.K40c()
+	a := runBeam(t, "CCL", kernels.CCLBuilder(), dev, false, 80)
+	b := runBeam(t, "CCL", kernels.CCLBuilder(), dev, false, 80)
+	if a.SDC != b.SDC || a.DUE != b.DUE {
+		t.Fatalf("beam campaign not deterministic: %d/%d vs %d/%d", a.SDC, a.DUE, b.SDC, b.DUE)
+	}
+}
+
+func TestHiddenStrikesAreDUEDominated(t *testing.T) {
+	dev := device.K40c()
+	res := runBeam(t, "FLAVA", kernels.LavaBuilder(isa.F32), dev, true, 300)
+	h := res.BySource[SrcHidden]
+	if h.Strikes == 0 {
+		t.Fatal("hidden resources should receive strikes")
+	}
+	if h.DUE <= h.SDC {
+		t.Fatalf("hidden strikes must be DUE-dominated: %d DUE vs %d SDC", h.DUE, h.SDC)
+	}
+}

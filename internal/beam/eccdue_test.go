@@ -1,0 +1,27 @@
+package beam
+
+import (
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+	"testing"
+)
+
+func TestECCRaisesDUEForGlobalHeavyCodes(t *testing.T) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner("NW", kernels.NWBuilder(), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ := Run(Config{ECC: false, Trials: 400, Seed: 31}, r)
+	on, _ := Run(Config{ECC: true, Trials: 400, Seed: 31}, r)
+	t.Logf("NW DUE: off %.3f on %.3f (%.1fx)", off.DUEFIT.Rate, on.DUEFIT.Rate, on.DUEFIT.Rate/off.DUEFIT.Rate)
+	for s := Source(0); s < SrcCount; s++ {
+		t.Logf("  off %-16s strikes %3d SDC %3d DUE %3d | on strikes %3d SDC %3d DUE %3d",
+			s, off.BySource[s].Strikes, off.BySource[s].SDC, off.BySource[s].DUE,
+			on.BySource[s].Strikes, on.BySource[s].SDC, on.BySource[s].DUE)
+	}
+	if on.DUEFIT.Rate <= off.DUEFIT.Rate {
+		t.Errorf("NW DUE should rise with ECC (paper §VI)")
+	}
+}

@@ -1,0 +1,85 @@
+package beam
+
+import (
+	"testing"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+)
+
+// Exposure-model unit tests: the strike-rate budget must scale with the
+// resources a code actually uses.
+
+func lambdaOf(t *testing.T, name string, b kernels.Builder, dev *device.Device) float64 {
+	t.Helper()
+	r, err := kernels.NewRunner(name, b, dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{ECC: true, Trials: 1, Seed: 1}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.LambdaPerCycle
+}
+
+func TestExposureScalesWithParallelism(t *testing.T) {
+	dev := device.K40c()
+	// MxM keeps most of the device busy; CCL barely does. Per cycle, the
+	// parallel code must expose more silicon (§III-C: "if the additional
+	// ADDs are executed in parallel ... the FIT rate is expected to
+	// double").
+	mxm := lambdaOf(t, "FMXM", kernels.MxMBuilder(isa.F32), dev)
+	ccl := lambdaOf(t, "CCL", kernels.CCLBuilder(), dev)
+	if mxm <= ccl {
+		t.Fatalf("MxM lambda/cycle %.3f should exceed CCL's %.3f", mxm, ccl)
+	}
+}
+
+func TestExposureGrowsWithPrecision(t *testing.T) {
+	dev := device.V100()
+	h := lambdaOf(t, "HMXM", kernels.MxMBuilder(isa.F16), dev)
+	f := lambdaOf(t, "FMXM", kernels.MxMBuilder(isa.F32), dev)
+	d := lambdaOf(t, "DMXM", kernels.MxMBuilder(isa.F64), dev)
+	if !(h < f && f < d) {
+		t.Fatalf("per-cycle exposure must grow with precision: H %.3f F %.3f D %.3f", h, f, d)
+	}
+}
+
+func TestZeroTrialsDefaulted(t *testing.T) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner("CCL", kernels.CCLBuilder(), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{ECC: true, Trials: 0, Seed: 1, Workers: 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 400 {
+		t.Fatalf("zero trials should default to 400, got %d", res.Trials)
+	}
+}
+
+func TestFITConfidenceIntervalsBracketRate(t *testing.T) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FMXM", kernels.MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{ECC: false, Trials: 200, Seed: 5}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SDC == 0 {
+		t.Skip("no events to bracket")
+	}
+	if res.SDCFIT.CI.Lower > res.SDCFIT.Rate || res.SDCFIT.CI.Upper < res.SDCFIT.Rate {
+		t.Fatalf("CI %+v does not bracket %.4f", res.SDCFIT.CI, res.SDCFIT.Rate)
+	}
+	if res.SDCFIT.CI.Lower <= 0 {
+		t.Fatal("with observed events the lower bound must be positive")
+	}
+}

@@ -1,0 +1,137 @@
+package beam
+
+import (
+	"testing"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/microbench"
+)
+
+// These integration tests assert the Figure-3 *shapes* of the paper
+// emerge from the beam campaign over the micro-benchmarks: the relative
+// orderings the reproduction is accountable for (DESIGN.md §4).
+
+func microFIT(t *testing.T, dev *device.Device, name string, trials int) (sdc, due float64) {
+	t.Helper()
+	var build kernels.Builder
+	for _, m := range microbench.Catalog(dev) {
+		if m.Name == name {
+			build = m.Build
+			break
+		}
+	}
+	if build == nil {
+		t.Fatalf("no micro %q on %s", name, dev.Name)
+	}
+	r, err := kernels.NewRunner(name, build, dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{ECC: name != "RF", Trials: trials, Seed: 17}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.SDCFIT.Rate, res.DUEFIT.Rate
+}
+
+func TestFig3ShapeKeplerIntegerVsFloat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beam shape test")
+	}
+	dev := device.K40c()
+	fadd, _ := microFIT(t, dev, "FADD", 250)
+	iadd, _ := microFIT(t, dev, "IADD", 250)
+	imul, _ := microFIT(t, dev, "IMUL", 250)
+	imad, _ := microFIT(t, dev, "IMAD", 250)
+	// §V-B: Kepler integer micro FITs ~4x the FP32 ones.
+	if r := iadd / fadd; r < 2 || r > 8 {
+		t.Errorf("IADD/FADD = %.1f, expected ~4x (Kepler shared datapath)", r)
+	}
+	// Operator complexity ordering: IMAD > IMUL > IADD.
+	if !(imad > imul && imul > iadd) {
+		t.Errorf("integer complexity ordering violated: IADD %.2f IMUL %.2f IMAD %.2f",
+			iadd, imul, imad)
+	}
+}
+
+func TestFig3ShapeLDSTIsDUEDominated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beam shape test")
+	}
+	sdc, due := microFIT(t, device.K40c(), "LDST", 300)
+	// §V-B: LDST is the only micro whose DUE rate exceeds its SDC rate
+	// (~7x in the paper), because the critical operand is an address.
+	if due <= sdc {
+		t.Errorf("LDST must be DUE-dominated: SDC %.2f DUE %.2f", sdc, due)
+	}
+	if r := due / maxF(sdc, 1e-9); r < 1.5 {
+		t.Errorf("LDST DUE/SDC = %.1f, expected well above 1 (paper: ~7x)", r)
+	}
+}
+
+func TestFig3ShapeRFDominatesWhenECCOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beam shape test")
+	}
+	dev := device.K40c()
+	rf, _ := microFIT(t, dev, "RF", 250)
+	fadd, _ := microFIT(t, dev, "FADD", 250)
+	// Fig. 3: the unprotected register file dwarfs any functional unit.
+	if rf < 5*fadd {
+		t.Errorf("RF (ECC off) FIT %.2f should dwarf FADD's %.2f", rf, fadd)
+	}
+}
+
+func TestFig3ShapeVoltaPrecisionOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beam shape test")
+	}
+	dev := device.V100()
+	hfma, _ := microFIT(t, dev, "HFMA", 250)
+	ffma, _ := microFIT(t, dev, "FFMA", 250)
+	dfma, _ := microFIT(t, dev, "DFMA", 250)
+	if !(hfma < ffma && ffma < dfma) {
+		t.Errorf("Volta precision ordering violated: HFMA %.2f FFMA %.2f DFMA %.2f",
+			hfma, ffma, dfma)
+	}
+	hmma, _ := microFIT(t, dev, "HMMA", 250)
+	// §V-B: tensor-core FIT roughly an order of magnitude above FMA.
+	if r := hmma / ffma; r < 3 {
+		t.Errorf("HMMA/FFMA = %.1f, expected >> 1 (paper: ~9x)", r)
+	}
+}
+
+func TestFig5ShapeECCCutsSDC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("beam shape test")
+	}
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FGEMM", kernels.GEMMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(Config{ECC: false, Trials: 300, Seed: 23}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(Config{ECC: true, Trials: 300, Seed: 23}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §VI: ECC reduces the SDC FIT rate dramatically (up to 21x for
+	// K40c); require at least a strong reduction here.
+	if on.SDCFIT.Rate*3 > off.SDCFIT.Rate {
+		t.Errorf("ECC should cut GEMM's SDC sharply: off %.3f on %.3f",
+			off.SDCFIT.Rate, on.SDCFIT.Rate)
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

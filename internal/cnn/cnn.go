@@ -1,0 +1,249 @@
+// Package cnn is the convolutional-network substrate behind the YOLOv2
+// and YOLOv3 workloads: network specifications, deterministic weight
+// generation, a precision-parameterized host reference forward pass
+// (convolution lowered to im2col + GEMM exactly like the device code),
+// and the detection decoding plus tolerance-aware comparison that
+// implements the paper's CNN error criterion — "some faults that
+// propagate to the output are not considered errors since they do not
+// modify the classification result" (§VI).
+package cnn
+
+import (
+	"fmt"
+
+	"gpurel/internal/stats"
+)
+
+// LayerKind discriminates the layer types of the mini networks.
+type LayerKind uint8
+
+// Layer kinds.
+const (
+	Conv     LayerKind = iota // KxK convolution, pad (K-1)/2, optional leaky ReLU
+	MaxPool                   // 2x2, stride 2
+	Residual                  // elementwise add with an earlier layer's output
+)
+
+// Layer is one network layer.
+type Layer struct {
+	Kind  LayerKind
+	InC   int
+	OutC  int
+	K     int  // kernel size for Conv (1 or 3)
+	Leaky bool // apply leaky ReLU (slope 0.1) after bias
+	From  int  // Residual: index of the earlier layer to add
+}
+
+// Spec is a network specification plus its detection-head geometry.
+type Spec struct {
+	Name    string
+	InC     int
+	InH     int
+	InW     int
+	Layers  []Layer
+	Classes int
+	// Tol is the output tolerance of the detection comparison. The
+	// paper observes that a less accurate network tolerates larger
+	// output perturbations, so YOLOv2-mini carries a larger tolerance
+	// than YOLOv3-mini (§VI).
+	Tol float64
+}
+
+// V2Mini is the YOLOv2-style network: a straight convolutional trunk.
+func V2Mini() Spec {
+	return Spec{
+		Name: "YOLOV2", InC: 3, InH: 16, InW: 16, Classes: 3, Tol: 0.05,
+		Layers: []Layer{
+			{Kind: Conv, InC: 3, OutC: 8, K: 3, Leaky: true},
+			{Kind: MaxPool, InC: 8, OutC: 8},
+			{Kind: Conv, InC: 8, OutC: 16, K: 3, Leaky: true},
+			{Kind: MaxPool, InC: 16, OutC: 16},
+			{Kind: Conv, InC: 16, OutC: 16, K: 3, Leaky: true},
+			{Kind: Conv, InC: 16, OutC: 16, K: 1, Leaky: true},
+			{Kind: Conv, InC: 16, OutC: 16, K: 3, Leaky: true},
+			{Kind: Conv, InC: 16, OutC: 8, K: 1}, // detection head, linear
+		},
+	}
+}
+
+// V3Mini is the YOLOv3-style network: deeper, with two residual blocks,
+// more accurate, and therefore stricter about output deviations.
+func V3Mini() Spec {
+	return Spec{
+		Name: "YOLOV3", InC: 3, InH: 16, InW: 16, Classes: 3, Tol: 0.005,
+		Layers: []Layer{
+			{Kind: Conv, InC: 3, OutC: 8, K: 3, Leaky: true},   // 0
+			{Kind: MaxPool, InC: 8, OutC: 8},                   // 1
+			{Kind: Conv, InC: 8, OutC: 16, K: 3, Leaky: true},  // 2
+			{Kind: MaxPool, InC: 16, OutC: 16},                 // 3
+			{Kind: Conv, InC: 16, OutC: 8, K: 1, Leaky: true},  // 4
+			{Kind: Conv, InC: 8, OutC: 16, K: 3, Leaky: true},  // 5
+			{Kind: Residual, InC: 16, OutC: 16, From: 3},       // 6
+			{Kind: Conv, InC: 16, OutC: 8, K: 1, Leaky: true},  // 7
+			{Kind: Conv, InC: 8, OutC: 16, K: 3, Leaky: true},  // 8
+			{Kind: Residual, InC: 16, OutC: 16, From: 6},       // 9
+			{Kind: Conv, InC: 16, OutC: 16, K: 3, Leaky: true}, // 10
+			{Kind: Conv, InC: 16, OutC: 8, K: 1},               // 11: head
+		},
+	}
+}
+
+// Dims returns the (C, H, W) shape of each layer's output.
+func (s Spec) Dims() [][3]int {
+	h, w := s.InH, s.InW
+	out := make([][3]int, len(s.Layers))
+	for i, l := range s.Layers {
+		if l.Kind == MaxPool {
+			h, w = h/2, w/2
+		}
+		out[i] = [3]int{l.OutC, h, w}
+	}
+	return out
+}
+
+// Weights holds the convolution filters and biases of a network, laid
+// out as the device consumes them: W[m][kidx] with kidx = ci*K*K + dy*K
+// + dx, biases per output channel.
+type Weights struct {
+	Filters [][]float64 // per conv layer: OutC x (InC*K*K), row-major
+	Biases  [][]float64 // per conv layer: OutC
+}
+
+// GenerateWeights produces the deterministic parameters of the network.
+// round quantizes each value to the working precision.
+func GenerateWeights(s Spec, round func(float64) float64) Weights {
+	r := stats.NewRNG(0xcafe, uint64(len(s.Layers)))
+	var w Weights
+	for _, l := range s.Layers {
+		if l.Kind != Conv {
+			w.Filters = append(w.Filters, nil)
+			w.Biases = append(w.Biases, nil)
+			continue
+		}
+		k := l.InC * l.K * l.K
+		scale := 1.2 / float64(k)
+		f := make([]float64, l.OutC*k)
+		for i := range f {
+			f[i] = round((r.Float64()*2 - 1) * scale * 3)
+		}
+		bs := make([]float64, l.OutC)
+		for i := range bs {
+			bs[i] = round((r.Float64()*2 - 1) * 0.1)
+		}
+		w.Filters = append(w.Filters, f)
+		w.Biases = append(w.Biases, bs)
+	}
+	return w
+}
+
+// GenerateInput produces the deterministic input image (CHW).
+func GenerateInput(s Spec, round func(float64) float64) []float64 {
+	r := stats.NewRNG(0x1396, 7)
+	in := make([]float64, s.InC*s.InH*s.InW)
+	for i := range in {
+		in[i] = round(r.Float64())
+	}
+	return in
+}
+
+// Arith is the exact arithmetic of the working precision; the host
+// forward pass uses it so its results match the device bit-for-bit.
+type Arith struct {
+	FMA   func(a, b, c float64) float64
+	Add   func(a, b float64) float64
+	Mul   func(a, b float64) float64
+	Round func(v float64) float64
+}
+
+// Forward runs the reference forward pass and returns every layer's
+// output (CHW), using im2col + GEMM with ascending-k accumulation, the
+// same operation order as the device kernels.
+func Forward(s Spec, w Weights, input []float64, a Arith) ([][]float64, error) {
+	dims := s.Dims()
+	outs := make([][]float64, len(s.Layers))
+	cur := input
+	curC, curH, curW := s.InC, s.InH, s.InW
+	for li, l := range s.Layers {
+		switch l.Kind {
+		case Conv:
+			if l.InC != curC {
+				return nil, fmt.Errorf("cnn: layer %d input channels %d != %d", li, l.InC, curC)
+			}
+			col := Im2Col(cur, curC, curH, curW, l.K)
+			n := curH * curW
+			k := l.InC * l.K * l.K
+			out := make([]float64, l.OutC*n)
+			for m := 0; m < l.OutC; m++ {
+				for x := 0; x < n; x++ {
+					var acc float64
+					for kk := 0; kk < k; kk++ {
+						acc = a.FMA(w.Filters[li][m*k+kk], col[kk*n+x], acc)
+					}
+					v := a.Add(acc, w.Biases[li][m])
+					if l.Leaky && v < 0 {
+						v = a.Mul(v, a.Round(0.1))
+					}
+					out[m*n+x] = v
+				}
+			}
+			cur, curC = out, l.OutC
+		case MaxPool:
+			oh, ow := curH/2, curW/2
+			out := make([]float64, curC*oh*ow)
+			for c := 0; c < curC; c++ {
+				for y := 0; y < oh; y++ {
+					for x := 0; x < ow; x++ {
+						v := cur[c*curH*curW+2*y*curW+2*x]
+						for _, d := range [3][2]int{{0, 1}, {1, 0}, {1, 1}} {
+							u := cur[c*curH*curW+(2*y+d[0])*curW+2*x+d[1]]
+							if u > v {
+								v = u
+							}
+						}
+						out[c*oh*ow+y*ow+x] = v
+					}
+				}
+			}
+			cur, curH, curW = out, oh, ow
+		case Residual:
+			prev := outs[l.From]
+			out := make([]float64, len(cur))
+			for i := range cur {
+				out[i] = a.Add(cur[i], prev[i])
+			}
+			cur = out
+		}
+		outs[li] = cur
+		if dims[li] != [3]int{curC, curH, curW} {
+			return nil, fmt.Errorf("cnn: layer %d dims mismatch", li)
+		}
+	}
+	return outs, nil
+}
+
+// Im2Col lowers a CHW feature map to the (InC*K*K) x (H*W) matrix used
+// by the GEMM formulation of convolution, with zero padding (K-1)/2.
+func Im2Col(in []float64, c, h, w, k int) []float64 {
+	pad := (k - 1) / 2
+	n := h * w
+	col := make([]float64, c*k*k*n)
+	kidx := 0
+	for ci := 0; ci < c; ci++ {
+		for dy := 0; dy < k; dy++ {
+			for dx := 0; dx < k; dx++ {
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						sy, sx := y+dy-pad, x+dx-pad
+						var v float64
+						if sy >= 0 && sy < h && sx >= 0 && sx < w {
+							v = in[ci*n+sy*w+sx]
+						}
+						col[kidx*n+y*w+x] = v
+					}
+				}
+				kidx++
+			}
+		}
+	}
+	return col
+}

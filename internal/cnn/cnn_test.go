@@ -1,0 +1,198 @@
+package cnn
+
+import (
+	"math"
+	"testing"
+)
+
+func exactArith() Arith {
+	return Arith{
+		FMA:   func(a, b, c float64) float64 { return a*b + c },
+		Add:   func(a, b float64) float64 { return a + b },
+		Mul:   func(a, b float64) float64 { return a * b },
+		Round: func(v float64) float64 { return v },
+	}
+}
+
+func TestSpecDims(t *testing.T) {
+	v2 := V2Mini()
+	dims := v2.Dims()
+	if dims[0] != [3]int{8, 16, 16} {
+		t.Fatalf("layer0 dims %v", dims[0])
+	}
+	last := dims[len(dims)-1]
+	if last != [3]int{8, 4, 4} {
+		t.Fatalf("head dims %v, want 8x4x4", last)
+	}
+	v3 := V3Mini()
+	if len(v3.Layers) <= len(v2.Layers) {
+		t.Fatal("v3 must be deeper than v2")
+	}
+	if v3.Tol >= v2.Tol {
+		t.Fatal("the more accurate v3 must have the stricter tolerance (§VI)")
+	}
+}
+
+func TestIm2ColIdentity1x1EquivalentGEMM(t *testing.T) {
+	// A 1x1 "im2col" is the identity: conv via GEMM on the raw map must
+	// equal a direct channel mix.
+	c, h, w := 3, 4, 4
+	in := make([]float64, c*h*w)
+	for i := range in {
+		in[i] = float64(i) * 0.1
+	}
+	col := Im2Col(in, c, h, w, 1)
+	for i := range in {
+		if col[i] != in[i] {
+			t.Fatalf("1x1 im2col must be identity at %d", i)
+		}
+	}
+}
+
+func TestIm2ColPadding(t *testing.T) {
+	c, h, w := 1, 3, 3
+	in := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	col := Im2Col(in, c, h, w, 3)
+	n := h * w
+	// kidx 0 is (dy=0, dx=0) = top-left neighbour: for output (0,0) that
+	// samples (-1,-1): zero padding.
+	if col[0*n+0] != 0 {
+		t.Fatalf("corner should read padding, got %g", col[0])
+	}
+	// kidx 4 is the center tap: identical to the input.
+	for i := 0; i < n; i++ {
+		if col[4*n+i] != in[i] {
+			t.Fatalf("center tap mismatch at %d", i)
+		}
+	}
+	// kidx 8 (dy=2, dx=2) for output (0,0) samples (1,1) = 5.
+	if col[8*n+0] != 5 {
+		t.Fatalf("bottom-right tap = %g, want 5", col[8*n+0])
+	}
+}
+
+func TestForwardShapesAndDeterminism(t *testing.T) {
+	for _, spec := range []Spec{V2Mini(), V3Mini()} {
+		w := GenerateWeights(spec, func(v float64) float64 { return v })
+		in := GenerateInput(spec, func(v float64) float64 { return v })
+		o1, err := Forward(spec, w, in, exactArith())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := Forward(spec, w, in, exactArith())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dims := spec.Dims()
+		for li := range o1 {
+			want := dims[li][0] * dims[li][1] * dims[li][2]
+			if len(o1[li]) != want {
+				t.Fatalf("%s layer %d: %d values, want %d", spec.Name, li, len(o1[li]), want)
+			}
+			for i := range o1[li] {
+				if o1[li][i] != o2[li][i] {
+					t.Fatal("forward pass not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestResidualAddsEarlierLayer(t *testing.T) {
+	spec := V3Mini()
+	w := GenerateWeights(spec, func(v float64) float64 { return v })
+	in := GenerateInput(spec, func(v float64) float64 { return v })
+	outs, err := Forward(spec, w, in, exactArith())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 6 is Residual(From: 3): outs[6] = outs[5] + outs[3].
+	for i := range outs[6] {
+		want := outs[5][i] + outs[3][i]
+		if math.Abs(outs[6][i]-want) > 1e-12 {
+			t.Fatalf("residual mismatch at %d: %g vs %g", i, outs[6][i], want)
+		}
+	}
+}
+
+func TestLeakyReLUApplied(t *testing.T) {
+	spec := V2Mini()
+	w := GenerateWeights(spec, func(v float64) float64 { return v })
+	in := GenerateInput(spec, func(v float64) float64 { return v })
+	outs, err := Forward(spec, w, in, exactArith())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaky layers never output values below slope*min: check that any
+	// negative value is "small" relative to the positives, i.e. the 0.1
+	// slope was applied (a pure conv would have symmetric magnitudes).
+	var neg, pos float64
+	for _, v := range outs[0] {
+		if v < neg {
+			neg = v
+		}
+		if v > pos {
+			pos = v
+		}
+	}
+	if neg == 0 {
+		t.Skip("no negative activations in layer 0")
+	}
+	if -neg > pos {
+		t.Fatalf("leaky ReLU missing: min %g vs max %g", neg, pos)
+	}
+}
+
+func TestDecodeAndCompare(t *testing.T) {
+	classes, cells := 3, 4
+	head := make([]float64, (5+classes)*cells)
+	head[0*cells+1] = 0.8 // cell 1 fires
+	head[5*cells+1] = 0.1 // class 0
+	head[6*cells+1] = 0.9 // class 1 wins
+	head[1*cells+1] = 0.5 // box x
+
+	d := Decode(head, classes, cells)
+	if len(d) != 1 || d[0].Cell != 1 || d[0].Class != 1 {
+		t.Fatalf("decode = %+v", d)
+	}
+
+	// Identical decodes compare equal.
+	if !SameDetections(d, Decode(head, classes, cells), 0.001) {
+		t.Fatal("identical outputs must compare equal")
+	}
+	// Box drift within tolerance is accepted, beyond it rejected.
+	head2 := append([]float64(nil), head...)
+	head2[1*cells+1] += 0.0005
+	if !SameDetections(d, Decode(head2, classes, cells), 0.001) {
+		t.Fatal("sub-tolerance drift must be accepted")
+	}
+	head2[1*cells+1] += 0.1
+	if SameDetections(d, Decode(head2, classes, cells), 0.001) {
+		t.Fatal("super-tolerance drift must be rejected")
+	}
+	// A lost detection is always an error.
+	head3 := append([]float64(nil), head...)
+	head3[0*cells+1] = -0.1
+	if SameDetections(d, Decode(head3, classes, cells), 10) {
+		t.Fatal("missing detection must be rejected even at huge tolerance")
+	}
+	// A class flip is always an error.
+	head4 := append([]float64(nil), head...)
+	head4[5*cells+1] = 2
+	if SameDetections(d, Decode(head4, classes, cells), 10) {
+		t.Fatal("class flip must be rejected")
+	}
+}
+
+func TestWeightsDeterministic(t *testing.T) {
+	spec := V2Mini()
+	w1 := GenerateWeights(spec, func(v float64) float64 { return v })
+	w2 := GenerateWeights(spec, func(v float64) float64 { return v })
+	for li := range w1.Filters {
+		for i := range w1.Filters[li] {
+			if w1.Filters[li][i] != w2.Filters[li][i] {
+				t.Fatal("weights not deterministic")
+			}
+		}
+	}
+}

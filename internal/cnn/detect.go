@@ -1,0 +1,69 @@
+package cnn
+
+import "math"
+
+// Detection is one decoded object: the grid cell that fired, its class,
+// its raw box parameters, and the raw objectness score.
+type Detection struct {
+	Cell  int
+	Class int
+	Box   [4]float64
+	Obj   float64
+}
+
+// headChannels returns the channel layout of the detection head:
+// [objectness, x, y, w, h, class scores...].
+func headChannels(classes int) int { return 5 + classes }
+
+// Decode interprets a detection-head feature map (CHW over an SxS grid)
+// into detections: cells whose raw objectness is positive (equivalent to
+// sigmoid(obj) > 0.5) fire, classified by the arg-max class score.
+func Decode(head []float64, classes, cells int) []Detection {
+	ch := headChannels(classes)
+	_ = ch
+	var out []Detection
+	for cell := 0; cell < cells; cell++ {
+		obj := head[0*cells+cell]
+		if obj <= 0 {
+			continue
+		}
+		best, bestV := 0, math.Inf(-1)
+		for c := 0; c < classes; c++ {
+			v := head[(5+c)*cells+cell]
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		d := Detection{Cell: cell, Class: best, Obj: obj}
+		for i := 0; i < 4; i++ {
+			d.Box[i] = head[(1+i)*cells+cell]
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// SameDetections implements the tolerance-aware SDC criterion: two
+// outputs are equivalent when they fire on the same cells with the same
+// classes and their box parameters and objectness differ by at most tol.
+// Any missing, spurious, or re-classified detection is an error.
+func SameDetections(golden, test []Detection, tol float64) bool {
+	if len(golden) != len(test) {
+		return false
+	}
+	for i := range golden {
+		g, t := golden[i], test[i]
+		if g.Cell != t.Cell || g.Class != t.Class {
+			return false
+		}
+		if math.Abs(g.Obj-t.Obj) > tol {
+			return false
+		}
+		for b := 0; b < 4; b++ {
+			if math.Abs(g.Box[b]-t.Box[b]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"gpurel/internal/beam"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/fit"
+	"gpurel/internal/profiler"
+)
+
+// Study results persist as JSON so the report renderers (and external
+// plotting) can re-consume a campaign without re-running it. Struct-
+// keyed maps are flattened into slices for encoding/json.
+
+type beamEntryJSON struct {
+	Code   string
+	ECC    bool
+	Result *beam.Result
+}
+
+type predEntryJSON struct {
+	Code       string
+	ECC        bool
+	Tool       string
+	Prediction fit.Prediction
+}
+
+type deviceStudyJSON struct {
+	Device      string
+	MicroBeam   map[string]*beam.Result
+	Units       *fit.UnitFITs
+	Profiles    map[string]*profiler.CodeProfile
+	AVF         map[string]map[string]*faultinj.Result
+	Beam        []beamEntryJSON
+	Predictions []predEntryJSON
+	Comparisons []fit.Comparison
+	DUE         map[string]float64
+}
+
+func toolByName(name string) (faultinj.Tool, error) {
+	switch name {
+	case faultinj.Sassifi.String():
+		return faultinj.Sassifi, nil
+	case faultinj.NVBitFI.String():
+		return faultinj.NVBitFI, nil
+	default:
+		return 0, fmt.Errorf("core: unknown tool %q", name)
+	}
+}
+
+// SaveJSON writes the study to path.
+func (ds *DeviceStudy) SaveJSON(path string) error {
+	out := deviceStudyJSON{
+		Device:    ds.Dev.Name,
+		MicroBeam: ds.MicroBeam,
+		Units:     ds.Units,
+		Profiles:  ds.Profiles,
+		AVF:       map[string]map[string]*faultinj.Result{},
+		DUE:       map[string]float64{},
+	}
+	for tool, byCode := range ds.AVF {
+		out.AVF[tool.String()] = byCode
+	}
+	for key, res := range ds.Beam {
+		out.Beam = append(out.Beam, beamEntryJSON{Code: key.Code, ECC: key.ECC, Result: res})
+	}
+	for key, pred := range ds.Predictions {
+		out.Predictions = append(out.Predictions, predEntryJSON{
+			Code: key.Code, ECC: key.ECC, Tool: key.Tool.String(), Prediction: pred,
+		})
+	}
+	// JSON cannot carry infinities; zero-event comparisons (ratio ±Inf)
+	// round-trip as ratio 0, which the renderers already display as
+	// "n/a (0 events)".
+	out.Comparisons = make([]fit.Comparison, len(ds.Comparisons))
+	copy(out.Comparisons, ds.Comparisons)
+	for i := range out.Comparisons {
+		if math.IsInf(out.Comparisons[i].Ratio, 0) {
+			out.Comparisons[i].Ratio = 0
+		}
+	}
+	for ecc, v := range ds.DUEUnderestimate {
+		out.DUE[eccKey(ecc)] = v
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: marshaling study: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDeviceStudy reads a study saved by SaveJSON.
+func LoadDeviceStudy(path string) (*DeviceStudy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in deviceStudyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	var dev *device.Device
+	switch in.Device {
+	case "Tesla K40c":
+		dev = device.K40c()
+	case "Tesla V100":
+		dev = device.V100()
+	case "Titan V":
+		dev = device.TitanV()
+	default:
+		return nil, fmt.Errorf("core: unknown device %q in %s", in.Device, path)
+	}
+	ds := &DeviceStudy{
+		Dev:              dev,
+		MicroBeam:        in.MicroBeam,
+		Units:            in.Units,
+		Profiles:         in.Profiles,
+		AVF:              map[faultinj.Tool]map[string]*faultinj.Result{},
+		Beam:             map[BeamKey]*beam.Result{},
+		Predictions:      map[PredKey]fit.Prediction{},
+		Comparisons:      in.Comparisons,
+		DUEUnderestimate: map[bool]float64{},
+	}
+	for toolName, byCode := range in.AVF {
+		tool, err := toolByName(toolName)
+		if err != nil {
+			return nil, err
+		}
+		ds.AVF[tool] = byCode
+	}
+	for _, e := range in.Beam {
+		ds.Beam[BeamKey{Code: e.Code, ECC: e.ECC}] = e.Result
+	}
+	for _, p := range in.Predictions {
+		tool, err := toolByName(p.Tool)
+		if err != nil {
+			return nil, err
+		}
+		ds.Predictions[PredKey{Code: p.Code, ECC: p.ECC, Tool: tool}] = p.Prediction
+	}
+	for k, v := range in.DUE {
+		ds.DUEUnderestimate[k == "on"] = v
+	}
+	return ds, nil
+}
+
+func eccKey(ecc bool) string {
+	if ecc {
+		return "on"
+	}
+	return "off"
+}

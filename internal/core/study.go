@@ -1,0 +1,404 @@
+// Package core orchestrates the paper's full cross-validation study: it
+// runs, for each device, the micro-benchmark beam campaigns (Figure 3),
+// the workload profiling (Table I, Figure 1), the SASSIFI / NVBitFI
+// injection campaigns (Figure 4), the workload beam campaigns with ECC
+// on and off (Figure 5), and finally the Equation 1-4 predictions and
+// their beam comparison (Figure 6 and the §VII-B DUE analysis).
+//
+// It also encodes the paper's substitution rules: on Kepler, codes built
+// on proprietary libraries take their AVF from the Volta NVBitFI
+// campaign of a proxy workload; FP16 codes take the AVF of their FP32
+// sibling because NVBitFI cannot instrument half-precision instructions.
+package core
+
+import (
+	"fmt"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/beam"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/fit"
+	"gpurel/internal/kernels"
+	"gpurel/internal/microbench"
+	"gpurel/internal/profiler"
+	"gpurel/internal/stats"
+	"gpurel/internal/suite"
+)
+
+// Options sizes the study. The zero value gives the standard campaign
+// sizes; Scale shrinks every sample count proportionally (tests use
+// small scales, the paper-scale run uses 1.0).
+type Options struct {
+	MicroTrials     int // beam trials per micro-benchmark (default 300)
+	CodeTrials      int // beam trials per workload/ECC config (default 350)
+	SassifiPerClass int // SASSIFI faults per instruction class (default 120)
+	NVBitFITotal    int // NVBitFI faults per workload (default 500)
+	MicroAVFFaults  int // injections per micro for its own AVF (default 80)
+	Workers         int
+	Seed            uint64
+	// Progress, when set, receives one line per completed campaign.
+	Progress func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.MicroTrials <= 0 {
+		o.MicroTrials = 300
+	}
+	if o.CodeTrials <= 0 {
+		o.CodeTrials = 350
+	}
+	if o.SassifiPerClass <= 0 {
+		o.SassifiPerClass = 120
+	}
+	if o.NVBitFITotal <= 0 {
+		o.NVBitFITotal = 500
+	}
+	if o.MicroAVFFaults <= 0 {
+		o.MicroAVFFaults = 80
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+}
+
+// BeamKey identifies one beam configuration of a workload.
+type BeamKey struct {
+	Code string
+	ECC  bool
+}
+
+// PredKey identifies one prediction: workload, ECC state, and the
+// injector whose AVFs fed it.
+type PredKey struct {
+	Code string
+	ECC  bool
+	Tool faultinj.Tool
+}
+
+// DeviceStudy is everything measured and predicted on one device.
+type DeviceStudy struct {
+	Dev *device.Device
+
+	// Figure 3 and its derived per-unit table.
+	MicroBeam map[string]*beam.Result
+	Units     *fit.UnitFITs
+
+	// Table I / Figure 1.
+	Profiles map[string]*profiler.CodeProfile
+
+	// Figure 4 (per tool, per code). Proxied entries are absent here;
+	// proxy resolution happens at prediction time.
+	AVF map[faultinj.Tool]map[string]*faultinj.Result
+
+	// Figure 5.
+	Beam map[BeamKey]*beam.Result
+
+	// Figure 6 plus the DUE channel.
+	Predictions map[PredKey]fit.Prediction
+	Comparisons []fit.Comparison
+
+	// DUEUnderestimate is the average beam/predicted DUE ratio per ECC
+	// state (§VII-B: 120x / 629x on K40c, 60x / 46,700x on V100).
+	DUEUnderestimate map[bool]float64
+}
+
+// Study is the full two-device reproduction.
+type Study struct {
+	Kepler *DeviceStudy
+	Volta  *DeviceStudy
+}
+
+// eccOffSubset lists the Kepler codes the paper beamed with ECC
+// disabled (Figure 5 left group).
+var keplerECCOff = map[string]bool{
+	"FHOTSPOT": true, "FLAVA": true, "FMXM": true, "NW": true,
+	"MERGESORT": true, "QUICKSORT": true, "FGEMM": true,
+	"FYOLOV2": true, "FYOLOV3": true,
+}
+
+// BeamConfigs returns the (code, ECC) matrix for a device, following
+// Figures 5 and 6: Kepler tests everything with ECC on plus a nine-code
+// ECC-off group; Volta tests the non-library codes with ECC off and the
+// library codes with ECC on (beam-time restrictions, §VI).
+func BeamConfigs(dev *device.Device, entries []suite.Entry) []BeamKey {
+	var keys []BeamKey
+	for _, e := range entries {
+		if dev.Arch == device.Kepler {
+			keys = append(keys, BeamKey{e.Name, true})
+			if keplerECCOff[e.Name] {
+				keys = append(keys, BeamKey{e.Name, false})
+			}
+		} else {
+			keys = append(keys, BeamKey{e.Name, !eccOffOnVolta(e)})
+		}
+	}
+	return keys
+}
+
+func eccOffOnVolta(e suite.Entry) bool { return !e.Library }
+
+// RunDevice executes the complete single-device study.
+func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
+	opts.defaults()
+	ds := &DeviceStudy{
+		Dev:              dev,
+		MicroBeam:        make(map[string]*beam.Result),
+		Profiles:         make(map[string]*profiler.CodeProfile),
+		AVF:              make(map[faultinj.Tool]map[string]*faultinj.Result),
+		Beam:             make(map[BeamKey]*beam.Result),
+		Predictions:      make(map[PredKey]fit.Prediction),
+		DUEUnderestimate: make(map[bool]float64),
+	}
+
+	// 1. Micro-benchmark beam campaigns (Figure 3). ECC is enabled for
+	// all micro-benchmarks except RF (§V-B).
+	microAVF := make(map[string]float64)
+	microPhi := make(map[string]float64)
+	var rfExposedBytes int
+	for _, m := range microbench.Catalog(dev) {
+		r, err := kernels.NewRunner(m.Name, m.Build, dev, asm.O2)
+		if err != nil {
+			return nil, fmt.Errorf("core: micro %s: %w", m.Name, err)
+		}
+		if mp, err := profiler.Profile(r); err == nil {
+			microPhi[m.Name] = mp.Phi()
+		}
+		ecc := m.Name != "RF"
+		res, err := beam.Run(beam.Config{
+			ECC: ecc, Trials: opts.MicroTrials, Workers: opts.Workers,
+			Seed: opts.Seed ^ hash(m.Name),
+		}, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: micro beam %s: %w", m.Name, err)
+		}
+		ds.MicroBeam[m.Name] = res
+		opts.Progress("micro beam %-6s on %s: SDC %.2f DUE %.2f a.u.",
+			m.Name, dev.Name, res.SDCFIT.Rate, res.DUEFIT.Rate)
+
+		if m.Name == "RF" {
+			inst, err := r.Build(dev, asm.O2)
+			if err != nil {
+				return nil, err
+			}
+			l := inst.Launches[0]
+			rfExposedBytes = l.GridX * l.GridY * l.BlockThreads * l.Prog.NumRegs * 4
+			microAVF[m.Name] = 1 // every stored bit is checked
+			continue
+		}
+		// Micro AVF via direct injection on the unit under test.
+		tool := faultinj.NVBitFI
+		if dev.Arch == device.Kepler {
+			tool = faultinj.Sassifi
+		}
+		avfRes, err := faultinj.Run(faultinj.Config{
+			Tool: tool, FaultsPerClass: opts.MicroAVFFaults,
+			TotalFaults: opts.MicroAVFFaults * 3,
+			Workers:     opts.Workers, Seed: opts.Seed ^ hash(m.Name) ^ 0xa7f5a17,
+		}, m.Name, m.Build, dev)
+		if err == nil {
+			microAVF[m.Name] = avfRes.SDCAVF.P
+		}
+	}
+	units, err := fit.FromMicroResults(dev.Name, ds.MicroBeam, microAVF, microPhi, rfExposedBytes)
+	if err != nil {
+		return nil, err
+	}
+	ds.Units = units
+
+	// 2. Profiling (Table I, Figure 1).
+	entries := suite.ForDevice(dev)
+	for _, e := range entries {
+		r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", e.Name, err)
+		}
+		cp, err := profiler.Profile(r)
+		if err != nil {
+			return nil, err
+		}
+		ds.Profiles[e.Name] = cp
+		opts.Progress("profile %-10s: IPC %.2f occ %.2f regs %d shared %dB",
+			e.Name, cp.IPC, cp.Occupancy, cp.RegsPerThread, cp.SharedBytes)
+	}
+
+	// 3. Injection campaigns (Figure 4).
+	tools := []faultinj.Tool{faultinj.NVBitFI}
+	if dev.Arch == device.Kepler {
+		tools = []faultinj.Tool{faultinj.Sassifi, faultinj.NVBitFI}
+	}
+	for _, tool := range tools {
+		ds.AVF[tool] = make(map[string]*faultinj.Result)
+		for _, e := range entries {
+			if !injectable(dev, tool, e) {
+				continue
+			}
+			res, err := faultinj.Run(faultinj.Config{
+				Tool: tool, FaultsPerClass: opts.SassifiPerClass,
+				TotalFaults: opts.NVBitFITotal, Workers: opts.Workers,
+				Seed: opts.Seed ^ hash(e.Name) ^ uint64(tool),
+			}, e.Name, e.Build, dev)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s: %w", tool, e.Name, err)
+			}
+			ds.AVF[tool][e.Name] = res
+			opts.Progress("%s %-10s: AVF SDC %.3f DUE %.3f (n=%d)",
+				tool, e.Name, res.SDCAVF.P, res.DUEAVF.P, res.Injected)
+		}
+	}
+
+	// 4. Beam campaigns over the codes (Figure 5).
+	for _, key := range BeamConfigs(dev, entries) {
+		e, err := suite.Find(entries, key.Code)
+		if err != nil {
+			return nil, err
+		}
+		r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+		if err != nil {
+			return nil, err
+		}
+		res, err := beam.Run(beam.Config{
+			ECC: key.ECC, Trials: opts.CodeTrials, Workers: opts.Workers,
+			Seed: opts.Seed ^ hash(e.Name) ^ boolBit(key.ECC),
+		}, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: beam %s ecc=%v: %w", e.Name, key.ECC, err)
+		}
+		ds.Beam[key] = res
+		opts.Progress("beam %-10s ecc=%-5v: SDC %.3f DUE %.3f a.u.",
+			e.Name, key.ECC, res.SDCFIT.Rate, res.DUEFIT.Rate)
+	}
+	return ds, nil
+}
+
+// injectable reports whether the tool can instrument the entry on the
+// device (§III-D, §VI).
+func injectable(dev *device.Device, tool faultinj.Tool, e suite.Entry) bool {
+	if dev.Arch == device.Kepler && e.Library {
+		return false // no injector supports proprietary libraries on Kepler
+	}
+	if tool == faultinj.NVBitFI && e.FP16 {
+		return false // NVBitFI cannot inject into half-precision kernels
+	}
+	if tool == faultinj.Sassifi && e.FP16 {
+		return false // Kepler has no FP16 anyway
+	}
+	return true
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1 << 40
+	}
+	return 0
+}
+
+// Finalize computes the predictions and comparisons of §VII once the
+// AVF proxies are resolvable. voltaAVF supplies the Volta NVBitFI
+// results needed by Kepler's library codes (nil when finalizing Volta
+// itself).
+func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
+	entries := suite.ForDevice(ds.Dev)
+	var tools []faultinj.Tool
+	if ds.Dev.Arch == device.Kepler {
+		tools = []faultinj.Tool{faultinj.Sassifi, faultinj.NVBitFI}
+	} else {
+		tools = []faultinj.Tool{faultinj.NVBitFI}
+	}
+	for key, beamRes := range ds.Beam {
+		e, err := suite.Find(entries, key.Code)
+		if err != nil {
+			return err
+		}
+		cp := ds.Profiles[key.Code]
+		for _, tool := range tools {
+			avf, ok := ds.resolveAVF(tool, e, voltaAVF)
+			if !ok {
+				continue
+			}
+			pred := fit.Predict(cp, avf, ds.Units, key.ECC)
+			pk := PredKey{Code: key.Code, ECC: key.ECC, Tool: tool}
+			ds.Predictions[pk] = pred
+			ds.Comparisons = append(ds.Comparisons,
+				fit.Compare(key.Code, key.ECC, tool, beamRes.SDCFIT.Rate, pred.SDCFIT))
+		}
+	}
+	// DUE underestimation, averaged geometrically per ECC state over the
+	// NVBitFI-based predictions.
+	for _, ecc := range []bool{false, true} {
+		var ratios []float64
+		for key, beamRes := range ds.Beam {
+			if key.ECC != ecc {
+				continue
+			}
+			pred, ok := ds.Predictions[PredKey{Code: key.Code, ECC: ecc, Tool: faultinj.NVBitFI}]
+			if !ok {
+				continue
+			}
+			if pred.DUEFIT <= 0 || beamRes.DUEFIT.Rate <= 0 {
+				continue
+			}
+			ratios = append(ratios, beamRes.DUEFIT.Rate/pred.DUEFIT)
+		}
+		if len(ratios) > 0 {
+			ds.DUEUnderestimate[ecc] = stats.GeomMeanAbsSigned(ratios)
+		}
+	}
+	return nil
+}
+
+// resolveAVF returns the AVF campaign for an entry under a tool,
+// applying the paper's proxy substitutions.
+func (ds *DeviceStudy) resolveAVF(tool faultinj.Tool, e suite.Entry, voltaAVF map[string]*faultinj.Result) (*faultinj.Result, bool) {
+	if r, ok := ds.AVF[tool][e.Name]; ok {
+		return r, true
+	}
+	// FP16 entries: same-device FP32 sibling (§VI).
+	if e.FP16 && e.AVFProxy != "" {
+		if r, ok := ds.AVF[tool][e.AVFProxy]; ok {
+			return r, true
+		}
+	}
+	// Kepler library entries: Volta NVBitFI proxy (§III-D). The paper
+	// notes this applies to both injectors' predictions.
+	if ds.Dev.Arch == device.Kepler && e.Library && voltaAVF != nil {
+		proxy := e.AVFProxy
+		if proxy == "" {
+			proxy = e.Name
+		}
+		if r, ok := voltaAVF[proxy]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the full two-device study and resolves cross-device
+// proxies: Volta first (its NVBitFI AVFs feed Kepler's library codes),
+// then Kepler.
+func Run(opts Options) (*Study, error) {
+	volta, err := RunDevice(device.V100(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := volta.Finalize(nil); err != nil {
+		return nil, err
+	}
+	kepler, err := RunDevice(device.K40c(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := kepler.Finalize(volta.AVF[faultinj.NVBitFI]); err != nil {
+		return nil, err
+	}
+	return &Study{Kepler: kepler, Volta: volta}, nil
+}

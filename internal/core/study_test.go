@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/suite"
+)
+
+// tinyOpts keeps the end-to-end study test affordable; statistical
+// assertions below are correspondingly loose.
+func tinyOpts() Options {
+	return Options{
+		MicroTrials: 40, CodeTrials: 30,
+		SassifiPerClass: 10, NVBitFITotal: 40, MicroAVFFaults: 15,
+		Seed: 3,
+	}
+}
+
+func TestDeviceStudyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full device study is expensive")
+	}
+	ds, err := RunDevice(device.K40c(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Finalize(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every Table I code is profiled.
+	if len(ds.Profiles) != len(suite.Kepler()) {
+		t.Fatalf("profiled %d codes, want %d", len(ds.Profiles), len(suite.Kepler()))
+	}
+	// Figure 3: all eight Kepler micros measured.
+	if len(ds.MicroBeam) != 8 {
+		t.Fatalf("micro campaigns: %d, want 8", len(ds.MicroBeam))
+	}
+	// Both injectors ran, skipping the library codes.
+	for _, tool := range []faultinj.Tool{faultinj.Sassifi, faultinj.NVBitFI} {
+		if _, ok := ds.AVF[tool]["FMXM"]; !ok {
+			t.Fatalf("%v must cover FMXM", tool)
+		}
+		if _, ok := ds.AVF[tool]["FGEMM"]; ok {
+			t.Fatalf("%v must not instrument library codes on Kepler", tool)
+		}
+	}
+	// Beam matrix: all codes ECC on, the paper's subset ECC off.
+	if _, ok := ds.Beam[BeamKey{"CCL", true}]; !ok {
+		t.Fatal("CCL ECC-on beam missing")
+	}
+	if _, ok := ds.Beam[BeamKey{"CCL", false}]; ok {
+		t.Fatal("CCL was not in the paper's ECC-off group")
+	}
+	if _, ok := ds.Beam[BeamKey{"FMXM", false}]; !ok {
+		t.Fatal("FMXM ECC-off beam missing")
+	}
+	// Predictions exist for directly injectable codes.
+	if _, ok := ds.Predictions[PredKey{"FMXM", true, faultinj.Sassifi}]; !ok {
+		t.Fatal("FMXM SASSIFI prediction missing")
+	}
+	// Without Volta proxies, library codes have no prediction.
+	if _, ok := ds.Predictions[PredKey{"FGEMM", true, faultinj.NVBitFI}]; ok {
+		t.Fatal("FGEMM should need the Volta proxy")
+	}
+	// Units table sane.
+	if ds.Units.SDC["IADD"] <= 0 {
+		t.Fatal("IADD micro FIT missing")
+	}
+	if ds.Units.RFPerByteSDC <= 0 {
+		t.Fatal("RF per-byte FIT missing")
+	}
+}
+
+func TestInjectableMatrix(t *testing.T) {
+	k := device.K40c()
+	v := device.V100()
+	kepler := suite.Kepler()
+	volta := suite.Volta()
+	find := func(list []suite.Entry, name string) suite.Entry {
+		e, err := suite.Find(list, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if injectable(k, faultinj.Sassifi, find(kepler, "FGEMM")) {
+		t.Fatal("SASSIFI cannot instrument CUBLAS on Kepler")
+	}
+	if injectable(v, faultinj.NVBitFI, find(volta, "HGEMM")) {
+		t.Fatal("NVBitFI cannot instrument half-precision kernels")
+	}
+	if !injectable(v, faultinj.NVBitFI, find(volta, "FGEMM")) {
+		t.Fatal("NVBitFI instruments libraries on Volta")
+	}
+	if !injectable(k, faultinj.Sassifi, find(kepler, "FMXM")) {
+		t.Fatal("plain codes are injectable")
+	}
+}
+
+func TestHashAndSeeds(t *testing.T) {
+	if hash("FMXM") == hash("FGEMM") {
+		t.Fatal("name hash collision")
+	}
+	if boolBit(true) == boolBit(false) {
+		t.Fatal("ECC seed bit must differ")
+	}
+}
+
+func TestBeamConfigsVolta(t *testing.T) {
+	entries := suite.Volta()
+	keys := BeamConfigs(device.V100(), entries)
+	if len(keys) != len(entries) {
+		t.Fatalf("Volta beams once per variant: %d vs %d", len(keys), len(entries))
+	}
+	for _, k := range keys {
+		e, _ := suite.Find(entries, k.Code)
+		if e.Library && !k.ECC {
+			t.Fatalf("%s: Volta library codes beamed with ECC on", k.Code)
+		}
+		if !e.Library && k.ECC {
+			t.Fatalf("%s: Volta plain codes beamed with ECC off", k.Code)
+		}
+	}
+}
+
+func TestResolveAVFProxies(t *testing.T) {
+	ds := &DeviceStudy{
+		Dev: device.K40c(),
+		AVF: map[faultinj.Tool]map[string]*faultinj.Result{
+			faultinj.NVBitFI: {},
+		},
+	}
+	voltaAVF := map[string]*faultinj.Result{
+		"FYOLOV3": {Name: "FYOLOV3"},
+	}
+	entries := suite.Kepler()
+	yolo, _ := suite.Find(entries, "FYOLOV2")
+	got, ok := ds.resolveAVF(faultinj.NVBitFI, yolo, voltaAVF)
+	if !ok || got.Name != "FYOLOV3" {
+		t.Fatal("FYOLOV2 must proxy to the Volta FYOLOV3 campaign")
+	}
+	if _, ok := ds.resolveAVF(faultinj.NVBitFI, yolo, nil); ok {
+		t.Fatal("no proxy without Volta results")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small study")
+	}
+	opts := tinyOpts()
+	opts.CodeTrials = 15
+	opts.MicroTrials = 20
+	opts.NVBitFITotal = 20
+	opts.SassifiPerClass = 5
+	ds, err := RunDevice(device.V100(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Finalize(nil); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/study.json"
+	if err := ds.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDeviceStudy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dev.Name != ds.Dev.Name {
+		t.Fatal("device lost")
+	}
+	if len(got.Profiles) != len(ds.Profiles) || len(got.Beam) != len(ds.Beam) ||
+		len(got.Predictions) != len(ds.Predictions) || len(got.MicroBeam) != len(ds.MicroBeam) {
+		t.Fatalf("shape lost: %d/%d profiles, %d/%d beams",
+			len(got.Profiles), len(ds.Profiles), len(got.Beam), len(ds.Beam))
+	}
+	for key, want := range ds.Beam {
+		gotRes, ok := got.Beam[key]
+		if !ok || gotRes.SDCFIT.Rate != want.SDCFIT.Rate {
+			t.Fatalf("beam entry %+v lost or altered", key)
+		}
+	}
+	for key, want := range ds.Predictions {
+		gotPred, ok := got.Predictions[key]
+		if !ok || gotPred.SDCFIT != want.SDCFIT {
+			t.Fatalf("prediction %+v lost or altered", key)
+		}
+	}
+}

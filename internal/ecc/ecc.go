@@ -1,0 +1,125 @@
+// Package ecc implements the SECDED (single-error-correction,
+// double-error-detection) code that protects the register file, shared
+// memory, and caches of the simulated GPUs, mirroring the SECDED ECC the
+// K40c and V100 expose to the user (paper §III-A).
+//
+// Words are 32 bits wide and protected by a Hamming(39,32) code: six
+// Hamming check bits plus one overall parity bit. A single flipped bit
+// (data or check) is corrected transparently; two flipped bits raise a
+// detected-uncorrectable error, which the GPU turns into a DUE.
+package ecc
+
+import "math/bits"
+
+// CheckBits is the number of redundancy bits per 32-bit word.
+const CheckBits = 7
+
+// Codeword is a 32-bit data word plus its 7 SECDED check bits.
+type Codeword struct {
+	Data  uint32
+	Check uint8 // bits 0..5: Hamming syndrome bits, bit 6: overall parity
+}
+
+// hammingMasks[i] selects the data bits covered by Hamming check bit i.
+// Data bit d (0-based) occupies codeword position pos(d): the d-th
+// position that is not a power of two, in the classic Hamming layout.
+var hammingMasks [6]uint32
+
+// positions[d] is the 1-based Hamming position of data bit d.
+var positions [32]uint32
+
+func init() {
+	pos := uint32(1)
+	for d := 0; d < 32; d++ {
+		pos++
+		for pos&(pos-1) == 0 { // skip power-of-two positions (check bits)
+			pos++
+		}
+		positions[d] = pos
+		for c := 0; c < 6; c++ {
+			if pos&(1<<c) != 0 {
+				hammingMasks[c] |= 1 << d
+			}
+		}
+	}
+}
+
+// Encode computes the SECDED codeword for a 32-bit data word.
+func Encode(data uint32) Codeword {
+	var check uint8
+	for c := 0; c < 6; c++ {
+		if bits.OnesCount32(data&hammingMasks[c])&1 == 1 {
+			check |= 1 << c
+		}
+	}
+	// Overall parity covers data plus the six Hamming bits.
+	p := bits.OnesCount32(data) + bits.OnesCount8(check&0x3f)
+	if p&1 == 1 {
+		check |= 1 << 6
+	}
+	return Codeword{Data: data, Check: check}
+}
+
+// Result classifies a decode.
+type Result uint8
+
+// Decode outcomes.
+const (
+	OK        Result = iota // no error
+	Corrected               // single-bit error corrected
+	Detected                // double-bit error detected, uncorrectable (DUE)
+)
+
+// String names the decode outcome.
+func (r Result) String() string {
+	return [...]string{"ok", "corrected", "detected-uncorrectable"}[r]
+}
+
+// Decode checks and, when possible, corrects a codeword. It returns the
+// (possibly corrected) data word and the classification. Triple and
+// heavier faults are beyond the code's guarantees, as in real SECDED.
+func Decode(w Codeword) (uint32, Result) {
+	ref := Encode(w.Data)
+	syndrome := (w.Check ^ ref.Check) & 0x3f
+	// Encode leaves the whole codeword (data + all 7 check bits) with even
+	// parity, so an odd population count means an odd number of flips.
+	parityErr := (bits.OnesCount32(w.Data)+bits.OnesCount8(w.Check))&1 == 1
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return w.Data, OK
+	case syndrome == 0 && parityErr:
+		// The overall parity bit itself flipped.
+		return w.Data, Corrected
+	case parityErr:
+		// Odd number of flips: a single-bit error at the position the
+		// syndrome points to. Power-of-two positions are check bits.
+		pos := uint32(syndrome)
+		if pos&(pos-1) == 0 {
+			return w.Data, Corrected // a Hamming check bit flipped
+		}
+		for d := 0; d < 32; d++ {
+			if positions[d] == pos {
+				return w.Data ^ (1 << d), Corrected
+			}
+		}
+		// Syndrome points outside the codeword: alias of a multi-bit flip.
+		return w.Data, Detected
+	default:
+		// Non-zero syndrome with even parity: double-bit error.
+		return w.Data, Detected
+	}
+}
+
+// FlipDataBit returns the codeword with data bit b flipped, modeling a
+// particle strike on a storage cell.
+func (w Codeword) FlipDataBit(b int) Codeword {
+	w.Data ^= 1 << (b & 31)
+	return w
+}
+
+// FlipCheckBit returns the codeword with check bit b flipped.
+func (w Codeword) FlipCheckBit(b int) Codeword {
+	w.Check ^= 1 << (b % CheckBits)
+	return w
+}

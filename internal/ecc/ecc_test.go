@@ -1,0 +1,101 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanDecode(t *testing.T) {
+	for _, d := range []uint32{0, 1, 0xffffffff, 0xdeadbeef, 0x80000000} {
+		w := Encode(d)
+		got, res := Decode(w)
+		if got != d || res != OK {
+			t.Errorf("Decode(Encode(0x%08x)) = 0x%08x, %v", d, got, res)
+		}
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	// Property: every single data-bit flip is corrected to the original.
+	f := func(d uint32, b uint8) bool {
+		w := Encode(d).FlipDataBit(int(b % 32))
+		got, res := Decode(w)
+		return got == d && res == Corrected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckBitCorrection(t *testing.T) {
+	f := func(d uint32, b uint8) bool {
+		w := Encode(d).FlipCheckBit(int(b) % CheckBits)
+		got, res := Decode(w)
+		return got == d && res == Corrected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	// Property: any two distinct data-bit flips are detected, never
+	// silently miscorrected to a wrong "corrected" answer.
+	f := func(d uint32, b1, b2 uint8) bool {
+		i, j := int(b1%32), int(b2%32)
+		if i == j {
+			return true
+		}
+		w := Encode(d).FlipDataBit(i).FlipDataBit(j)
+		_, res := Decode(w)
+		return res == Detected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataPlusCheckDouble(t *testing.T) {
+	// One data bit plus one Hamming check bit must also be detected.
+	for d := 0; d < 32; d++ {
+		for c := 0; c < 6; c++ {
+			w := Encode(0x12345678).FlipDataBit(d).FlipCheckBit(c)
+			_, res := Decode(w)
+			if res != Detected {
+				t.Fatalf("data bit %d + check bit %d: got %v, want detected", d, c, res)
+			}
+		}
+	}
+}
+
+func TestExhaustiveSingleBitForOneWord(t *testing.T) {
+	const d = 0xa5a5c3c3
+	for b := 0; b < 32; b++ {
+		got, res := Decode(Encode(d).FlipDataBit(b))
+		if got != d || res != Corrected {
+			t.Fatalf("bit %d: got 0x%08x/%v", b, got, res)
+		}
+	}
+}
+
+func TestHammingMaskCoverage(t *testing.T) {
+	// Every data bit must be covered by at least two Hamming checks
+	// (positions that are not powers of two have >= 2 set bits).
+	for d := 0; d < 32; d++ {
+		covered := 0
+		for c := 0; c < 6; c++ {
+			if hammingMasks[c]&(1<<d) != 0 {
+				covered++
+			}
+		}
+		if covered < 2 {
+			t.Fatalf("data bit %d covered by %d checks", d, covered)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" {
+		t.Error("bad result names")
+	}
+}

@@ -1,0 +1,447 @@
+// Package faultinj implements the two architecture-level fault
+// injection frameworks the paper uses (§III-D):
+//
+//   - Sassifi, modeled on SASSIFI: instruments code compiled by the
+//     legacy ("CUDA 7.0-era", asm.O1) backend; injects bit flips into
+//     instruction output values per instruction class, into destination
+//     register indices (IOA), and into predicate registers; cannot
+//     instrument proprietary-library kernels on Kepler.
+//   - NVBitFI, modeled on NVBitFI: instruments code compiled by the
+//     modern ("CUDA 10.1-era", asm.O2) backend; injects only into the
+//     outputs of instructions that write general-purpose registers;
+//     supports proprietary libraries on Volta; cannot inject into
+//     half-precision instructions.
+//
+// Both classify every injection as Masked, SDC, or DUE by comparing the
+// run against the golden output, and report AVFs (observed errors /
+// injected faults) with Wilson 95% intervals, the statistics behind
+// Figure 4 and the AVF(INST_i) terms of the prediction model (Eq. 2).
+package faultinj
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
+	"gpurel/internal/stats"
+)
+
+// Tool identifies the injector frontend.
+type Tool uint8
+
+// The two injector frontends.
+const (
+	Sassifi Tool = iota
+	NVBitFI
+)
+
+// String names the tool.
+func (t Tool) String() string {
+	if t == Sassifi {
+		return "SASSIFI"
+	}
+	return "NVBitFI"
+}
+
+// OptLevel returns the compiler pipeline the tool's toolchain implies.
+func (t Tool) OptLevel() asm.OptLevel {
+	if t == Sassifi {
+		return asm.O1
+	}
+	return asm.O2
+}
+
+// Mode is an injection mode.
+type Mode uint8
+
+// Injection modes.
+const (
+	ModeIOV  Mode = iota // instruction output value, single bit flip
+	ModeIOA              // instruction output address (register index)
+	ModePred             // predicate register flip
+	ModeGPR              // stored general-purpose-register bit flip
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	return [...]string{"IOV", "IOA", "PRED", "GPR"}[m]
+}
+
+// ModeAVF is the per-mode outcome of a campaign; the GPR mode's SDC AVF
+// is the AVF(MEM) term of Equation 3.
+type ModeAVF struct {
+	Injected int
+	SDC      int
+	DUE      int
+	SDCAVF   stats.Proportion
+	DUEAVF   stats.Proportion
+}
+
+// Config sizes a campaign.
+type Config struct {
+	Tool Tool
+	// FaultsPerClass is the SASSIFI-style sample size per instruction
+	// class (the paper uses 1,000; campaigns here default to smaller,
+	// documented sizes so the full study fits a CPU budget).
+	FaultsPerClass int
+	// TotalFaults is the NVBitFI-style total sample size (the paper
+	// uses >= 4,000 per code).
+	TotalFaults int
+	// Workers bounds campaign parallelism (0: GOMAXPROCS).
+	Workers int
+	// Seed makes the campaign reproducible.
+	Seed uint64
+}
+
+// ClassAVF is the per-instruction-class outcome of a campaign: the
+// AVF(INST_i) terms of Equation 2.
+type ClassAVF struct {
+	Class    isa.Class
+	Injected int
+	SDC      int
+	DUE      int
+	Masked   int
+	SDCAVF   stats.Proportion
+	DUEAVF   stats.Proportion
+}
+
+// Result is a whole-campaign outcome for one workload.
+type Result struct {
+	Name     string
+	Tool     Tool
+	Device   string
+	Injected int
+	SDC      int
+	DUE      int
+	Masked   int
+
+	// SDCAVF / DUEAVF are the dynamically weighted whole-application
+	// AVFs plotted in Figure 4.
+	SDCAVF stats.Proportion
+	DUEAVF stats.Proportion
+
+	PerClass map[isa.Class]*ClassAVF
+	PerMode  map[Mode]int
+	ByMode   map[Mode]*ModeAVF
+}
+
+// injectableClasses lists the classes SASSIFI campaigns stratify over.
+var injectableClasses = []isa.Class{
+	isa.ClassADD, isa.ClassMUL, isa.ClassFMA, isa.ClassINT,
+	isa.ClassMMA, isa.ClassLDST,
+}
+
+// classFilter returns the lane-op filter for one class under a tool,
+// honoring NVBitFI's inability to instrument FP16 instructions and its
+// restriction to GPR-writing instructions.
+func classFilter(tool Tool, class isa.Class) func(isa.Op) bool {
+	return func(op isa.Op) bool {
+		if op.ClassOf() != class {
+			return false
+		}
+		return opInjectable(tool, op)
+	}
+}
+
+func opInjectable(tool Tool, op isa.Op) bool {
+	if tool == NVBitFI {
+		if !op.WritesGPR() {
+			return false
+		}
+		switch op {
+		case isa.OpHADD, isa.OpHMUL, isa.OpHFMA, isa.OpHMMA:
+			return false // NVBitFI: no half-precision injection (§VI)
+		}
+	}
+	return true
+}
+
+// Run executes an injection campaign against one workload.
+func Run(cfg Config, name string, build kernels.Builder, dev *device.Device) (*Result, error) {
+	if cfg.Tool == Sassifi && dev.Arch != device.Kepler {
+		return nil, fmt.Errorf("faultinj: SASSIFI supports Kepler/Maxwell only, not %s", dev.Name)
+	}
+	runner, err := kernels.NewRunner(name, build, dev, cfg.Tool.OptLevel())
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(0x1437, cfg.Seed)
+
+	plans := buildPlans(cfg, runner, rng)
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("faultinj: %s has no injectable instructions under %s", name, cfg.Tool)
+	}
+
+	res := &Result{
+		Name: name, Tool: cfg.Tool, Device: dev.Name,
+		PerClass: make(map[isa.Class]*ClassAVF),
+		PerMode:  make(map[Mode]int),
+		ByMode:   make(map[Mode]*ModeAVF),
+	}
+	outcomes := runPlans(cfg, runner, plans)
+	for i, p := range plans {
+		res.Injected++
+		res.PerMode[p.mode]++
+		ca := res.PerClass[p.class]
+		if ca == nil {
+			ca = &ClassAVF{Class: p.class}
+			res.PerClass[p.class] = ca
+		}
+		ca.Injected++
+		ma := res.ByMode[p.mode]
+		if ma == nil {
+			ma = &ModeAVF{}
+			res.ByMode[p.mode] = ma
+		}
+		ma.Injected++
+		switch outcomes[i] {
+		case kernels.SDC:
+			res.SDC++
+			ca.SDC++
+			ma.SDC++
+		case kernels.DUE:
+			res.DUE++
+			ca.DUE++
+			ma.DUE++
+		default:
+			res.Masked++
+			ca.Masked++
+			_ = ma
+		}
+	}
+	res.SDCAVF = stats.NewProportion(res.SDC, res.Injected)
+	res.DUEAVF = stats.NewProportion(res.DUE, res.Injected)
+	for _, ca := range res.PerClass {
+		ca.SDCAVF = stats.NewProportion(ca.SDC, ca.Injected)
+		ca.DUEAVF = stats.NewProportion(ca.DUE, ca.Injected)
+	}
+	for _, ma := range res.ByMode {
+		ma.SDCAVF = stats.NewProportion(ma.SDC, ma.Injected)
+		ma.DUEAVF = stats.NewProportion(ma.DUE, ma.Injected)
+	}
+	return res, nil
+}
+
+// plan is one scheduled injection.
+type plan struct {
+	fault  *sim.FaultPlan
+	launch int
+	mode   Mode
+	class  isa.Class
+}
+
+// buildPlans samples the campaign's fault plans from the golden dynamic
+// instruction streams.
+func buildPlans(cfg Config, r *kernels.Runner, rng *stats.RNG) []plan {
+	var plans []plan
+	switch cfg.Tool {
+	case Sassifi:
+		n := cfg.FaultsPerClass
+		if n <= 0 {
+			n = 250
+		}
+		// Stratified IOV sampling per instruction class.
+		for _, class := range injectableClasses {
+			filter := classFilter(Sassifi, class)
+			perLaunch := r.LaunchLaneOps(filter)
+			var total uint64
+			for _, c := range perLaunch {
+				total += c
+			}
+			if total == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				launch, idx := sampleSite(rng, perLaunch, total)
+				plans = append(plans, plan{
+					fault: &sim.FaultPlan{
+						Kind: sim.FaultValueBit, Filter: filter,
+						TriggerIndex: idx, Bit: rng.IntN(64),
+					},
+					launch: launch, mode: ModeIOV, class: class,
+				})
+			}
+		}
+		// IOA: destination-register corruption over all GPR writers.
+		gprFilter := func(op isa.Op) bool { return op.WritesGPR() }
+		plans = append(plans, samplePlans(cfg, r, rng, n, gprFilter, sim.FaultRegIndex, ModeIOA)...)
+		// Predicate-register flips on compare instructions.
+		setpFilter := func(op isa.Op) bool {
+			switch op {
+			case isa.OpISETP, isa.OpFSETP, isa.OpDSETP, isa.OpHSETP:
+				return true
+			}
+			return false
+		}
+		plans = append(plans, samplePlans(cfg, r, rng, n, setpFilter, sim.FaultPredBit, ModePred)...)
+		// Stored-register bit flips (the AVF(MEM) term of Eq. 3).
+		plans = append(plans, gprPlans(r, rng, n)...)
+
+	case NVBitFI:
+		n := cfg.TotalFaults
+		if n <= 0 {
+			n = 1000
+		}
+		filter := func(op isa.Op) bool { return opInjectable(NVBitFI, op) }
+		plans = samplePlans(cfg, r, rng, n, filter, sim.FaultValueBit, ModeIOV)
+	}
+	return plans
+}
+
+// samplePlans draws n dynamically-weighted injection sites matching the
+// filter. The class recorded per plan is resolved at classification time
+// from the filter population; for whole-population sampling the class of
+// the triggered op is unknown ahead of the run, so plans carry the class
+// of the dominant constituent. To keep per-class AVFs exact, sampling is
+// done per class with dynamic weights instead.
+func samplePlans(cfg Config, r *kernels.Runner, rng *stats.RNG, n int, filter func(isa.Op) bool, kind sim.FaultKind, mode Mode) []plan {
+	// Split the population by class so each plan knows its class.
+	classOps := make(map[isa.Class]uint64)
+	for op, cnt := range opCounts(r) {
+		if filter(op) {
+			classOps[op.ClassOf()] += cnt
+		}
+	}
+	var total uint64
+	for _, c := range classOps {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	// Deterministic class order: map iteration would randomize the RNG
+	// consumption sequence across runs.
+	var classes []isa.Class
+	for c := isa.Class(0); c < isa.ClassCount; c++ {
+		if classOps[c] > 0 {
+			classes = append(classes, c)
+		}
+	}
+	var plans []plan
+	for _, class := range classes {
+		cnt := classOps[class]
+		share := int(float64(n)*float64(cnt)/float64(total) + 0.5)
+		if share == 0 && cnt > 0 {
+			share = 1
+		}
+		cf := func(class isa.Class) func(isa.Op) bool {
+			return func(op isa.Op) bool { return filter(op) && op.ClassOf() == class }
+		}(class)
+		perLaunch := r.LaunchLaneOps(cf)
+		var ct uint64
+		for _, c := range perLaunch {
+			ct += c
+		}
+		if ct == 0 {
+			continue
+		}
+		for i := 0; i < share; i++ {
+			launch, idx := sampleSite(rng, perLaunch, ct)
+			plans = append(plans, plan{
+				fault: &sim.FaultPlan{
+					Kind: kind, Filter: cf,
+					TriggerIndex: idx, Bit: rng.IntN(64),
+				},
+				launch: launch, mode: mode, class: class,
+			})
+		}
+	}
+	return plans
+}
+
+// gprPlans samples register-file storage flips: a random bit of a random
+// allocated register of a random resident thread, at a random point of a
+// launch chosen proportionally to its dynamic length.
+func gprPlans(r *kernels.Runner, rng *stats.RNG, n int) []plan {
+	inst, err := r.Build(r.Dev, r.Opt)
+	if err != nil {
+		return nil
+	}
+	perLaunch := r.LaunchLaneOps(nil)
+	var total uint64
+	for _, c := range perLaunch {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	var plans []plan
+	for i := 0; i < n; i++ {
+		launch, idx := sampleSite(rng, perLaunch, total)
+		l := inst.Launches[launch]
+		regs := l.Prog.NumRegs
+		if regs < 1 {
+			regs = 1
+		}
+		plans = append(plans, plan{
+			fault: &sim.FaultPlan{
+				Kind:         sim.FaultRFBit,
+				TriggerIndex: idx,
+				Block:        rng.IntN(l.GridX * l.GridY),
+				Thread:       rng.IntN(l.BlockThreads),
+				Reg:          rng.IntN(regs),
+				Bit:          rng.IntN(32),
+			},
+			launch: launch, mode: ModeGPR, class: isa.ClassOTHERS,
+		})
+	}
+	return plans
+}
+
+func opCounts(r *kernels.Runner) map[isa.Op]uint64 {
+	out := make(map[isa.Op]uint64)
+	for _, p := range r.GoldenProfiles() {
+		for op, n := range p.PerOpLane {
+			out[op] += n
+		}
+	}
+	return out
+}
+
+// sampleSite picks (launch, index-within-launch) uniformly over the
+// filtered dynamic stream.
+func sampleSite(rng *stats.RNG, perLaunch []uint64, total uint64) (int, uint64) {
+	x := uint64(rng.Int64N(int64(total)))
+	for l, c := range perLaunch {
+		if x < c {
+			return l, x
+		}
+		x -= c
+	}
+	return len(perLaunch) - 1, perLaunch[len(perLaunch)-1] - 1
+}
+
+// runPlans executes the plans with a bounded worker pool.
+func runPlans(cfg Config, r *kernels.Runner, plans []plan) []kernels.Outcome {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outcomes := make([]kernels.Outcome, len(plans))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out, err := r.RunWithFault(plans[i].fault, plans[i].launch)
+				if err != nil {
+					out = kernels.DUE // infrastructure failure: count conservatively
+				}
+				outcomes[i] = out
+			}
+		}()
+	}
+	for i := range plans {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return outcomes
+}

@@ -1,0 +1,86 @@
+package fit
+
+import (
+	"gpurel/internal/faultinj"
+	"gpurel/internal/microbench"
+	"gpurel/internal/profiler"
+)
+
+// Ablation switches individual terms of the prediction model off, to
+// quantify what each contributes — the "which assumptions matter"
+// analysis behind DESIGN.md §5 and the ablation benchmarks.
+type Ablation struct {
+	// NoPhi drops Equation 4 entirely: no occupancy*IPC scaling. The
+	// paper introduces phi precisely because predictions without it are
+	// unusable (§IV-B).
+	NoPhi bool
+	// NoMicroPhiNorm applies the application's phi but does not express
+	// the micro-benchmark FITs at full utilization first (the paper's
+	// literal Eq. 2 reading).
+	NoMicroPhiNorm bool
+	// NoDemask uses the micro-benchmark FITs as measured instead of
+	// dividing out their own AVFs (§V-A).
+	NoDemask bool
+	// NoMemTerm drops Equation 3's memory summation even with ECC off.
+	NoMemTerm bool
+}
+
+// PredictAblated applies Equations 1-4 with the chosen terms disabled.
+// PredictAblated with the zero Ablation is identical to Predict.
+func PredictAblated(cp *profiler.CodeProfile, avf *faultinj.Result, units *UnitFITs, ecc bool, ab Ablation) Prediction {
+	p := Prediction{
+		Name:    cp.Name,
+		ECC:     ecc,
+		Phi:     cp.Phi(),
+		PerUnit: make(map[string]float64),
+	}
+	phi := p.Phi
+	if ab.NoPhi {
+		phi = 1
+	}
+	var covered uint64
+	for op, n := range cp.PerOpLane {
+		unit := microbench.UnitFor(op)
+		if unit == "" {
+			continue
+		}
+		fitSDC, ok := units.SDC[unit]
+		if !ok {
+			continue
+		}
+		covered += n
+		f := float64(n) / float64(cp.TotalLaneOps)
+		classAVF, ok := avf.PerClass[op.ClassOf()]
+		if !ok {
+			continue
+		}
+		scale := phi
+		if !ab.NoPhi && !ab.NoMicroPhiNorm {
+			scale = phi / units.MicroPhi[unit]
+		}
+		demask := units.MicroAVF[unit]
+		if ab.NoDemask {
+			demask = 1
+		}
+		sdc := f * classAVF.SDCAVF.P * (fitSDC / demask) * scale
+		p.InstSDC += sdc
+		p.PerUnit[unit] += sdc
+		p.InstDUE += f * classAVF.DUEAVF.P * (units.DUE[unit] / demask) * scale
+	}
+	p.Covered = float64(covered) / float64(cp.TotalLaneOps)
+
+	if !ecc && !ab.NoMemTerm {
+		memAVFSDC := avf.SDCAVF.P
+		memAVFDUE := avf.DUEAVF.P
+		if gpr, ok := avf.ByMode[faultinj.ModeGPR]; ok && gpr.Injected > 0 {
+			memAVFSDC = gpr.SDCAVF.P
+			memAVFDUE = gpr.DUEAVF.P
+		}
+		mem := float64(cp.MemoryBytes)
+		p.MemSDC = units.RFPerByteSDC * mem * memAVFSDC
+		p.MemDUE = units.RFPerByteDUE * mem * memAVFDUE
+	}
+	p.SDCFIT = p.InstSDC + p.MemSDC
+	p.DUEFIT = p.InstDUE + p.MemDUE
+	return p
+}

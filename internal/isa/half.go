@@ -1,0 +1,93 @@
+package isa
+
+import "math"
+
+// Float16 is an IEEE754 binary16 value stored in its raw bit pattern.
+// Volta's half-precision units and the tensor cores operate on this
+// format; the simulator keeps halves in the low 16 bits of a GPR.
+type Float16 uint16
+
+// F32ToF16 converts a float32 to binary16 with round-to-nearest-even,
+// handling overflow to infinity, subnormals, and NaN payload squashing.
+func F32ToF16(f float32) Float16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	man := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f: // overflow or inf/nan
+		if bits&0x7fffffff > 0x7f800000 { // NaN
+			return Float16(sign | 0x7e00)
+		}
+		return Float16(sign | 0x7c00)
+	case exp <= 0: // subnormal or underflow to zero
+		if exp < -10 {
+			return Float16(sign)
+		}
+		man |= 0x800000 // implicit leading one
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := man + half
+		// Round to nearest even.
+		if man&(half*2-1) == half && rounded&(1<<shift) == 0 {
+			rounded--
+		}
+		return Float16(sign | uint16(rounded>>shift))
+	default:
+		half := uint32(0x1000)
+		rounded := man + half
+		if man&0x1fff == half && rounded&0x2000 == 0 {
+			rounded--
+		}
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return Float16(sign | 0x7c00)
+			}
+		}
+		return Float16(sign | uint16(exp)<<10 | uint16(rounded>>13))
+	}
+}
+
+// F16ToF32 converts a binary16 bit pattern to float32 exactly.
+func F16ToF32(h Float16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case 0x1f:
+		if man == 0 {
+			return math.Float32frombits(sign | 0x7f800000)
+		}
+		return math.Float32frombits(sign | 0x7f800000 | man<<13 | 1)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// HalfAdd adds two binary16 values with binary16 result rounding.
+func HalfAdd(a, b Float16) Float16 { return F32ToF16(F16ToF32(a) + F16ToF32(b)) }
+
+// HalfMul multiplies two binary16 values with binary16 result rounding.
+func HalfMul(a, b Float16) Float16 { return F32ToF16(F16ToF32(a) * F16ToF32(b)) }
+
+// HalfFMA computes a*b+c rounded once to binary16, as the HFMA2 unit does
+// per lane.
+func HalfFMA(a, b, c Float16) Float16 {
+	return F32ToF16(float32(math.FMA(float64(F16ToF32(a)), float64(F16ToF32(b)), float64(F16ToF32(c)))))
+}

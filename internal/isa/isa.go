@@ -1,0 +1,401 @@
+// Package isa defines the SASS-like instruction set architecture executed
+// by the SIMT simulator. It mirrors the portion of NVIDIA's native ISA that
+// the paper's tooling operates on: general-purpose registers R0..R254 plus
+// the always-zero RZ, predicate registers P0..P6 plus the always-true PT,
+// typed arithmetic in INT32 / FP16 / FP32 / FP64, warp-wide tensor-core
+// MMA operations, shared/global memory accesses, and the SSY/SYNC
+// divergence-management instructions.
+//
+// Instructions are represented structurally (not bit-encoded); the fault
+// injectors operate on architectural values (destination registers,
+// predicate registers, addresses), exactly like SASSIFI and NVBitFI.
+package isa
+
+import "fmt"
+
+// Reg names a 32-bit general-purpose register. R0..R254 are allocatable;
+// RZ (255) reads as zero and ignores writes, as on real SASS.
+type Reg uint8
+
+// RZ is the hardwired zero register.
+const RZ Reg = 255
+
+// NumGPR is the number of allocatable general-purpose registers per thread
+// (255, matching the paper's register-file micro-benchmark, §V-A).
+const NumGPR = 255
+
+// String returns the SASS spelling of the register.
+func (r Reg) String() string {
+	if r == RZ {
+		return "RZ"
+	}
+	return fmt.Sprintf("R%d", r)
+}
+
+// PredReg names a 1-bit predicate register. P0..P6 are allocatable;
+// PT (7) reads as true and ignores writes.
+type PredReg uint8
+
+// PT is the hardwired true predicate.
+const PT PredReg = 7
+
+// NumPred is the number of allocatable predicate registers per thread.
+const NumPred = 7
+
+// String returns the SASS spelling of the predicate register.
+func (p PredReg) String() string {
+	if p == PT {
+		return "PT"
+	}
+	return fmt.Sprintf("P%d", p)
+}
+
+// DType is the data type an instruction operates on.
+type DType uint8
+
+// Data types supported by the ISA.
+const (
+	U32  DType = iota // untyped 32-bit (moves, logic)
+	I32               // signed 32-bit integer
+	F16               // IEEE754 binary16 (kept in the low half of a register)
+	F32               // IEEE754 binary32
+	F64               // IEEE754 binary64 (even-aligned register pair)
+	PRED              // 1-bit predicate
+)
+
+// String returns a short type name.
+func (d DType) String() string {
+	switch d {
+	case U32:
+		return "u32"
+	case I32:
+		return "i32"
+	case F16:
+		return "f16"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case PRED:
+		return "pred"
+	default:
+		return fmt.Sprintf("dtype(%d)", uint8(d))
+	}
+}
+
+// Bits returns the width of the type in bits.
+func (d DType) Bits() int {
+	switch d {
+	case F16:
+		return 16
+	case F64:
+		return 64
+	case PRED:
+		return 1
+	default:
+		return 32
+	}
+}
+
+// Regs returns how many 32-bit registers a value of this type occupies.
+func (d DType) Regs() int {
+	if d == F64 {
+		return 2
+	}
+	return 1
+}
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. The grouping comments give the Figure-1 instruction class each
+// opcode reports to the profiler.
+const (
+	OpNOP Op = iota
+
+	// ADD class
+	OpFADD
+	OpDADD
+	OpHADD
+
+	// MUL class
+	OpFMUL
+	OpDMUL
+	OpHMUL
+
+	// FMA class
+	OpFFMA
+	OpDFMA
+	OpHFMA
+
+	// INT class
+	OpIADD
+	OpIMUL
+	OpIMAD
+	OpIMNMX
+	OpISETP
+	OpLOP // bitwise and/or/xor, selected by LogicOp
+	OpSHF // funnel shift left/right, selected by ShiftDir
+
+	// MMA class (warp-wide tensor core)
+	OpHMMA // 16x16x16, FP16 inputs, FP32 accumulate
+	OpFMMA // 16x16x16, FP32 inputs cast to FP16 on the tensor core
+
+	// LDST class
+	OpLDG // load global
+	OpSTG // store global
+	OpLDS // load shared
+	OpSTS // store shared
+
+	// OTHERS class
+	OpMOV
+	OpMOV32I
+	OpSEL
+	OpS2R
+	OpFSETP
+	OpHSETP
+	OpDSETP
+	OpF2F // precision conversion (width pair in CvtFrom/CvtTo)
+	OpF2I
+	OpI2F
+	OpMUFU // transcendental: rcp, sqrt, ex2, lg2 (selected by MufuFunc)
+	OpBRA
+	OpSSY
+	OpSYNC
+	OpBAR
+	OpEXIT
+	OpRED // atomic reduction to global memory (add)
+
+	opCount
+)
+
+// OpCount is the number of defined opcodes, for dense per-op tables.
+const OpCount = int(opCount)
+
+// Class is the Figure-1 instruction category used by the profiler, the
+// beam micro-benchmarks, and the FIT prediction model.
+type Class uint8
+
+// Instruction classes as plotted in Figure 1 of the paper.
+const (
+	ClassADD Class = iota
+	ClassMUL
+	ClassFMA
+	ClassINT
+	ClassMMA
+	ClassLDST
+	ClassOTHERS
+	ClassCount
+)
+
+// String returns the Figure-1 label for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassADD:
+		return "ADD"
+	case ClassMUL:
+		return "MUL"
+	case ClassFMA:
+		return "FMA"
+	case ClassINT:
+		return "INT"
+	case ClassMMA:
+		return "MMA"
+	case ClassLDST:
+		return "LDST"
+	case ClassOTHERS:
+		return "OTHERS"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// AllClasses lists the classes in Figure-1 plotting order.
+func AllClasses() []Class {
+	return []Class{ClassFMA, ClassMUL, ClassADD, ClassINT, ClassMMA, ClassLDST, ClassOTHERS}
+}
+
+var opInfo = [opCount]struct {
+	name  string
+	class Class
+	dtype DType
+}{
+	OpNOP:    {"NOP", ClassOTHERS, U32},
+	OpFADD:   {"FADD", ClassADD, F32},
+	OpDADD:   {"DADD", ClassADD, F64},
+	OpHADD:   {"HADD2", ClassADD, F16},
+	OpFMUL:   {"FMUL", ClassMUL, F32},
+	OpDMUL:   {"DMUL", ClassMUL, F64},
+	OpHMUL:   {"HMUL2", ClassMUL, F16},
+	OpFFMA:   {"FFMA", ClassFMA, F32},
+	OpDFMA:   {"DFMA", ClassFMA, F64},
+	OpHFMA:   {"HFMA2", ClassFMA, F16},
+	OpIADD:   {"IADD", ClassINT, I32},
+	OpIMUL:   {"IMUL", ClassINT, I32},
+	OpIMAD:   {"IMAD", ClassINT, I32},
+	OpIMNMX:  {"IMNMX", ClassINT, I32},
+	OpISETP:  {"ISETP", ClassINT, PRED},
+	OpLOP:    {"LOP", ClassINT, U32},
+	OpSHF:    {"SHF", ClassINT, U32},
+	OpHMMA:   {"HMMA.1688.F32", ClassMMA, F16},
+	OpFMMA:   {"FMMA.1688.F32", ClassMMA, F32},
+	OpLDG:    {"LDG.E", ClassLDST, U32},
+	OpSTG:    {"STG.E", ClassLDST, U32},
+	OpLDS:    {"LDS", ClassLDST, U32},
+	OpSTS:    {"STS", ClassLDST, U32},
+	OpMOV:    {"MOV", ClassOTHERS, U32},
+	OpMOV32I: {"MOV32I", ClassOTHERS, U32},
+	OpSEL:    {"SEL", ClassOTHERS, U32},
+	OpS2R:    {"S2R", ClassOTHERS, U32},
+	OpFSETP:  {"FSETP", ClassOTHERS, PRED},
+	OpHSETP:  {"HSETP2", ClassOTHERS, PRED},
+	OpDSETP:  {"DSETP", ClassOTHERS, PRED},
+	OpF2F:    {"F2F", ClassOTHERS, F32},
+	OpF2I:    {"F2I", ClassOTHERS, I32},
+	OpI2F:    {"I2F", ClassOTHERS, F32},
+	OpMUFU:   {"MUFU", ClassOTHERS, F32},
+	OpBRA:    {"BRA", ClassOTHERS, U32},
+	OpSSY:    {"SSY", ClassOTHERS, U32},
+	OpSYNC:   {"SYNC", ClassOTHERS, U32},
+	OpBAR:    {"BAR.SYNC", ClassOTHERS, U32},
+	OpEXIT:   {"EXIT", ClassOTHERS, U32},
+	OpRED:    {"RED.E.ADD", ClassLDST, U32},
+}
+
+// String returns the SASS mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opInfo) && opInfo[o].name != "" {
+		return opInfo[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ClassOf returns the Figure-1 class of the opcode.
+func (o Op) ClassOf() Class { return opInfo[o].class }
+
+// TypeOf returns the natural data type of the opcode.
+func (o Op) TypeOf() DType { return opInfo[o].dtype }
+
+// IsMemory reports whether the opcode accesses memory.
+func (o Op) IsMemory() bool {
+	switch o {
+	case OpLDG, OpSTG, OpLDS, OpSTS, OpRED:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether the opcode affects control flow.
+func (o Op) IsControl() bool {
+	switch o {
+	case OpBRA, OpSSY, OpSYNC, OpBAR, OpEXIT:
+		return true
+	}
+	return false
+}
+
+// WritesGPR reports whether the opcode writes a general-purpose register.
+// This is the NVBitFI injection criterion (the tool "can inject faults
+// only at ... instructions that write in the general-purpose registers").
+func (o Op) WritesGPR() bool {
+	switch o {
+	case OpNOP, OpISETP, OpFSETP, OpHSETP, OpDSETP, OpSTG, OpSTS,
+		OpBRA, OpSSY, OpSYNC, OpBAR, OpEXIT, OpRED:
+		return false
+	}
+	return true
+}
+
+// CmpOp is a comparison operator for SETP instructions.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpEQ
+	CmpNE
+	CmpGE
+	CmpGT
+)
+
+// String returns the SASS suffix of the comparison.
+func (c CmpOp) String() string {
+	return [...]string{"LT", "LE", "EQ", "NE", "GE", "GT"}[c]
+}
+
+// LogicOp selects the LOP function.
+type LogicOp uint8
+
+// Logic functions.
+const (
+	LopAND LogicOp = iota
+	LopOR
+	LopXOR
+)
+
+// String returns the SASS suffix of the logic function.
+func (l LogicOp) String() string { return [...]string{"AND", "OR", "XOR"}[l] }
+
+// ShiftDir selects the SHF direction.
+type ShiftDir uint8
+
+// Shift directions.
+const (
+	ShiftL ShiftDir = iota
+	ShiftR
+)
+
+// MufuFunc selects the MUFU transcendental function.
+type MufuFunc uint8
+
+// MUFU functions.
+const (
+	MufuRCP MufuFunc = iota
+	MufuSQRT
+	MufuRSQ
+	MufuEX2
+	MufuLG2
+	MufuSIN
+	MufuCOS
+)
+
+// String returns the SASS suffix of the MUFU function.
+func (m MufuFunc) String() string {
+	return [...]string{"RCP", "SQRT", "RSQ", "EX2", "LG2", "SIN", "COS"}[m]
+}
+
+// SpecialReg is a source for S2R.
+type SpecialReg uint8
+
+// Special registers.
+const (
+	SrTidX SpecialReg = iota
+	SrTidY
+	SrCtaidX
+	SrCtaidY
+	SrNtidX
+	SrNtidY
+	SrNctaidX
+	SrNctaidY
+	SrLaneID
+	SrWarpID
+)
+
+// String returns the SASS spelling of the special register.
+func (s SpecialReg) String() string {
+	return [...]string{
+		"SR_TID.X", "SR_TID.Y", "SR_CTAID.X", "SR_CTAID.Y",
+		"SR_NTID.X", "SR_NTID.Y", "SR_NCTAID.X", "SR_NCTAID.Y",
+		"SR_LANEID", "SR_WARPID",
+	}[s]
+}
+
+// MemSpace distinguishes the address spaces of memory operations.
+type MemSpace uint8
+
+// Address spaces.
+const (
+	SpaceGlobal MemSpace = iota
+	SpaceShared
+)

@@ -1,0 +1,268 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if RZ.String() != "RZ" {
+		t.Errorf("RZ spelled %q", RZ.String())
+	}
+	if Reg(17).String() != "R17" {
+		t.Errorf("R17 spelled %q", Reg(17).String())
+	}
+	if PT.String() != "PT" {
+		t.Errorf("PT spelled %q", PT.String())
+	}
+	if PredReg(3).String() != "P3" {
+		t.Errorf("P3 spelled %q", PredReg(3).String())
+	}
+}
+
+func TestOpClassMapping(t *testing.T) {
+	cases := []struct {
+		op Op
+		cl Class
+	}{
+		{OpFADD, ClassADD}, {OpDADD, ClassADD}, {OpHADD, ClassADD},
+		{OpFMUL, ClassMUL}, {OpDMUL, ClassMUL}, {OpHMUL, ClassMUL},
+		{OpFFMA, ClassFMA}, {OpDFMA, ClassFMA}, {OpHFMA, ClassFMA},
+		{OpIADD, ClassINT}, {OpIMUL, ClassINT}, {OpIMAD, ClassINT},
+		{OpLOP, ClassINT}, {OpSHF, ClassINT}, {OpISETP, ClassINT},
+		{OpHMMA, ClassMMA}, {OpFMMA, ClassMMA},
+		{OpLDG, ClassLDST}, {OpSTG, ClassLDST}, {OpLDS, ClassLDST}, {OpSTS, ClassLDST},
+		{OpMOV, ClassOTHERS}, {OpBRA, ClassOTHERS}, {OpBAR, ClassOTHERS},
+		{OpMUFU, ClassOTHERS}, {OpEXIT, ClassOTHERS},
+	}
+	for _, c := range cases {
+		if got := c.op.ClassOf(); got != c.cl {
+			t.Errorf("%s class = %s, want %s", c.op, got, c.cl)
+		}
+	}
+}
+
+func TestEveryOpHasNameAndClass(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if op.ClassOf() >= ClassCount {
+			t.Errorf("opcode %s has invalid class", op)
+		}
+	}
+}
+
+func TestWritesGPRCriterion(t *testing.T) {
+	writers := []Op{OpFADD, OpIMAD, OpLDG, OpMOV, OpS2R, OpHMMA, OpF2F, OpSEL, OpMUFU}
+	nonWriters := []Op{OpSTG, OpSTS, OpISETP, OpFSETP, OpBRA, OpBAR, OpEXIT, OpNOP, OpRED}
+	for _, op := range writers {
+		if !op.WritesGPR() {
+			t.Errorf("%s should report WritesGPR", op)
+		}
+	}
+	for _, op := range nonWriters {
+		if op.WritesGPR() {
+			t.Errorf("%s should not report WritesGPR", op)
+		}
+	}
+}
+
+func TestDTypeWidths(t *testing.T) {
+	if F16.Bits() != 16 || F32.Bits() != 32 || F64.Bits() != 64 || I32.Bits() != 32 {
+		t.Error("wrong type widths")
+	}
+	if F64.Regs() != 2 || F32.Regs() != 1 {
+		t.Error("wrong register counts")
+	}
+}
+
+func TestDstRegs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want int
+	}{
+		{Instr{Op: OpFADD, Dst: 4}, 1},
+		{Instr{Op: OpDFMA, Dst: 4}, 2},
+		{Instr{Op: OpLDG, Dst: 4, Wide: true}, 2},
+		{Instr{Op: OpLDG, Dst: 4}, 1},
+		{Instr{Op: OpSTG}, 0},
+		{Instr{Op: OpISETP, Dst: RZ, DstP: 0}, 0},
+		{Instr{Op: OpHMMA, Dst: 8}, 8},
+		{Instr{Op: OpFADD, Dst: RZ}, 0},
+		{Instr{Op: OpF2F, Dst: 4, CvtFrom: F32, CvtTo: F64}, 2},
+	}
+	for i, c := range cases {
+		if got := c.in.DstRegs(); got != c.want {
+			t.Errorf("case %d (%s): DstRegs = %d, want %d", i, c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestSrcRegSpans(t *testing.T) {
+	in := Instr{Op: OpSTG, Srcs: [3]Operand{R(2), Imm(0), R(9)}, Wide: true}
+	spans := in.SrcRegSpans()
+	if len(spans) != 2 || spans[0] != [2]Reg{2, 1} || spans[1] != [2]Reg{9, 2} {
+		t.Fatalf("STG.64 spans = %v", spans)
+	}
+	mma := Instr{Op: OpHMMA, Dst: 24, Srcs: [3]Operand{R(0), R(4), R(8)}}
+	spans = mma.SrcRegSpans()
+	if len(spans) != 3 || spans[0] != [2]Reg{0, 4} || spans[1] != [2]Reg{4, 4} || spans[2] != [2]Reg{8, 8} {
+		t.Fatalf("HMMA spans = %v", spans)
+	}
+	dbl := Instr{Op: OpDADD, Dst: 6, Srcs: [3]Operand{R(2), R(4)}}
+	spans = dbl.SrcRegSpans()
+	if len(spans) != 2 || spans[0][1] != 2 || spans[1][1] != 2 {
+		t.Fatalf("DADD spans = %v", spans)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpFFMA, Pred: PT, Dst: 10, Srcs: [3]Operand{R(4), R(5), R(10)}},
+			"FFMA R10, R4, R5, R10;"},
+		{Instr{Op: OpIADD, Pred: 2, PredNeg: true, Dst: 3, Srcs: [3]Operand{R(3), ImmInt(1)}},
+			"@!P2 IADD R3, R3, 0x1;"},
+		{Instr{Op: OpLDG, Pred: PT, Dst: 8, Srcs: [3]Operand{R(2), Imm(16)}},
+			"LDG.E R8, [R2+0x10];"},
+		{Instr{Op: OpSTS, Pred: PT, Srcs: [3]Operand{R(1), Imm(0), R(7)}},
+			"STS [R1+0x0], R7;"},
+		{Instr{Op: OpISETP, Pred: PT, Dst: RZ, DstP: 0, Cmp: CmpLT, Srcs: [3]Operand{R(1), R(2)}},
+			"ISETP.LT.AND P0, R1, R2;"},
+		{Instr{Op: OpBRA, Pred: 0, Target: 12},
+			"@P0 BRA `(12);"},
+		{Instr{Op: OpEXIT, Pred: PT}, "EXIT;"},
+		{Instr{Op: OpMUFU, Pred: PT, Dst: 5, Mufu: MufuRCP, Srcs: [3]Operand{R(4)}},
+			"MUFU.RCP R5, R4;"},
+		{Instr{Op: OpFADD, Pred: PT, Dst: 2, Srcs: [3]Operand{R(3), R(4)}, Neg: [3]bool{false, true}},
+			"FADD R2, R3, -R4;"},
+	}
+	for i, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("case %d: got %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestProgramDisassembleAndMaxReg(t *testing.T) {
+	p := &Program{
+		Name: "k",
+		Instrs: []Instr{
+			{Op: OpS2R, Pred: PT, Dst: 0, SReg: SrTidX},
+			{Op: OpDFMA, Pred: PT, Dst: 10, Srcs: [3]Operand{R(2), R(4), R(10)}},
+			{Op: OpEXIT, Pred: PT},
+		},
+	}
+	d := p.Disassemble()
+	if !strings.Contains(d, "S2R R0, SR_TID.X;") || !strings.Contains(d, "/*0002*/") {
+		t.Fatalf("bad disassembly:\n%s", d)
+	}
+	if got := p.MaxReg(); got != 12 {
+		t.Fatalf("MaxReg = %d, want 12 (DFMA writes R10..R11)", got)
+	}
+}
+
+func TestHalfRoundTrip(t *testing.T) {
+	// Every finite half value must round-trip f16 -> f32 -> f16 exactly.
+	for bits := 0; bits < 1<<16; bits++ {
+		h := Float16(bits)
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 {
+			continue // NaN: payload not preserved bit-exactly
+		}
+		f := F16ToF32(h)
+		back := F32ToF16(f)
+		if back != h {
+			t.Fatalf("round-trip failed for 0x%04x: f32=%g back=0x%04x", bits, f, back)
+		}
+	}
+}
+
+func TestHalfConversionKnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},         // max finite half
+		{65536, 0x7c00},         // overflow -> +inf
+		{5.9604645e-08, 0x0001}, // smallest subnormal
+		{float32(math.Inf(1)), 0x7c00},
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.h {
+			t.Errorf("F32ToF16(%g) = 0x%04x, want 0x%04x", c.f, got, c.h)
+		}
+	}
+	if !math.IsNaN(float64(F16ToF32(0x7e00))) {
+		t.Error("half NaN should convert to float NaN")
+	}
+}
+
+func TestHalfArithmetic(t *testing.T) {
+	one := F32ToF16(1)
+	two := F32ToF16(2)
+	three := F32ToF16(3)
+	if HalfAdd(one, two) != three {
+		t.Error("1+2 != 3 in half")
+	}
+	if HalfMul(two, three) != F32ToF16(6) {
+		t.Error("2*3 != 6 in half")
+	}
+	if HalfFMA(two, three, one) != F32ToF16(7) {
+		t.Error("2*3+1 != 7 in half")
+	}
+}
+
+func TestHalfMonotoneNearOne(t *testing.T) {
+	f := func(v uint16) bool {
+		// For any positive finite half, converting to f32 and comparing
+		// preserves order against its successor.
+		h := Float16(v & 0x7bff)
+		if h&0x7c00 == 0x7c00 {
+			return true
+		}
+		return F16ToF32(h) <= F16ToF32(h+1) || (h+1)&0x7c00 == 0x7c00
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllClassesOrder(t *testing.T) {
+	cls := AllClasses()
+	if len(cls) != int(ClassCount) {
+		t.Fatalf("AllClasses returned %d entries, want %d", len(cls), ClassCount)
+	}
+	if cls[0] != ClassFMA || cls[len(cls)-1] != ClassOTHERS {
+		t.Fatal("AllClasses not in Figure-1 plotting order")
+	}
+}
+
+func TestSELDisassemblyShowsPredicate(t *testing.T) {
+	in := Instr{Op: OpSEL, Pred: PT, Dst: 3, DstP: 2, Srcs: [3]Operand{R(4), R(5)}}
+	if got := in.String(); got != "SEL R3, R4, R5, P2;" {
+		t.Fatalf("SEL disassembly = %q", got)
+	}
+}
+
+func TestF2FDisassembly(t *testing.T) {
+	in := Instr{Op: OpF2F, Pred: PT, Dst: 6, CvtFrom: F32, CvtTo: F64, Srcs: [3]Operand{R(2)}}
+	if got := in.String(); got != "F2F.f64.f32 R6, R2;" {
+		t.Fatalf("F2F disassembly = %q", got)
+	}
+}
+
+func TestWideMemoryDisassembly(t *testing.T) {
+	in := Instr{Op: OpLDG, Pred: PT, Dst: 8, Wide: true, Srcs: [3]Operand{R(2), Imm(8)}}
+	if got := in.String(); got != "LDG.E.64 R8, [R2+0x8];" {
+		t.Fatalf("wide load disassembly = %q", got)
+	}
+}

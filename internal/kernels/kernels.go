@@ -1,0 +1,162 @@
+// Package kernels implements the fifteen workloads of the paper's Table I
+// as SASS-like programs for the SIMT simulator, together with host-side
+// reference implementations, golden-output comparators, and the Runner
+// used by the profiler, the fault injectors, and the beam campaign.
+//
+// Problem sizes are scaled down from the paper's (DESIGN.md §5): FIT and
+// AVF are per-fault propagation statistics that do not depend on input
+// size for these regular kernels, and the paper itself argues (§III-C)
+// that FIT rates depend on resources used, not execution time.
+package kernels
+
+import (
+	"fmt"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/mem"
+	"gpurel/internal/sim"
+)
+
+// Launch is one kernel invocation of a workload.
+type Launch struct {
+	Prog         *isa.Program
+	GridX, GridY int
+	BlockThreads int
+}
+
+// Instance is a configured, single-use workload: device memory is
+// initialized, launches are ready, and Check knows the expected output.
+type Instance struct {
+	Name     string
+	Dev      *device.Device
+	Global   *mem.Global
+	Launches []Launch
+
+	// Check compares device memory against the host-computed golden
+	// output; it returns true when the output is correct. CNN workloads
+	// implement the paper's tolerance-aware criterion here (faults that
+	// do not change the detection are not errors, §VI).
+	Check func(g *mem.Global) bool
+}
+
+// Builder constructs a fresh Instance for a device and compiler pipeline.
+// Builders are deterministic: inputs come from fixed-seed generators.
+type Builder func(dev *device.Device, opt asm.OptLevel) (*Instance, error)
+
+// Outcome classifies one workload run, in the paper's taxonomy.
+type Outcome uint8
+
+// Outcomes of a (possibly fault-injected) run.
+const (
+	Masked Outcome = iota // completed, output correct
+	SDC                   // completed, output silently corrupted
+	DUE                   // crashed or hung
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	return [...]string{"Masked", "SDC", "DUE"}[o]
+}
+
+// Runner executes a workload repeatedly: once golden (capturing per-launch
+// profiles and timing), then any number of times with fault plans.
+type Runner struct {
+	Name  string
+	Build Builder
+	Dev   *device.Device
+	Opt   asm.OptLevel
+
+	goldenProfiles []sim.Profile
+	goldenCycles   []int64
+}
+
+// NewRunner builds the workload once and performs the golden run.
+func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel) (*Runner, error) {
+	r := &Runner{Name: name, Build: build, Dev: dev, Opt: opt}
+	inst, err := build(dev, opt)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: building %s: %w", name, err)
+	}
+	for i, l := range inst.Launches {
+		res, err := sim.Run(sim.Config{
+			Device: dev, Program: l.Prog,
+			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
+		}, inst.Global)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: golden run of %s launch %d: %w", name, i, err)
+		}
+		if res.Outcome != sim.OutcomeOK {
+			return nil, fmt.Errorf("kernels: golden run of %s launch %d crashed: %s",
+				name, i, res.DUEReason)
+		}
+		r.goldenProfiles = append(r.goldenProfiles, res.Profile)
+		r.goldenCycles = append(r.goldenCycles, res.Profile.Cycles)
+	}
+	if !inst.Check(inst.Global) {
+		return nil, fmt.Errorf("kernels: golden run of %s fails its own check", name)
+	}
+	return r, nil
+}
+
+// GoldenProfiles returns the per-launch golden profiles.
+func (r *Runner) GoldenProfiles() []sim.Profile { return r.goldenProfiles }
+
+// TotalLaneOps sums lane-ops over all launches, optionally filtered.
+func (r *Runner) TotalLaneOps(filter func(op isa.Op) bool) uint64 {
+	var total uint64
+	for i := range r.goldenProfiles {
+		for op, n := range r.goldenProfiles[i].PerOpLane {
+			if filter == nil || filter(op) {
+				total += n
+			}
+		}
+	}
+	return total
+}
+
+// LaunchLaneOps returns per-launch lane-op counts, optionally filtered,
+// used to pick the launch a sampled fault lands in.
+func (r *Runner) LaunchLaneOps(filter func(op isa.Op) bool) []uint64 {
+	out := make([]uint64, len(r.goldenProfiles))
+	for i := range r.goldenProfiles {
+		for op, n := range r.goldenProfiles[i].PerOpLane {
+			if filter == nil || filter(op) {
+				out[i] += n
+			}
+		}
+	}
+	return out
+}
+
+// RunWithFault rebuilds the workload and executes it with the fault plan
+// applied to the given launch. The watchdog is set to a small multiple of
+// the golden cycle count so hangs resolve quickly.
+func (r *Runner) RunWithFault(plan *sim.FaultPlan, faultLaunch int) (Outcome, error) {
+	inst, err := r.Build(r.Dev, r.Opt)
+	if err != nil {
+		return Masked, err
+	}
+	for i, l := range inst.Launches {
+		cfg := sim.Config{
+			Device: r.Dev, Program: l.Prog,
+			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
+			MaxCycles: r.goldenCycles[i]*10 + 20_000,
+		}
+		if i == faultLaunch {
+			cfg.Fault = plan
+		}
+		res, err := sim.Run(cfg, inst.Global)
+		if err != nil {
+			return Masked, fmt.Errorf("kernels: %s launch %d: %w", r.Name, i, err)
+		}
+		if res.Outcome == sim.OutcomeDUE {
+			return DUE, nil
+		}
+	}
+	if !inst.Check(inst.Global) {
+		return SDC, nil
+	}
+	return Masked, nil
+}

@@ -1,0 +1,287 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/isa"
+	"gpurel/internal/mem"
+	"gpurel/internal/stats"
+)
+
+// emitGID emits the global-thread-id computation (ctaid.x*ntid.x + tid.x)
+// into a fresh register.
+func emitGID(b *asm.Builder) isa.Reg {
+	tid, cta, ntid, g := b.R(), b.R(), b.R(), b.R()
+	b.S2R(tid, isa.SrTidX)
+	b.S2R(cta, isa.SrCtaidX)
+	b.S2R(ntid, isa.SrNtidX)
+	b.IMad(g, isa.R(cta), isa.R(ntid), isa.R(tid))
+	return g
+}
+
+// emitAddr emits base + idx*scale into a fresh register.
+func emitAddr(b *asm.Builder, idx isa.Reg, base uint32, scale int32) isa.Reg {
+	a := b.R()
+	b.IMad(a, isa.R(idx), isa.ImmInt(scale), isa.ImmInt(int32(base)))
+	return a
+}
+
+// Elem abstracts the three floating-point precisions so one kernel source
+// serves the H/F/D variants of Table I. FP16 values are stored one per
+// 32-bit word (low half); FP64 uses 8-byte elements and register pairs.
+type Elem struct {
+	dt   isa.DType
+	size int32 // bytes per element in memory
+}
+
+// ElemFor returns the precision abstraction for a data type.
+func ElemFor(dt isa.DType) Elem {
+	switch dt {
+	case isa.F16:
+		return Elem{dt: isa.F16, size: 4}
+	case isa.F32:
+		return Elem{dt: isa.F32, size: 4}
+	case isa.F64:
+		return Elem{dt: isa.F64, size: 8}
+	default:
+		panic(fmt.Sprintf("kernels: unsupported element type %v", dt))
+	}
+}
+
+// Letter returns the paper's precision prefix: H, F, or D.
+func (e Elem) Letter() string {
+	switch e.dt {
+	case isa.F16:
+		return "H"
+	case isa.F64:
+		return "D"
+	default:
+		return "F"
+	}
+}
+
+// Val allocates a value register (pair for FP64).
+func (e Elem) Val(b *asm.Builder) isa.Reg {
+	if e.dt == isa.F64 {
+		return b.RPair()
+	}
+	return b.R()
+}
+
+// Load emits the element load (wide pair for FP64).
+func (e Elem) Load(b *asm.Builder, dst, addr isa.Reg, off uint32) {
+	if e.dt == isa.F64 {
+		b.LdgWide(dst, addr, off)
+	} else {
+		b.Ldg(dst, addr, off)
+	}
+}
+
+// Store emits the element store (wide pair for FP64).
+func (e Elem) Store(b *asm.Builder, addr isa.Reg, off uint32, val isa.Reg) {
+	if e.dt == isa.F64 {
+		b.StgWide(addr, off, val)
+	} else {
+		b.Stg(addr, off, val)
+	}
+}
+
+// LoadShared emits the shared-memory element load.
+func (e Elem) LoadShared(b *asm.Builder, dst, addr isa.Reg, off uint32) {
+	if e.dt == isa.F64 {
+		b.LdsWide(dst, addr, off)
+	} else {
+		b.Lds(dst, addr, off)
+	}
+}
+
+// StoreShared emits the shared-memory element store.
+func (e Elem) StoreShared(b *asm.Builder, addr isa.Reg, off uint32, val isa.Reg) {
+	if e.dt == isa.F64 {
+		b.StsWide(addr, off, val)
+	} else {
+		b.Sts(addr, off, val)
+	}
+}
+
+// FMA emits the fused multiply-add in the working precision.
+func (e Elem) FMA(b *asm.Builder, d, a, s, c isa.Reg) {
+	switch e.dt {
+	case isa.F16:
+		b.HFma(d, isa.R(a), isa.R(s), isa.R(c))
+	case isa.F64:
+		b.DFma(d, a, s, c)
+	default:
+		b.FFma(d, isa.R(a), isa.R(s), isa.R(c))
+	}
+}
+
+// Add emits the addition in the working precision.
+func (e Elem) Add(b *asm.Builder, d, a, s isa.Reg) {
+	switch e.dt {
+	case isa.F16:
+		b.HAdd(d, isa.R(a), isa.R(s))
+	case isa.F64:
+		b.DAdd(d, a, s)
+	default:
+		b.FAdd(d, isa.R(a), isa.R(s))
+	}
+}
+
+// Sub emits the subtraction in the working precision.
+func (e Elem) Sub(b *asm.Builder, d, a, s isa.Reg) {
+	switch e.dt {
+	case isa.F16:
+		b.HSub(d, isa.R(a), isa.R(s))
+	case isa.F64:
+		b.DSub(d, a, s)
+	default:
+		b.FSub(d, isa.R(a), isa.R(s))
+	}
+}
+
+// Mul emits the multiplication in the working precision.
+func (e Elem) Mul(b *asm.Builder, d, a, s isa.Reg) {
+	switch e.dt {
+	case isa.F16:
+		b.HMul(d, isa.R(a), isa.R(s))
+	case isa.F64:
+		b.DMul(d, a, s)
+	default:
+		b.FMul(d, isa.R(a), isa.R(s))
+	}
+}
+
+// Imm loads an immediate constant in the working precision.
+func (e Elem) Imm(b *asm.Builder, dst isa.Reg, v float64) {
+	switch e.dt {
+	case isa.F16:
+		b.MovImmF16(dst, float32(v))
+	case isa.F64:
+		b.MovImmF64(dst, v)
+	default:
+		b.MovImmF32(dst, float32(v))
+	}
+}
+
+// --- host-side bit-exact arithmetic mirrors of the simulator ---
+
+// hval is a host value in the kernel's working precision, stored wide.
+type hval float64
+
+func (e Elem) hFMA(a, s, c hval) hval {
+	switch e.dt {
+	case isa.F16:
+		return hval(isa.F16ToF32(isa.HalfFMA(f16(a), f16(s), f16(c))))
+	case isa.F64:
+		return hval(math.FMA(float64(a), float64(s), float64(c)))
+	default:
+		return hval(float32(math.FMA(float64(float32(a)), float64(float32(s)), float64(float32(c)))))
+	}
+}
+
+func (e Elem) hAdd(a, s hval) hval {
+	switch e.dt {
+	case isa.F16:
+		return hval(isa.F16ToF32(isa.HalfAdd(f16(a), f16(s))))
+	case isa.F64:
+		return hval(float64(a) + float64(s))
+	default:
+		return hval(float32(a) + float32(s))
+	}
+}
+
+func (e Elem) hSub(a, s hval) hval { return e.hAdd(a, -s) }
+
+func (e Elem) hMul(a, s hval) hval {
+	switch e.dt {
+	case isa.F16:
+		return hval(isa.F16ToF32(isa.HalfMul(f16(a), f16(s))))
+	case isa.F64:
+		return hval(float64(a) * float64(s))
+	default:
+		return hval(float32(a) * float32(s))
+	}
+}
+
+// round quantizes a host value to the working precision.
+func (e Elem) round(v hval) hval {
+	switch e.dt {
+	case isa.F16:
+		return hval(isa.F16ToF32(f16(v)))
+	case isa.F64:
+		return v
+	default:
+		return hval(float32(v))
+	}
+}
+
+func f16(v hval) isa.Float16 { return isa.F32ToF16(float32(v)) }
+
+// words encodes a host value into its memory representation.
+func (e Elem) words(v hval) []uint32 {
+	switch e.dt {
+	case isa.F16:
+		return []uint32{uint32(isa.F32ToF16(float32(v)))}
+	case isa.F64:
+		b := math.Float64bits(float64(v))
+		return []uint32{uint32(b), uint32(b >> 32)}
+	default:
+		return []uint32{math.Float32bits(float32(v))}
+	}
+}
+
+// writeSlice stores a host slice into global memory at base.
+func (e Elem) writeSlice(g *mem.Global, base uint32, vals []hval) {
+	off := base
+	for _, v := range vals {
+		for _, w := range e.words(v) {
+			g.SetWord(off, w)
+			off += 4
+		}
+	}
+}
+
+// expectWords encodes a host slice into the words Check will compare.
+func (e Elem) expectWords(vals []hval) []uint32 {
+	out := make([]uint32, 0, len(vals)*int(e.size)/4)
+	for _, v := range vals {
+		out = append(out, e.words(v)...)
+	}
+	return out
+}
+
+// checkWords builds a comparator for an exact region match.
+func checkWords(base uint32, want []uint32) func(g *mem.Global) bool {
+	return func(g *mem.Global) bool {
+		for i, w := range want {
+			if g.Word(base+uint32(i*4)) != w {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// checkAll combines comparators.
+func checkAll(checks ...func(g *mem.Global) bool) func(g *mem.Global) bool {
+	return func(g *mem.Global) bool {
+		for _, c := range checks {
+			if !c(g) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// dataRNG returns the fixed-seed generator used for workload inputs, so
+// every build of a workload sees identical data.
+func dataRNG(salt uint64) *stats.RNG { return stats.NewRNG(0xda7a, salt) }
+
+// randUnit returns a deterministic value in [lo, hi).
+func randUnit(r *stats.RNG, lo, hi float64) hval {
+	return hval(lo + r.Float64()*(hi-lo))
+}

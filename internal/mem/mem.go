@@ -1,0 +1,239 @@
+// Package mem provides the addressable storage of the simulated GPU:
+// global (device) memory with a bump allocator, per-block shared memory,
+// and helpers shared with the per-thread register file. All storage is
+// word-granular (32-bit), matching the ISA's access widths; 64-bit
+// accesses use aligned word pairs.
+//
+// Every access is bounds- and alignment-checked: a corrupted address that
+// escapes the allocated region raises an AccessError, the architectural
+// origin of most detected unrecoverable errors (DUEs) in the LDST
+// micro-benchmark (§V-B).
+package mem
+
+import (
+	"fmt"
+)
+
+// AccessError reports an invalid memory access. The simulator converts it
+// into a DUE, like the CUDA runtime converting an illegal address into an
+// API error.
+type AccessError struct {
+	Space string
+	Addr  uint32
+	Kind  string // "out of bounds", "unaligned", "null"
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mem: %s access at %s address 0x%x", e.Kind, e.Space, e.Addr)
+}
+
+// nullGuard reserves the first bytes of global memory so that address 0
+// (and small offsets from it) always fault, like a null page.
+const nullGuard = 256
+
+// Global is the device memory of one simulated GPU context.
+type Global struct {
+	words []uint32
+	hwm   uint32 // allocation high-water mark, bytes
+}
+
+// NewGlobal creates a device memory of the given capacity in bytes
+// (rounded down to a word multiple).
+func NewGlobal(capacity int) *Global {
+	if capacity < nullGuard*2 {
+		capacity = nullGuard * 2
+	}
+	return &Global{
+		words: make([]uint32, capacity/4),
+		hwm:   nullGuard,
+	}
+}
+
+// Alloc reserves size bytes (rounded up to 8-byte alignment) and returns
+// the base address.
+func (g *Global) Alloc(size int) (uint32, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("mem: invalid allocation size %d", size)
+	}
+	aligned := (size + 7) &^ 7
+	base := g.hwm
+	if int(base)+aligned > len(g.words)*4 {
+		return 0, fmt.Errorf("mem: out of device memory (%d bytes requested, %d free)",
+			aligned, len(g.words)*4-int(base))
+	}
+	g.hwm += uint32(aligned)
+	return base, nil
+}
+
+// AllocatedBytes returns the bytes currently reserved (excluding the null
+// guard); this is the storage surface the beam campaign exposes.
+func (g *Global) AllocatedBytes() int { return int(g.hwm) - nullGuard }
+
+// Reset drops all allocations and zeroes the allocated region, returning
+// the context to its post-boot state.
+func (g *Global) Reset() {
+	for i := 0; i < int(g.hwm)/4; i++ {
+		g.words[i] = 0
+	}
+	g.hwm = nullGuard
+}
+
+func (g *Global) check(addr uint32, bytes uint32) error {
+	if addr%bytes != 0 {
+		return &AccessError{Space: "global", Addr: addr, Kind: "unaligned"}
+	}
+	if addr < nullGuard {
+		return &AccessError{Space: "global", Addr: addr, Kind: "null"}
+	}
+	if addr+bytes > g.hwm || addr+bytes < addr {
+		return &AccessError{Space: "global", Addr: addr, Kind: "out of bounds"}
+	}
+	return nil
+}
+
+// Load32 reads a 32-bit word.
+func (g *Global) Load32(addr uint32) (uint32, error) {
+	if err := g.check(addr, 4); err != nil {
+		return 0, err
+	}
+	return g.words[addr/4], nil
+}
+
+// Store32 writes a 32-bit word.
+func (g *Global) Store32(addr uint32, v uint32) error {
+	if err := g.check(addr, 4); err != nil {
+		return err
+	}
+	g.words[addr/4] = v
+	return nil
+}
+
+// Load64 reads an aligned 64-bit value as (lo, hi) words.
+func (g *Global) Load64(addr uint32) (lo, hi uint32, err error) {
+	if err := g.check(addr, 8); err != nil {
+		return 0, 0, err
+	}
+	return g.words[addr/4], g.words[addr/4+1], nil
+}
+
+// Store64 writes an aligned 64-bit value given as (lo, hi) words.
+func (g *Global) Store64(addr uint32, lo, hi uint32) error {
+	if err := g.check(addr, 8); err != nil {
+		return err
+	}
+	g.words[addr/4] = lo
+	g.words[addr/4+1] = hi
+	return nil
+}
+
+// AtomicAdd32 performs an integer atomic add and returns the old value.
+func (g *Global) AtomicAdd32(addr uint32, v uint32) (uint32, error) {
+	if err := g.check(addr, 4); err != nil {
+		return 0, err
+	}
+	old := g.words[addr/4]
+	g.words[addr/4] = old + v
+	return old, nil
+}
+
+// FlipBit flips one bit of allocated storage. The bit index ranges over
+// AllocatedBytes()*8 and is relative to the first allocated byte.
+func (g *Global) FlipBit(bit uint64) {
+	total := uint64(g.AllocatedBytes()) * 8
+	if total == 0 {
+		return
+	}
+	bit %= total
+	byteAddr := uint64(nullGuard) + bit/8
+	g.words[byteAddr/4] ^= 1 << ((byteAddr%4)*8 + bit%8)
+}
+
+// Word returns the raw word at the given byte address without checks,
+// for golden-output capture by host-side code.
+func (g *Global) Word(addr uint32) uint32 { return g.words[addr/4] }
+
+// SetWord writes the raw word at the given byte address without checks,
+// for host-side initialization.
+func (g *Global) SetWord(addr uint32, v uint32) { g.words[addr/4] = v }
+
+// ReadWords copies n words starting at the given byte address, for
+// host-side output comparison.
+func (g *Global) ReadWords(addr uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	copy(out, g.words[addr/4:addr/4+uint32(n)])
+	return out
+}
+
+// WriteWords copies host data into device memory at the given address.
+func (g *Global) WriteWords(addr uint32, data []uint32) {
+	copy(g.words[addr/4:], data)
+}
+
+// Shared is the per-block shared memory (scratchpad).
+type Shared struct {
+	words []uint32
+	size  uint32 // bytes
+}
+
+// NewShared creates a shared-memory region of the given size in bytes.
+func NewShared(size int) *Shared {
+	return &Shared{words: make([]uint32, (size+3)/4), size: uint32(size)}
+}
+
+// Size returns the region size in bytes.
+func (s *Shared) Size() int { return int(s.size) }
+
+func (s *Shared) check(addr uint32, bytes uint32) error {
+	if addr%bytes != 0 {
+		return &AccessError{Space: "shared", Addr: addr, Kind: "unaligned"}
+	}
+	if addr+bytes > s.size || addr+bytes < addr {
+		return &AccessError{Space: "shared", Addr: addr, Kind: "out of bounds"}
+	}
+	return nil
+}
+
+// Load32 reads a 32-bit word of shared memory.
+func (s *Shared) Load32(addr uint32) (uint32, error) {
+	if err := s.check(addr, 4); err != nil {
+		return 0, err
+	}
+	return s.words[addr/4], nil
+}
+
+// Store32 writes a 32-bit word of shared memory.
+func (s *Shared) Store32(addr uint32, v uint32) error {
+	if err := s.check(addr, 4); err != nil {
+		return err
+	}
+	s.words[addr/4] = v
+	return nil
+}
+
+// Load64 reads an aligned 64-bit value as (lo, hi) words.
+func (s *Shared) Load64(addr uint32) (lo, hi uint32, err error) {
+	if err := s.check(addr, 8); err != nil {
+		return 0, 0, err
+	}
+	return s.words[addr/4], s.words[addr/4+1], nil
+}
+
+// Store64 writes an aligned 64-bit value given as (lo, hi) words.
+func (s *Shared) Store64(addr uint32, lo, hi uint32) error {
+	if err := s.check(addr, 8); err != nil {
+		return err
+	}
+	s.words[addr/4] = lo
+	s.words[addr/4+1] = hi
+	return nil
+}
+
+// FlipBit flips one bit of the region.
+func (s *Shared) FlipBit(bit uint64) {
+	if s.size == 0 {
+		return
+	}
+	bit %= uint64(s.size) * 8
+	s.words[bit/32] ^= 1 << (bit % 32)
+}

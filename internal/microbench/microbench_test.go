@@ -1,0 +1,89 @@
+package microbench
+
+import (
+	"testing"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+)
+
+func TestCatalogsGoldenRuns(t *testing.T) {
+	for _, dev := range []*device.Device{device.K40c(), device.V100()} {
+		for _, m := range Catalog(dev) {
+			r, err := kernels.NewRunner(m.Name, m.Build, dev, asm.O2)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", m.Name, dev.Name, err)
+			}
+			p := r.GoldenProfiles()[0]
+			if p.LaneOps == 0 {
+				t.Fatalf("%s: empty profile", m.Name)
+			}
+		}
+	}
+}
+
+func TestCatalogSizes(t *testing.T) {
+	if n := len(Catalog(device.K40c())); n != 8 {
+		t.Fatalf("Kepler catalog has %d micros, want 8 (6 arith + LDST + RF)", n)
+	}
+	if n := len(Catalog(device.V100())); n != 16 {
+		t.Fatalf("Volta catalog has %d micros, want 16", n)
+	}
+}
+
+func TestArithMicroExercisesItsUnit(t *testing.T) {
+	dev := device.V100()
+	for _, op := range []isa.Op{isa.OpDFMA, isa.OpHADD, isa.OpIMAD} {
+		r, err := kernels.NewRunner(op.String(), ArithBuilder(op), dev, asm.O2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := r.GoldenProfiles()[0]
+		target := p.PerOpLane[op]
+		if float64(target) < 0.5*float64(p.LaneOps) {
+			t.Errorf("%s micro: only %d/%d lane-ops are %s", op, target, p.LaneOps, op)
+		}
+	}
+}
+
+func TestRFMicroSaturatesRegisterFile(t *testing.T) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner("RF", RFBuilder(), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := r.Build(dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := inst.Launches[0].Prog.NumRegs
+	if regs < rfRegsUsed {
+		t.Fatalf("RF micro uses %d regs, want >= %d", regs, rfRegsUsed)
+	}
+	// One warp at ~240+ registers should claim nearly the whole scaled RF.
+	occ, err := dev.OccupancyFor(32, regs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 1 {
+		t.Fatalf("RF micro residency = %d blocks/SM, want 1", occ.BlocksPerSM)
+	}
+}
+
+func TestUnitForMapping(t *testing.T) {
+	if UnitFor(isa.OpFFMA) != "FFMA" || UnitFor(isa.OpLDS) != "LDST" ||
+		UnitFor(isa.OpLOP) != "IADD" || UnitFor(isa.OpHMMA) != "HMMA" {
+		t.Fatal("UnitFor mapping wrong")
+	}
+	if UnitFor(isa.OpMOV) != "" || UnitFor(isa.OpBRA) != "" {
+		t.Fatal("OTHERS-class ops must map to no micro")
+	}
+}
+
+func TestMMARejectsKepler(t *testing.T) {
+	if _, err := kernels.NewRunner("HMMA", MMABuilder(true), device.K40c(), asm.O2); err == nil {
+		t.Fatal("MMA micro must reject Kepler")
+	}
+}

@@ -1,0 +1,142 @@
+// Package profiler computes the kernel characterization the paper gets
+// from NVPROF / Nsight Compute: per-code instruction mix (Figure 1),
+// issued IPC, achieved occupancy, registers per thread, and shared
+// memory per block (Table I). The FIT prediction model of §IV consumes
+// exactly these metrics.
+package profiler
+
+import (
+	"sort"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
+)
+
+// CodeProfile is the Table-I row plus Figure-1 mix of one workload.
+type CodeProfile struct {
+	Name string
+
+	SharedBytes   int // max shared memory per block over all kernels
+	RegsPerThread int // max registers per thread over all kernels
+	IPC           float64
+	Occupancy     float64
+
+	// MemoryBytes is the storage footprint f(MEM) of Equation 3 sums
+	// over: the register file and shared memory claimed by the largest
+	// launch plus the allocated device memory.
+	MemoryBytes int
+
+	// Mix is the dynamic instruction-class composition (fractions of
+	// executed lane-operations), the Figure-1 bars.
+	Mix map[isa.Class]float64
+
+	// PerOpLane is the dynamic lane-op count per opcode, summed over
+	// launches; the beam exposure model and the predictor's f(INST)
+	// terms derive from it.
+	PerOpLane map[isa.Op]uint64
+
+	// Launch-level totals.
+	TotalLaneOps uint64
+	TotalCycles  int64
+	Launches     []sim.Profile
+}
+
+// Profile characterizes a workload from its golden runner plus a fresh
+// build (for the static kernel footprints).
+func Profile(r *kernels.Runner) (*CodeProfile, error) {
+	inst, err := r.Build(r.Dev, r.Opt)
+	if err != nil {
+		return nil, err
+	}
+	cp := &CodeProfile{
+		Name:      r.Name,
+		Mix:       make(map[isa.Class]float64),
+		PerOpLane: make(map[isa.Op]uint64),
+	}
+	maxOnChip := 0
+	for _, l := range inst.Launches {
+		if l.Prog.SharedMem > cp.SharedBytes {
+			cp.SharedBytes = l.Prog.SharedMem
+		}
+		if l.Prog.NumRegs > cp.RegsPerThread {
+			cp.RegsPerThread = l.Prog.NumRegs
+		}
+		blocks := l.GridX * l.GridY
+		onChip := l.Prog.NumRegs*l.BlockThreads*blocks*4 + l.Prog.SharedMem*blocks
+		if onChip > maxOnChip {
+			maxOnChip = onChip
+		}
+	}
+	cp.MemoryBytes = maxOnChip + inst.Global.AllocatedBytes()
+
+	var warpInstrs, smCycles, awc uint64
+	for _, p := range r.GoldenProfiles() {
+		cp.Launches = append(cp.Launches, p)
+		cp.TotalCycles += p.Cycles
+		cp.TotalLaneOps += p.LaneOps
+		warpInstrs += p.WarpInstrs
+		smCycles += p.SMCycles
+		awc += p.ActiveWarpCycles
+		for op, n := range p.PerOpLane {
+			cp.PerOpLane[op] += n
+		}
+	}
+	if smCycles > 0 {
+		cp.IPC = float64(warpInstrs) / float64(smCycles)
+		cp.Occupancy = float64(awc) / float64(smCycles) / float64(r.Dev.MaxWarpsPerSM)
+	}
+	for op, n := range cp.PerOpLane {
+		cp.Mix[op.ClassOf()] += float64(n)
+	}
+	for c := range cp.Mix {
+		cp.Mix[c] /= float64(cp.TotalLaneOps)
+	}
+	return cp, nil
+}
+
+// Phi is the parallelism-management factor of Equation 4:
+// AchievedOccupancy * IPC. High values mean many functional units are
+// simultaneously exposed to strikes.
+func (cp *CodeProfile) Phi() float64 { return cp.Occupancy * cp.IPC }
+
+// ClassLaneOps aggregates lane-ops by class.
+func (cp *CodeProfile) ClassLaneOps() map[isa.Class]uint64 {
+	out := make(map[isa.Class]uint64)
+	for op, n := range cp.PerOpLane {
+		out[op.ClassOf()] += n
+	}
+	return out
+}
+
+// ClassFraction returns f(INST) for one class: the fraction of executed
+// lane-ops in that class.
+func (cp *CodeProfile) ClassFraction(c isa.Class) float64 { return cp.Mix[c] }
+
+// ProfileSuite profiles a list of workloads on one device and compiler
+// pipeline; it is the data behind cmd/gpurel-profile.
+func ProfileSuite(dev *device.Device, opt asm.OptLevel, entries []NamedBuilder) ([]*CodeProfile, error) {
+	var out []*CodeProfile
+	for _, e := range entries {
+		r, err := kernels.NewRunner(e.Name, e.Build, dev, opt)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := Profile(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// NamedBuilder pairs a workload name with its builder (kept minimal to
+// avoid a dependency on the suite package).
+type NamedBuilder struct {
+	Name  string
+	Build kernels.Builder
+}

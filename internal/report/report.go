@@ -1,0 +1,309 @@
+// Package report renders the study's artifacts — Table I and Figures 1,
+// 3, 4, 5, 6 of the paper plus the §VII-B DUE analysis — as aligned
+// ASCII tables and as CSV for external plotting.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"gpurel/internal/core"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/isa"
+	"gpurel/internal/microbench"
+	"gpurel/internal/stats"
+	"gpurel/internal/suite"
+)
+
+// table accumulates an aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render(b *strings.Builder) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func (t *table) csv(b *strings.Builder) {
+	b.WriteString(strings.Join(t.header, ",") + "\n")
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ",") + "\n")
+	}
+}
+
+// suiteOrder returns Table I's workload ordering for a device.
+func suiteOrder(ds *core.DeviceStudy) []string {
+	var names []string
+	for _, e := range suite.ForDevice(ds.Dev) {
+		names = append(names, e.Name)
+	}
+	return names
+}
+
+// TableI renders the workload characterization (shared memory, register
+// file, IPC, occupancy) of one device.
+func TableI(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "shared", "regs", "IPC", "occupancy"}}
+	for _, name := range suiteOrder(ds) {
+		cp, ok := ds.Profiles[name]
+		if !ok {
+			continue
+		}
+		t.add(name, fmtBytes(cp.SharedBytes), fmt.Sprintf("%d", cp.RegsPerThread),
+			fmt.Sprintf("%.2f", cp.IPC), fmt.Sprintf("%.2f", cp.Occupancy))
+	}
+	return finish(t, csv, fmt.Sprintf("Table I — code characteristics on %s", ds.Dev.Name))
+}
+
+// Figure1 renders the per-code instruction-class mix.
+func Figure1(ds *core.DeviceStudy, csv bool) string {
+	classes := isa.AllClasses()
+	header := []string{"code"}
+	for _, c := range classes {
+		header = append(header, c.String())
+	}
+	t := &table{header: header}
+	for _, name := range suiteOrder(ds) {
+		cp, ok := ds.Profiles[name]
+		if !ok {
+			continue
+		}
+		row := []string{name}
+		for _, c := range classes {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*cp.Mix[c]))
+		}
+		t.add(row...)
+	}
+	return finish(t, csv, fmt.Sprintf("Figure 1 — instruction mix on %s", ds.Dev.Name))
+}
+
+// Figure3 renders the micro-benchmark FIT rates, normalized to the
+// device's lowest measured DUE rate, as in the paper.
+func Figure3(ds *core.DeviceStudy, csv bool) string {
+	ref := math.Inf(1)
+	for _, r := range ds.MicroBeam {
+		if r.DUEFIT.Rate > 0 && r.DUEFIT.Rate < ref {
+			ref = r.DUEFIT.Rate
+		}
+	}
+	if math.IsInf(ref, 1) {
+		ref = 1
+	}
+	t := &table{header: []string{"micro", "SDC [a.u.]", "DUE [a.u.]", "SDC CI95"}}
+	for _, m := range microbench.Catalog(ds.Dev) {
+		r, ok := ds.MicroBeam[m.Name]
+		if !ok {
+			continue
+		}
+		t.add(m.Name,
+			fmt.Sprintf("%.2f", r.SDCFIT.Rate/ref),
+			fmt.Sprintf("%.2f", r.DUEFIT.Rate/ref),
+			fmt.Sprintf("[%.2f,%.2f]", r.SDCFIT.CI.Lower/ref, r.SDCFIT.CI.Upper/ref))
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"Figure 3 — micro-benchmark FIT on %s (normalized to lowest DUE; RF measured with ECC off)", ds.Dev.Name))
+}
+
+// Figure4 renders the per-code AVFs per injector.
+func Figure4(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "tool", "SDC AVF", "DUE AVF", "masked", "n"}}
+	tools := []faultinj.Tool{faultinj.Sassifi, faultinj.NVBitFI}
+	for _, name := range suiteOrder(ds) {
+		for _, tool := range tools {
+			r, ok := ds.AVF[tool][name]
+			if !ok {
+				continue
+			}
+			t.add(name, tool.String(),
+				fmt.Sprintf("%.3f±%.3f", r.SDCAVF.P, r.SDCAVF.HalfWidth()),
+				fmt.Sprintf("%.3f±%.3f", r.DUEAVF.P, r.DUEAVF.HalfWidth()),
+				fmt.Sprintf("%.3f", float64(r.Masked)/float64(r.Injected)),
+				fmt.Sprintf("%d", r.Injected))
+		}
+	}
+	return finish(t, csv, fmt.Sprintf("Figure 4 — AVF on %s", ds.Dev.Name))
+}
+
+// Figure5 renders the beam-measured code FIT rates, normalized to the
+// lowest micro-benchmark DUE as in Figure 3.
+func Figure5(ds *core.DeviceStudy, csv bool) string {
+	ref := math.Inf(1)
+	for _, r := range ds.MicroBeam {
+		if r.DUEFIT.Rate > 0 && r.DUEFIT.Rate < ref {
+			ref = r.DUEFIT.Rate
+		}
+	}
+	if math.IsInf(ref, 1) {
+		ref = 1
+	}
+	t := &table{header: []string{"code", "ECC", "SDC [a.u.]", "DUE [a.u.]", "SDC events", "trials"}}
+	for _, ecc := range []bool{false, true} {
+		for _, name := range suiteOrder(ds) {
+			r, ok := ds.Beam[core.BeamKey{Code: name, ECC: ecc}]
+			if !ok {
+				continue
+			}
+			t.add(name, eccLabel(ecc),
+				fmt.Sprintf("%.3f", r.SDCFIT.Rate/ref),
+				fmt.Sprintf("%.3f", r.DUEFIT.Rate/ref),
+				fmt.Sprintf("%d", r.SDC), fmt.Sprintf("%d", r.Trials))
+		}
+	}
+	return finish(t, csv, fmt.Sprintf("Figure 5 — beam FIT rates on %s (a.u.)", ds.Dev.Name))
+}
+
+// Figure6 renders the signed beam/prediction SDC ratios plus the
+// per-group averages the paper quotes in §VII-A.
+func Figure6(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "ECC", "tool", "beam SDC", "predicted", "ratio"}}
+	cs := aliasComparisons(ds)
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].ECC != cs[j].ECC {
+			return !cs[i].ECC
+		}
+		if cs[i].Tool != cs[j].Tool {
+			return cs[i].Tool < cs[j].Tool
+		}
+		return cs[i].Name < cs[j].Name
+	})
+	groups := map[string][]float64{}
+	for _, c := range cs {
+		ratio := "n/a (0 events)"
+		if !math.IsInf(c.Ratio, 0) && c.Ratio != 0 {
+			ratio = fmt.Sprintf("%+.1fx", c.Ratio)
+			key := fmt.Sprintf("%s ECC %s", c.Tool, eccLabel(c.ECC))
+			groups[key] = append(groups[key], c.Ratio)
+		}
+		t.add(c.Name, eccLabel(c.ECC), c.Tool.String(),
+			fmt.Sprintf("%.4f", c.Measured), fmt.Sprintf("%.4f", c.Predict), ratio)
+	}
+	var b strings.Builder
+	b.WriteString(finish(t, csv, fmt.Sprintf("Figure 6 — beam vs fault-simulation SDC prediction on %s", ds.Dev.Name)))
+	if !csv {
+		var keys []string
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString(fmt.Sprintf("  average difference, %s: %+.1fx (geometric, %d codes)\n",
+				k, stats.GeomMeanAbsSigned(groups[k]), len(groups[k])))
+		}
+	}
+	return b.String()
+}
+
+// ComparisonAlias re-exports fit.Comparison fields for sorting.
+type ComparisonAlias struct {
+	Name     string
+	ECC      bool
+	Tool     faultinj.Tool
+	Measured float64
+	Predict  float64
+	Ratio    float64
+}
+
+func aliasComparisons(ds *core.DeviceStudy) []ComparisonAlias {
+	out := make([]ComparisonAlias, 0, len(ds.Comparisons))
+	for _, c := range ds.Comparisons {
+		out = append(out, ComparisonAlias{
+			Name: c.Name, ECC: c.ECC, Tool: c.Tool,
+			Measured: c.Measured, Predict: c.Predict, Ratio: c.Ratio,
+		})
+	}
+	return out
+}
+
+// DUETable renders the §VII-B DUE underestimation analysis.
+func DUETable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"device", "ECC", "beam DUE / predicted DUE"}}
+	for _, ecc := range []bool{false, true} {
+		if v, ok := ds.DUEUnderestimate[ecc]; ok {
+			t.add(ds.Dev.Name, eccLabel(ecc), fmt.Sprintf("%.0fx", v))
+		}
+	}
+	return finish(t, csv,
+		"§VII-B — beam DUE rate vs prediction (faults in hidden resources dominate DUEs)")
+}
+
+// Full renders every artifact of a device study.
+func Full(ds *core.DeviceStudy, csv bool) string {
+	var b strings.Builder
+	b.WriteString(TableI(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(Figure1(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(Figure3(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(Figure4(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(Figure5(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(Figure6(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(DUETable(ds, csv))
+	return b.String()
+}
+
+func finish(t *table, csv bool, title string) string {
+	var b strings.Builder
+	if csv {
+		t.csv(&b)
+		return b.String()
+	}
+	b.WriteString(title + "\n")
+	t.render(&b)
+	return b.String()
+}
+
+func fmtBytes(n int) string {
+	if n >= 1024 {
+		return fmt.Sprintf("%.1fKB", float64(n)/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func eccLabel(ecc bool) string {
+	if ecc {
+		return "ON"
+	}
+	return "OFF"
+}
+
+// Devices returns the display devices in paper order.
+func Devices(s *core.Study) []*core.DeviceStudy {
+	return []*core.DeviceStudy{s.Kepler, s.Volta}
+}

@@ -1,0 +1,154 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"gpurel/internal/beam"
+	"gpurel/internal/core"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/fit"
+	"gpurel/internal/isa"
+	"gpurel/internal/profiler"
+	"gpurel/internal/stats"
+)
+
+// fakeStudy builds a minimal synthetic DeviceStudy covering every
+// renderer path without running any campaign.
+func fakeStudy() *core.DeviceStudy {
+	dev := device.K40c()
+	mkBeam := func(sdc, due int) *beam.Result {
+		return &beam.Result{
+			Name: "FMXM", Device: dev.Name, Trials: 100,
+			SDC: sdc, DUE: due,
+			SDCFIT: stats.NewRateEstimate(sdc, 100),
+			DUEFIT: stats.NewRateEstimate(due, 100),
+		}
+	}
+	ds := &core.DeviceStudy{
+		Dev: dev,
+		Profiles: map[string]*profiler.CodeProfile{
+			"FMXM": {
+				Name: "FMXM", SharedBytes: 0, RegsPerThread: 13,
+				IPC: 0.45, Occupancy: 0.8,
+				Mix:          map[isa.Class]float64{isa.ClassFMA: 0.2, isa.ClassLDST: 0.4, isa.ClassINT: 0.3, isa.ClassOTHERS: 0.1},
+				PerOpLane:    map[isa.Op]uint64{isa.OpFFMA: 200},
+				TotalLaneOps: 1000,
+			},
+			"NW": {
+				Name: "NW", SharedBytes: 2268, RegsPerThread: 20,
+				IPC: 0.1, Occupancy: 0.12,
+				Mix:          map[isa.Class]float64{isa.ClassINT: 0.7, isa.ClassLDST: 0.2, isa.ClassOTHERS: 0.1},
+				PerOpLane:    map[isa.Op]uint64{isa.OpIADD: 700},
+				TotalLaneOps: 1000,
+			},
+		},
+		MicroBeam: map[string]*beam.Result{
+			"FADD": mkBeam(20, 4),
+			"IADD": mkBeam(60, 9),
+			"RF":   mkBeam(90, 6),
+		},
+		AVF: map[faultinj.Tool]map[string]*faultinj.Result{
+			faultinj.Sassifi: {
+				"FMXM": {
+					Name: "FMXM", Tool: faultinj.Sassifi, Injected: 100,
+					SDC: 40, DUE: 10, Masked: 50,
+					SDCAVF: stats.NewProportion(40, 100),
+					DUEAVF: stats.NewProportion(10, 100),
+				},
+			},
+			faultinj.NVBitFI: {},
+		},
+		Beam: map[core.BeamKey]*beam.Result{
+			{Code: "FMXM", ECC: false}: mkBeam(70, 30),
+			{Code: "FMXM", ECC: true}:  mkBeam(15, 35),
+		},
+		Comparisons: []fit.Comparison{
+			fit.Compare("FMXM", false, faultinj.Sassifi, 0.7, 0.5),
+			fit.Compare("NW", true, faultinj.Sassifi, 0.0, 0.1), // zero events
+		},
+		DUEUnderestimate: map[bool]float64{false: 120, true: 629},
+	}
+	return ds
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := TableI(fakeStudy(), false)
+	for _, want := range []string{"Table I", "FMXM", "0.45", "0.80", "NW", "2.2KB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Rendering(t *testing.T) {
+	out := Figure1(fakeStudy(), false)
+	if !strings.Contains(out, "FMA") || !strings.Contains(out, "70.0%") {
+		t.Errorf("Figure 1 rendering wrong:\n%s", out)
+	}
+}
+
+func TestFigure3Normalization(t *testing.T) {
+	out := Figure3(fakeStudy(), false)
+	// Lowest DUE is FADD's 0.04; its own DUE renders as 1.00.
+	if !strings.Contains(out, "1.00") {
+		t.Errorf("Figure 3 should normalize to the lowest DUE:\n%s", out)
+	}
+	if !strings.Contains(out, "RF") {
+		t.Errorf("Figure 3 missing RF row:\n%s", out)
+	}
+}
+
+func TestFigure4Rendering(t *testing.T) {
+	out := Figure4(fakeStudy(), false)
+	if !strings.Contains(out, "SASSIFI") || !strings.Contains(out, "0.400") {
+		t.Errorf("Figure 4 wrong:\n%s", out)
+	}
+}
+
+func TestFigure5Rendering(t *testing.T) {
+	out := Figure5(fakeStudy(), false)
+	if !strings.Contains(out, "OFF") || !strings.Contains(out, "ON") {
+		t.Errorf("Figure 5 must show both ECC states:\n%s", out)
+	}
+}
+
+func TestFigure6ZeroEventHandling(t *testing.T) {
+	out := Figure6(fakeStudy(), false)
+	if !strings.Contains(out, "n/a (0 events)") {
+		t.Errorf("zero-event comparisons must render as n/a:\n%s", out)
+	}
+	if !strings.Contains(out, "+1.4x") {
+		t.Errorf("FMXM ratio missing:\n%s", out)
+	}
+	if !strings.Contains(out, "average difference") {
+		t.Errorf("group averages missing:\n%s", out)
+	}
+}
+
+func TestDUETableRendering(t *testing.T) {
+	out := DUETable(fakeStudy(), false)
+	if !strings.Contains(out, "120x") || !strings.Contains(out, "629x") {
+		t.Errorf("DUE table wrong:\n%s", out)
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	out := TableI(fakeStudy(), true)
+	if !strings.HasPrefix(out, "code,shared,regs,IPC,occupancy") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "—") || strings.Contains(out, "Table I") {
+		t.Error("CSV must not contain decoration")
+	}
+}
+
+func TestFullIncludesEverything(t *testing.T) {
+	out := Full(fakeStudy(), false)
+	for _, sec := range []string{"Table I", "Figure 1", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "§VII-B"} {
+		if !strings.Contains(out, sec) {
+			t.Errorf("Full output missing %q", sec)
+		}
+	}
+}

@@ -1,0 +1,667 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/mem"
+)
+
+const (
+	defaultMaxCycles = 50_000_000
+	maxSIMTDepth     = 64
+)
+
+// simtEntry is one level of the PDOM reconvergence stack.
+type simtEntry struct {
+	mask uint32
+	pc   int32
+	rpc  int32 // reconvergence PC; popping happens when pc reaches it
+}
+
+type warpState struct {
+	block    *blockState
+	widx     int // warp index within the block
+	fullMask uint32
+
+	stack         []simtEntry
+	exited        uint32
+	atBar         bool
+	pendingReconv int32
+
+	regReady  []int64 // scoreboard: cycle at which each register is ready
+	predReady [8]int64
+
+	done bool
+}
+
+// effTop pops exhausted and reconverged entries and returns the active
+// one, or nil when the warp has finished.
+func (w *warpState) effTop() *simtEntry {
+	for len(w.stack) > 0 {
+		top := &w.stack[len(w.stack)-1]
+		if top.mask&^w.exited == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		if top.pc == top.rpc {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return top
+	}
+	return nil
+}
+
+type blockState struct {
+	cta        int // linear CTA index
+	ctaX, ctaY int
+	threads    int
+
+	regs   [][]uint32 // [thread][register]
+	preds  [][8]bool  // [thread][predicate]
+	shared *mem.Shared
+
+	warps      []*warpState
+	liveWarps  int
+	barWaiting int
+}
+
+type smState struct {
+	warps     []*warpState // resident warps, in residency order
+	liveWarps int
+	lastPick  []int // per-scheduler round-robin cursor
+}
+
+type engine struct {
+	cfg  Config
+	dev  *device.Device
+	prog *isa.Program
+	glob *mem.Global
+
+	dec []decoded
+	occ device.Occupancy
+
+	sms        []smState
+	nextBlock  int
+	totalBlock int
+	liveBlocks int
+
+	cycle     int64
+	maxCycles int64
+
+	fault *FaultPlan
+
+	// Dynamic counters. laneOps is the unfiltered lane-operation clock;
+	// filteredOps advances only on ops matching the fault plan's filter.
+	laneOps     uint64
+	filteredOps uint64
+	perOpLane   [isa.OpCount]uint64
+	warpInstrs  uint64
+
+	activeWarpCycles uint64
+	smCycles         uint64
+	smsUsed          int
+
+	// Fast-forward bookkeeping: when a whole cycle issues nothing, the
+	// engine jumps to the earliest scoreboard-ready time instead of
+	// spinning through memory-latency stalls cycle by cycle.
+	issuedThisCycle int
+	nextReady       int64
+
+	due string
+}
+
+// decoded caches per-instruction metadata the scheduler consults every
+// cycle.
+type decoded struct {
+	in       *isa.Instr
+	unit     device.Unit
+	latency  int64
+	dstBase  isa.Reg
+	dstN     int
+	srcSpans [][2]isa.Reg
+	writesP  bool
+	readsP   isa.PredReg // PT when none beyond the guard
+}
+
+func newEngine(cfg Config, global *mem.Global) (*engine, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	dev, prog := cfg.Device, cfg.Program
+	occ, err := dev.OccupancyFor(cfg.BlockThreads, prog.NumRegs, prog.SharedMem)
+	if err != nil {
+		return nil, fmt.Errorf("sim: launch of %s: %w", prog.Name, err)
+	}
+	e := &engine{
+		cfg:        cfg,
+		dev:        dev,
+		prog:       prog,
+		glob:       global,
+		occ:        occ,
+		totalBlock: cfg.GridX * cfg.GridY,
+		maxCycles:  cfg.MaxCycles,
+		fault:      cfg.Fault,
+	}
+	if e.maxCycles == 0 {
+		e.maxCycles = defaultMaxCycles
+	}
+	e.decode()
+	for i := range e.dec {
+		if dev.UnitsPerSM[e.dec[i].unit] == 0 {
+			return nil, fmt.Errorf("sim: %s uses %s, which %s has no %s units for",
+				prog.Name, e.dec[i].in.Op, dev.Name, e.dec[i].unit)
+		}
+	}
+	e.sms = make([]smState, dev.NumSMs)
+	for i := range e.sms {
+		e.sms[i].lastPick = make([]int, dev.SchedulersPerSM)
+	}
+	// Initial wave: fill SMs round-robin up to the residency limit.
+	for slot := 0; slot < occ.BlocksPerSM; slot++ {
+		for s := range e.sms {
+			e.launchNextBlock(&e.sms[s])
+		}
+	}
+	return e, nil
+}
+
+func (e *engine) decode() {
+	e.dec = make([]decoded, len(e.prog.Instrs))
+	for i := range e.prog.Instrs {
+		in := &e.prog.Instrs[i]
+		d := decoded{
+			in:      in,
+			unit:    e.dev.UnitFor(in.Op),
+			latency: int64(e.dev.Latency(in.Op)),
+			dstBase: in.Dst,
+			dstN:    in.DstRegs(),
+			readsP:  isa.PT,
+		}
+		d.srcSpans = in.SrcRegSpans()
+		switch in.Op {
+		case isa.OpISETP, isa.OpFSETP, isa.OpDSETP, isa.OpHSETP:
+			d.writesP = true
+		case isa.OpSEL:
+			d.readsP = in.DstP
+		}
+		e.dec[i] = d
+	}
+}
+
+// launchNextBlock makes the next pending CTA resident on the SM.
+func (e *engine) launchNextBlock(sm *smState) {
+	if e.nextBlock >= e.totalBlock {
+		return
+	}
+	cta := e.nextBlock
+	e.nextBlock++
+	e.liveBlocks++
+
+	nthreads := e.cfg.BlockThreads
+	nwarps := (nthreads + 31) / 32
+	blk := &blockState{
+		cta:     cta,
+		ctaX:    cta % e.cfg.GridX,
+		ctaY:    cta / e.cfg.GridX,
+		threads: nthreads,
+		regs:    make([][]uint32, nthreads),
+		preds:   make([][8]bool, nthreads),
+		shared:  mem.NewShared(e.prog.SharedMem),
+	}
+	nregs := e.prog.NumRegs
+	if nregs < 1 {
+		nregs = 1
+	}
+	regBacking := make([]uint32, nthreads*nregs)
+	for t := 0; t < nthreads; t++ {
+		blk.regs[t] = regBacking[t*nregs : (t+1)*nregs : (t+1)*nregs]
+		blk.preds[t][isa.PT] = true
+	}
+	for wi := 0; wi < nwarps; wi++ {
+		lanes := 32
+		if wi == nwarps-1 && nthreads%32 != 0 {
+			lanes = nthreads % 32
+		}
+		full := uint32(1)<<lanes - 1
+		if lanes == 32 {
+			full = ^uint32(0)
+		}
+		w := &warpState{
+			block:         blk,
+			widx:          wi,
+			fullMask:      full,
+			stack:         []simtEntry{{mask: full, pc: 0, rpc: -1}},
+			pendingReconv: -1,
+			regReady:      make([]int64, nregs),
+		}
+		blk.warps = append(blk.warps, w)
+		sm.warps = append(sm.warps, w)
+	}
+	blk.liveWarps = nwarps
+	sm.liveWarps += nwarps
+}
+
+// retireWarp handles a fully exited warp.
+func (e *engine) retireWarp(sm *smState, w *warpState) {
+	if w.done {
+		return
+	}
+	w.done = true
+	e.issuedThisCycle++ // retirement is forward progress for deadlock detection
+	sm.liveWarps--
+	blk := w.block
+	blk.liveWarps--
+	e.checkBarrier(blk)
+	if blk.liveWarps == 0 {
+		e.liveBlocks--
+		// Compact the SM's warp list and backfill with a pending CTA.
+		kept := sm.warps[:0]
+		for _, ww := range sm.warps {
+			if ww.block != blk {
+				kept = append(kept, ww)
+			}
+		}
+		sm.warps = kept
+		e.launchNextBlock(sm)
+	}
+}
+
+func (e *engine) checkBarrier(blk *blockState) {
+	if blk.liveWarps > 0 && blk.barWaiting >= blk.liveWarps {
+		for _, w := range blk.warps {
+			w.atBar = false
+		}
+		blk.barWaiting = 0
+	}
+}
+
+// run executes the launch to completion or DUE.
+func (e *engine) run() *Result {
+	for i := range e.sms {
+		if len(e.sms[i].warps) > 0 {
+			e.smsUsed++
+		}
+	}
+	slots := make([]int, device.UnitCount)
+	for e.liveBlocks > 0 || e.nextBlock < e.totalBlock {
+		e.cycle++
+		if e.cycle > e.maxCycles {
+			e.due = "watchdog timeout (hang)"
+			break
+		}
+		e.issuedThisCycle = 0
+		e.nextReady = int64(1) << 62
+		for s := range e.sms {
+			sm := &e.sms[s]
+			if sm.liveWarps == 0 {
+				continue
+			}
+			e.smCycles++
+			e.activeWarpCycles += uint64(sm.liveWarps)
+			for u := range slots {
+				slots[u] = e.dev.IssueSlots(device.Unit(u))
+			}
+			for sched := 0; sched < e.dev.SchedulersPerSM; sched++ {
+				e.scheduleOne(sm, sched, slots)
+				if e.due != "" {
+					break
+				}
+			}
+			if e.due != "" {
+				break
+			}
+		}
+		if e.due != "" {
+			break
+		}
+		if e.issuedThisCycle == 0 && (e.liveBlocks > 0 || e.nextBlock < e.totalBlock) {
+			// Every live warp is stalled. Jump to the earliest time the
+			// scoreboard unblocks anyone, crediting the skipped cycles to
+			// the occupancy accounting.
+			if e.nextReady >= int64(1)<<62 {
+				e.due = "scheduler deadlock: no warp can ever issue"
+				break
+			}
+			skip := e.nextReady - e.cycle - 1
+			if skip > 0 {
+				if e.cycle+skip > e.maxCycles {
+					skip = e.maxCycles - e.cycle
+				}
+				for s := range e.sms {
+					if lw := e.sms[s].liveWarps; lw > 0 {
+						e.smCycles += uint64(skip)
+						e.activeWarpCycles += uint64(skip) * uint64(lw)
+					}
+				}
+				e.cycle += skip
+			}
+		}
+	}
+
+	res := &Result{
+		Profile: Profile{
+			Cycles:           e.cycle,
+			WarpInstrs:       e.warpInstrs,
+			LaneOps:          e.laneOps,
+			PerOpLane:        make(map[isa.Op]uint64),
+			ActiveWarpCycles: e.activeWarpCycles,
+			SMCycles:         e.smCycles,
+			SMsUsed:          e.smsUsed,
+		},
+	}
+	for op, n := range e.perOpLane {
+		if n > 0 {
+			res.Profile.PerOpLane[isa.Op(op)] = n
+		}
+	}
+	if e.due != "" {
+		res.Outcome = OutcomeDUE
+		res.DUEReason = e.due
+	}
+	return res
+}
+
+// scheduleOne lets one scheduler pick a warp and issue up to
+// IssuePerScheduler instructions from it.
+func (e *engine) scheduleOne(sm *smState, sched int, slots []int) {
+	n := len(sm.warps)
+	if n == 0 {
+		return
+	}
+	start := sm.lastPick[sched]
+	for probe := 0; probe < n; probe++ {
+		wi := (start + probe) % n
+		// Warp retirement compacts sm.warps mid-scan; skip stale indices.
+		if wi >= len(sm.warps) {
+			continue
+		}
+		if wi%e.dev.SchedulersPerSM != sched {
+			continue
+		}
+		w := sm.warps[wi]
+		if w.done || w.atBar {
+			continue
+		}
+		top := w.effTop()
+		if top == nil {
+			e.retireWarp(sm, w)
+			continue
+		}
+		if !e.ready(w, top, slots) {
+			continue
+		}
+		issued := 0
+		for issued < e.dev.IssuePerScheduler {
+			top = w.effTop()
+			if top == nil {
+				e.retireWarp(sm, w)
+				break
+			}
+			if w.atBar || !e.ready(w, top, slots) {
+				break
+			}
+			ctrl := e.issue(sm, w, top, slots)
+			issued++
+			if ctrl || e.due != "" {
+				break // do not dual-issue past control flow
+			}
+		}
+		sm.lastPick[sched] = wi + 1
+		return
+	}
+}
+
+// ready checks scoreboard and issue-slot availability for the warp's next
+// instruction.
+func (e *engine) ready(w *warpState, top *simtEntry, slots []int) bool {
+	if int(top.pc) >= len(e.dec) {
+		return true // will fault at issue
+	}
+	d := &e.dec[top.pc]
+	if slots[d.unit] <= 0 {
+		return false
+	}
+	now := e.cycle
+	ok := true
+	block := func(ready int64) {
+		ok = false
+		if ready < e.nextReady {
+			e.nextReady = ready
+		}
+	}
+	for _, span := range d.srcSpans {
+		for r := span[0]; r < span[0]+span[1]; r++ {
+			if w.regReady[r] > now {
+				block(w.regReady[r])
+			}
+		}
+	}
+	for r := d.dstBase; r < d.dstBase+isa.Reg(d.dstN); r++ {
+		if r != isa.RZ && w.regReady[r] > now {
+			block(w.regReady[r])
+		}
+	}
+	in := d.in
+	if in.Pred != isa.PT && w.predReady[in.Pred] > now {
+		block(w.predReady[in.Pred])
+	}
+	if d.readsP != isa.PT && w.predReady[d.readsP] > now {
+		block(w.predReady[d.readsP])
+	}
+	if d.writesP && in.DstP != isa.PT && w.predReady[in.DstP] > now {
+		block(w.predReady[in.DstP])
+	}
+	return ok
+}
+
+// issue executes one warp-instruction. It returns true when the
+// instruction was control flow (ends a dual-issue pair).
+func (e *engine) issue(sm *smState, w *warpState, top *simtEntry, slots []int) bool {
+	pc := top.pc
+	if int(pc) >= len(e.dec) || pc < 0 {
+		e.due = fmt.Sprintf("instruction fetch beyond program end (pc=%d)", pc)
+		return true
+	}
+	d := &e.dec[pc]
+	in := d.in
+	slots[d.unit]--
+	e.warpInstrs++
+	e.issuedThisCycle++
+	if e.cfg.Trace != nil {
+		fmt.Fprintf(e.cfg.Trace, "%8d cta%03d w%02d /*%04d*/ %s\n",
+			e.cycle, w.block.cta, w.widx, pc, in.String())
+	}
+
+	// Guard evaluation per lane.
+	active := top.mask &^ w.exited
+	if in.Pred != isa.PT {
+		var pm uint32
+		base := w.widx * 32
+		for lane := 0; lane < 32; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			pv := w.block.preds[base+lane][in.Pred]
+			if pv != in.PredNeg {
+				pm |= 1 << lane
+			}
+		}
+		if !in.Op.IsControl() {
+			active = pm
+		} else {
+			// Control flow interprets the predicate itself (BRA).
+			return e.control(sm, w, top, in, active, pm)
+		}
+	} else if in.Op.IsControl() {
+		return e.control(sm, w, top, in, active, active)
+	}
+
+	// Dynamic counting and fault triggering happen on executed lanes.
+	lanes := bits.OnesCount32(active)
+	e.perOpLane[in.Op] += uint64(lanes)
+	faultLane := e.armFault(in.Op, active, lanes)
+	e.laneOps += uint64(lanes)
+
+	if active != 0 && faultLane != skipWholeInstr {
+		e.exec(w, d, active, faultLane)
+	}
+	// Scoreboard updates.
+	for r := d.dstBase; r < d.dstBase+isa.Reg(d.dstN); r++ {
+		if r != isa.RZ {
+			w.regReady[r] = e.cycle + d.latency
+		}
+	}
+	if d.writesP && in.DstP != isa.PT {
+		w.predReady[in.DstP] = e.cycle + d.latency
+	}
+	top.pc = pc + 1
+	return false
+}
+
+const (
+	noFault        = -1
+	skipWholeInstr = -2
+)
+
+// armFault advances the fault-trigger clocks and returns the lane (bit
+// position) on which an operation-targeted fault fires during this
+// warp-instruction, noFault when none, or skipWholeInstr for FaultSkip.
+// Storage faults are applied immediately here.
+func (e *engine) armFault(op isa.Op, active uint32, lanes int) int {
+	f := e.fault
+	if f == nil || f.Fired {
+		return noFault
+	}
+	switch f.Kind {
+	case FaultRFBit, FaultSharedBit, FaultGlobalBit:
+		if e.laneOps+uint64(lanes) > f.TriggerIndex {
+			e.applyStorageFault()
+		}
+		return noFault
+	}
+	if !f.matches(op) {
+		return noFault
+	}
+	idx := e.filteredOps
+	e.filteredOps += uint64(lanes)
+	if f.TriggerIndex >= idx && f.TriggerIndex < idx+uint64(lanes) {
+		f.Fired = true
+		if f.Kind == FaultSkip {
+			return skipWholeInstr
+		}
+		// Map the offset to the n-th active lane.
+		nth := int(f.TriggerIndex - idx)
+		for lane := 0; lane < 32; lane++ {
+			if active&(1<<lane) != 0 {
+				if nth == 0 {
+					return lane
+				}
+				nth--
+			}
+		}
+	}
+	return noFault
+}
+
+// applyStorageFault flips the planned storage bit if its target is
+// resident; otherwise the strike lands on dead state (Landed stays false
+// and the campaign counts it as masked by construction).
+func (e *engine) applyStorageFault() {
+	f := e.fault
+	f.Fired = true
+	switch f.Kind {
+	case FaultGlobalBit:
+		e.glob.FlipBit(f.BitIdx)
+		f.Landed = true
+	case FaultRFBit, FaultSharedBit:
+		blk := e.findResident(f.Block)
+		if blk == nil {
+			return // target CTA not resident: strike hits dead state
+		}
+		if f.Kind == FaultSharedBit {
+			blk.shared.FlipBit(f.BitIdx)
+			f.Landed = true
+			return
+		}
+		t := f.Thread % blk.threads
+		regs := blk.regs[t]
+		r := f.Reg % len(regs)
+		regs[r] ^= 1 << (f.Bit & 31)
+		f.Landed = true
+	}
+}
+
+func (e *engine) findResident(cta int) *blockState {
+	for s := range e.sms {
+		for _, w := range e.sms[s].warps {
+			if w.block.cta == cta {
+				return w.block
+			}
+		}
+	}
+	return nil
+}
+
+// control executes control-flow instructions. predMask holds the lanes
+// (within active) where the guard predicate evaluated true.
+func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Instr, active, predMask uint32) bool {
+	e.perOpLane[in.Op] += uint64(bits.OnesCount32(active))
+	e.laneOps += uint64(bits.OnesCount32(active))
+	pc := top.pc
+	switch in.Op {
+	case isa.OpSSY:
+		w.pendingReconv = int32(in.Target)
+		top.pc = pc + 1
+	case isa.OpBRA:
+		taken := predMask
+		rpc := w.pendingReconv
+		w.pendingReconv = -1
+		switch {
+		case taken == 0:
+			top.pc = pc + 1
+		case taken == active:
+			top.pc = int32(in.Target)
+		default:
+			if rpc < 0 {
+				rpc = pc + 1
+			}
+			if len(w.stack) >= maxSIMTDepth {
+				e.due = "divergence stack overflow"
+				return true
+			}
+			top.pc = rpc
+			w.stack = append(w.stack,
+				simtEntry{mask: active &^ taken, pc: pc + 1, rpc: rpc},
+				simtEntry{mask: taken, pc: int32(in.Target), rpc: rpc},
+			)
+		}
+	case isa.OpSYNC:
+		if top.rpc < 0 {
+			e.due = "SYNC outside divergent region"
+			return true
+		}
+		top.pc = top.rpc
+	case isa.OpBAR:
+		if active != w.fullMask&^w.exited {
+			e.due = "barrier with divergent warp"
+			return true
+		}
+		w.atBar = true
+		w.block.barWaiting++
+		e.checkBarrier(w.block)
+		top.pc = pc + 1
+	case isa.OpEXIT:
+		w.exited |= predMask
+		top.pc = pc + 1
+		if w.exited == w.fullMask {
+			e.retireWarp(sm, w)
+		}
+	default:
+		e.due = fmt.Sprintf("unhandled control op %s", in.Op)
+	}
+	return true
+}

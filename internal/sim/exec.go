@@ -1,0 +1,516 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gpurel/internal/isa"
+)
+
+// exec functionally executes one warp-instruction over the active lanes.
+// faultLane >= 0 selects the lane whose result the armed fault corrupts.
+func (e *engine) exec(w *warpState, d *decoded, active uint32, faultLane int) {
+	in := d.in
+	switch in.Op {
+	case isa.OpHMMA, isa.OpFMMA:
+		e.execMMA(w, d, active, faultLane)
+		return
+	case isa.OpLDG, isa.OpSTG, isa.OpLDS, isa.OpSTS, isa.OpRED:
+		e.execMem(w, d, active, faultLane)
+		return
+	}
+	base := w.widx * 32
+	for lane := 0; lane < 32; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		t := base + lane
+		regs := w.block.regs[t]
+		faulted := lane == faultLane
+		e.execLane(w, in, t, regs, faulted)
+	}
+}
+
+// src reads a 32-bit source operand for a lane.
+func src(regs []uint32, o isa.Operand) uint32 {
+	if o.IsImm {
+		return o.Imm
+	}
+	if o.Reg == isa.RZ {
+		return 0
+	}
+	return regs[o.Reg]
+}
+
+func src64(regs []uint32, o isa.Operand) uint64 {
+	if o.IsImm {
+		return uint64(o.Imm)
+	}
+	if o.Reg == isa.RZ {
+		return 0
+	}
+	return uint64(regs[o.Reg]) | uint64(regs[o.Reg+1])<<32
+}
+
+func f32src(regs []uint32, o isa.Operand, neg bool) float32 {
+	v := math.Float32frombits(src(regs, o))
+	if neg {
+		return -v
+	}
+	return v
+}
+
+func f64src(regs []uint32, o isa.Operand, neg bool) float64 {
+	v := math.Float64frombits(src64(regs, o))
+	if neg {
+		return -v
+	}
+	return v
+}
+
+func h16src(regs []uint32, o isa.Operand, neg bool) float32 {
+	v := isa.F16ToF32(isa.Float16(src(regs, o) & 0xffff))
+	if neg {
+		return -v
+	}
+	return v
+}
+
+// writeReg writes a 32-bit destination, applying a value-bit or
+// register-index fault when this lane is the fault target.
+func (e *engine) writeReg(regs []uint32, dst isa.Reg, v uint32, faulted bool) {
+	if faulted && e.fault != nil {
+		switch e.fault.Kind {
+		case FaultValueBit:
+			v ^= 1 << (e.fault.Bit & 31)
+		case FaultRegIndex:
+			// The result lands in a corrupted destination register.
+			alt := (int(dst) ^ (1 << (e.fault.Bit % 5))) % len(regs)
+			if isa.Reg(alt) != isa.RZ {
+				regs[alt] = v
+			}
+			return
+		}
+	}
+	if dst != isa.RZ {
+		regs[dst] = v
+	}
+}
+
+func (e *engine) writeReg64(regs []uint32, dst isa.Reg, v uint64, faulted bool) {
+	if faulted && e.fault != nil && e.fault.Kind == FaultValueBit {
+		v ^= 1 << (e.fault.Bit & 63)
+	}
+	regs[dst] = uint32(v)
+	regs[dst+1] = uint32(v >> 32)
+}
+
+// execLane executes one generic (non-memory, non-MMA) op for one lane.
+func (e *engine) execLane(w *warpState, in *isa.Instr, t int, regs []uint32, faulted bool) {
+	preds := &w.block.preds[t]
+	switch in.Op {
+	case isa.OpNOP:
+
+	case isa.OpMOV, isa.OpMOV32I:
+		e.writeReg(regs, in.Dst, src(regs, in.Srcs[0]), faulted)
+
+	case isa.OpSEL:
+		v := src(regs, in.Srcs[1])
+		if preds[in.DstP] {
+			v = src(regs, in.Srcs[0])
+		}
+		e.writeReg(regs, in.Dst, v, faulted)
+
+	case isa.OpS2R:
+		e.writeReg(regs, in.Dst, e.special(w, t, in.SReg), faulted)
+
+	case isa.OpFADD:
+		v := f32src(regs, in.Srcs[0], in.Neg[0]) + f32src(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+	case isa.OpFMUL:
+		v := f32src(regs, in.Srcs[0], in.Neg[0]) * f32src(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+	case isa.OpFFMA:
+		v := float32(math.FMA(
+			float64(f32src(regs, in.Srcs[0], in.Neg[0])),
+			float64(f32src(regs, in.Srcs[1], in.Neg[1])),
+			float64(f32src(regs, in.Srcs[2], in.Neg[2]))))
+		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+
+	case isa.OpDADD:
+		v := f64src(regs, in.Srcs[0], in.Neg[0]) + f64src(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+	case isa.OpDMUL:
+		v := f64src(regs, in.Srcs[0], in.Neg[0]) * f64src(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+	case isa.OpDFMA:
+		v := math.FMA(
+			f64src(regs, in.Srcs[0], in.Neg[0]),
+			f64src(regs, in.Srcs[1], in.Neg[1]),
+			f64src(regs, in.Srcs[2], in.Neg[2]))
+		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+
+	case isa.OpHADD:
+		v := h16src(regs, in.Srcs[0], in.Neg[0]) + h16src(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(v)), faulted)
+	case isa.OpHMUL:
+		v := h16src(regs, in.Srcs[0], in.Neg[0]) * h16src(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(v)), faulted)
+	case isa.OpHFMA:
+		v := float32(math.FMA(
+			float64(h16src(regs, in.Srcs[0], in.Neg[0])),
+			float64(h16src(regs, in.Srcs[1], in.Neg[1])),
+			float64(h16src(regs, in.Srcs[2], in.Neg[2]))))
+		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(v)), faulted)
+
+	case isa.OpIADD:
+		v := isrc(regs, in.Srcs[0], in.Neg[0]) + isrc(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg(regs, in.Dst, uint32(v), faulted)
+	case isa.OpIMUL:
+		v := isrc(regs, in.Srcs[0], in.Neg[0]) * isrc(regs, in.Srcs[1], in.Neg[1])
+		e.writeReg(regs, in.Dst, uint32(v), faulted)
+	case isa.OpIMAD:
+		v := isrc(regs, in.Srcs[0], in.Neg[0])*isrc(regs, in.Srcs[1], in.Neg[1]) +
+			isrc(regs, in.Srcs[2], in.Neg[2])
+		e.writeReg(regs, in.Dst, uint32(v), faulted)
+	case isa.OpIMNMX:
+		a, b := isrc(regs, in.Srcs[0], false), isrc(regs, in.Srcs[1], false)
+		v := a
+		if (in.Cmp == isa.CmpLT) == (b < a) {
+			v = b
+		}
+		e.writeReg(regs, in.Dst, uint32(v), faulted)
+	case isa.OpLOP:
+		a, b := src(regs, in.Srcs[0]), src(regs, in.Srcs[1])
+		var v uint32
+		switch in.Logic {
+		case isa.LopAND:
+			v = a & b
+		case isa.LopOR:
+			v = a | b
+		case isa.LopXOR:
+			v = a ^ b
+		}
+		e.writeReg(regs, in.Dst, v, faulted)
+	case isa.OpSHF:
+		a, b := src(regs, in.Srcs[0]), src(regs, in.Srcs[1])&31
+		var v uint32
+		if in.Shift == isa.ShiftL {
+			v = a << b
+		} else {
+			v = a >> b
+		}
+		e.writeReg(regs, in.Dst, v, faulted)
+
+	case isa.OpISETP:
+		a, b := isrc(regs, in.Srcs[0], false), isrc(regs, in.Srcs[1], false)
+		e.writePred(preds, in, compareI(in.Cmp, a, b), faulted)
+	case isa.OpFSETP:
+		e.writePred(preds, in, compareF(in.Cmp,
+			float64(f32src(regs, in.Srcs[0], false)), float64(f32src(regs, in.Srcs[1], false))), faulted)
+	case isa.OpDSETP:
+		e.writePred(preds, in, compareF(in.Cmp,
+			f64src(regs, in.Srcs[0], false), f64src(regs, in.Srcs[1], false)), faulted)
+	case isa.OpHSETP:
+		e.writePred(preds, in, compareF(in.Cmp,
+			float64(h16src(regs, in.Srcs[0], false)), float64(h16src(regs, in.Srcs[1], false))), faulted)
+
+	case isa.OpF2F:
+		e.convertF2F(regs, in, faulted)
+	case isa.OpF2I:
+		f := f32src(regs, in.Srcs[0], false)
+		e.writeReg(regs, in.Dst, uint32(clampI32(f)), faulted)
+	case isa.OpI2F:
+		v := float32(isrc(regs, in.Srcs[0], false))
+		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+
+	case isa.OpMUFU:
+		x := float64(f32src(regs, in.Srcs[0], false))
+		var v float64
+		switch in.Mufu {
+		case isa.MufuRCP:
+			v = 1 / x
+		case isa.MufuSQRT:
+			v = math.Sqrt(x)
+		case isa.MufuRSQ:
+			v = 1 / math.Sqrt(x)
+		case isa.MufuEX2:
+			v = math.Exp2(x)
+		case isa.MufuLG2:
+			v = math.Log2(x)
+		case isa.MufuSIN:
+			v = math.Sin(x)
+		case isa.MufuCOS:
+			v = math.Cos(x)
+		}
+		e.writeReg(regs, in.Dst, math.Float32bits(float32(v)), faulted)
+
+	default:
+		e.due = fmt.Sprintf("unimplemented opcode %s", in.Op)
+	}
+}
+
+// writePred writes a SETP result, modeling predicate-register faults.
+func (e *engine) writePred(preds *[8]bool, in *isa.Instr, v bool, faulted bool) {
+	if faulted && e.fault != nil && e.fault.Kind == FaultPredBit {
+		v = !v
+	}
+	if in.DstP != isa.PT {
+		preds[in.DstP] = v
+	}
+}
+
+func isrc(regs []uint32, o isa.Operand, neg bool) int32 {
+	v := int32(src(regs, o))
+	if neg {
+		return -v
+	}
+	return v
+}
+
+func compareI(c isa.CmpOp, a, b int32) bool {
+	switch c {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpGE:
+		return a >= b
+	default:
+		return a > b
+	}
+}
+
+func compareF(c isa.CmpOp, a, b float64) bool {
+	switch c {
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpGE:
+		return a >= b
+	default:
+		return a > b
+	}
+}
+
+func clampI32(f float32) int32 {
+	switch {
+	case f != f: // NaN
+		return 0
+	case f >= math.MaxInt32:
+		return math.MaxInt32
+	case f <= math.MinInt32:
+		return math.MinInt32
+	default:
+		return int32(f)
+	}
+}
+
+func (e *engine) convertF2F(regs []uint32, in *isa.Instr, faulted bool) {
+	switch {
+	case in.CvtFrom == isa.F32 && in.CvtTo == isa.F64:
+		v := float64(f32src(regs, in.Srcs[0], false))
+		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+	case in.CvtFrom == isa.F64 && in.CvtTo == isa.F32:
+		v := float32(f64src(regs, in.Srcs[0], false))
+		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+	case in.CvtFrom == isa.F32 && in.CvtTo == isa.F16:
+		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(f32src(regs, in.Srcs[0], false))), faulted)
+	case in.CvtFrom == isa.F16 && in.CvtTo == isa.F32:
+		e.writeReg(regs, in.Dst, math.Float32bits(h16src(regs, in.Srcs[0], false)), faulted)
+	case in.CvtFrom == isa.F64 && in.CvtTo == isa.F16:
+		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(float32(f64src(regs, in.Srcs[0], false)))), faulted)
+	case in.CvtFrom == isa.F16 && in.CvtTo == isa.F64:
+		e.writeReg64(regs, in.Dst, math.Float64bits(float64(h16src(regs, in.Srcs[0], false))), faulted)
+	default:
+		e.due = fmt.Sprintf("unsupported F2F conversion %s->%s", in.CvtFrom, in.CvtTo)
+	}
+}
+
+func (e *engine) special(w *warpState, t int, sr isa.SpecialReg) uint32 {
+	blk := w.block
+	switch sr {
+	case isa.SrTidX:
+		return uint32(t)
+	case isa.SrTidY:
+		return 0
+	case isa.SrCtaidX:
+		return uint32(blk.ctaX)
+	case isa.SrCtaidY:
+		return uint32(blk.ctaY)
+	case isa.SrNtidX:
+		return uint32(blk.threads)
+	case isa.SrNtidY:
+		return 1
+	case isa.SrNctaidX:
+		return uint32(e.cfg.GridX)
+	case isa.SrNctaidY:
+		return uint32(e.cfg.GridY)
+	case isa.SrLaneID:
+		return uint32(t % 32)
+	case isa.SrWarpID:
+		return uint32(w.widx)
+	default:
+		return 0
+	}
+}
+
+// execMem executes a memory warp-instruction. Address faults and invalid
+// accesses surface here.
+func (e *engine) execMem(w *warpState, d *decoded, active uint32, faultLane int) {
+	in := d.in
+	base := w.widx * 32
+	for lane := 0; lane < 32; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		t := base + lane
+		regs := w.block.regs[t]
+		addr := src(regs, in.Srcs[0]) + in.Srcs[1].Imm
+		faulted := lane == faultLane
+		if faulted && e.fault.Kind == FaultAddrBit {
+			// SASS addresses are 64-bit; the simulated arena lives in the
+			// low 32. A flip in the high word always leaves the valid
+			// range, like a strike pushing a pointer out of the VA space.
+			if b := e.fault.Bit & 63; b >= 32 {
+				addr |= 0x8000_0000
+			} else {
+				addr ^= 1 << b
+			}
+		}
+		var err error
+		switch in.Op {
+		case isa.OpLDG:
+			if in.Wide {
+				var lo, hi uint32
+				lo, hi, err = e.glob.Load64(addr)
+				if err == nil {
+					e.writeReg64(regs, in.Dst, uint64(lo)|uint64(hi)<<32, faulted)
+				}
+			} else {
+				var v uint32
+				v, err = e.glob.Load32(addr)
+				if err == nil {
+					e.writeReg(regs, in.Dst, v, faulted)
+				}
+			}
+		case isa.OpSTG:
+			v := in.Srcs[2].Reg
+			sv := uint32(0)
+			if v != isa.RZ {
+				sv = regs[v]
+			}
+			if faulted && e.fault.Kind == FaultValueBit {
+				sv ^= 1 << (e.fault.Bit & 31)
+			}
+			if in.Wide {
+				err = e.glob.Store64(addr, sv, regs[v+1])
+			} else {
+				err = e.glob.Store32(addr, sv)
+			}
+		case isa.OpLDS:
+			if in.Wide {
+				var lo, hi uint32
+				lo, hi, err = w.block.shared.Load64(addr)
+				if err == nil {
+					e.writeReg64(regs, in.Dst, uint64(lo)|uint64(hi)<<32, faulted)
+				}
+			} else {
+				var v uint32
+				v, err = w.block.shared.Load32(addr)
+				if err == nil {
+					e.writeReg(regs, in.Dst, v, faulted)
+				}
+			}
+		case isa.OpSTS:
+			v := in.Srcs[2].Reg
+			sv := uint32(0)
+			if v != isa.RZ {
+				sv = regs[v]
+			}
+			if faulted && e.fault.Kind == FaultValueBit {
+				sv ^= 1 << (e.fault.Bit & 31)
+			}
+			if in.Wide {
+				err = w.block.shared.Store64(addr, sv, regs[v+1])
+			} else {
+				err = w.block.shared.Store32(addr, sv)
+			}
+		case isa.OpRED:
+			v := in.Srcs[2].Reg
+			sv := uint32(0)
+			if v != isa.RZ {
+				sv = regs[v]
+			}
+			_, err = e.glob.AtomicAdd32(addr, sv)
+		}
+		if err != nil {
+			e.due = err.Error()
+			return
+		}
+	}
+}
+
+// MMA fragment layout (16x16 tiles distributed over 32 lanes):
+// element (i,j), flat = i*16+j:
+//
+//	A/B half fragments: lane = flat/8, slot = flat%8, register = base +
+//	  slot/2, half = slot%2 (low/high 16 bits);
+//	FP32 fragments (FMMA inputs and all accumulators): lane = flat/8,
+//	  register = base + flat%8.
+func (e *engine) execMMA(w *warpState, d *decoded, active uint32, faultLane int) {
+	in := d.in
+	if active != w.fullMask || w.fullMask != ^uint32(0) {
+		e.due = "MMA issued by divergent or partial warp"
+		return
+	}
+	base := w.widx * 32
+	regAt := func(lane int, r isa.Reg) uint32 { return w.block.regs[base+lane][r] }
+
+	var a, b [16][16]float32
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			flat := i*16 + j
+			lane, slot := flat/8, flat%8
+			if in.Op == isa.OpHMMA {
+				av := regAt(lane, in.Srcs[0].Reg+isa.Reg(slot/2))
+				bv := regAt(lane, in.Srcs[1].Reg+isa.Reg(slot/2))
+				sh := uint32(slot%2) * 16
+				a[i][j] = isa.F16ToF32(isa.Float16(av >> sh & 0xffff))
+				b[i][j] = isa.F16ToF32(isa.Float16(bv >> sh & 0xffff))
+			} else {
+				// FMMA: FP32 fragments cast to FP16 on the tensor core.
+				av := math.Float32frombits(regAt(lane, in.Srcs[0].Reg+isa.Reg(slot)))
+				bv := math.Float32frombits(regAt(lane, in.Srcs[1].Reg+isa.Reg(slot)))
+				a[i][j] = isa.F16ToF32(isa.F32ToF16(av))
+				b[i][j] = isa.F16ToF32(isa.F32ToF16(bv))
+			}
+		}
+	}
+	// D = A*B + C with FP32 accumulation.
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			flat := i*16 + j
+			lane, slot := flat/8, flat%8
+			acc := math.Float32frombits(regAt(lane, in.Srcs[2].Reg+isa.Reg(slot)))
+			for k := 0; k < 16; k++ {
+				acc += a[i][k] * b[k][j]
+			}
+			out := math.Float32bits(acc)
+			if lane == faultLane && e.fault != nil && e.fault.Kind == FaultValueBit &&
+				slot == e.fault.Bit/32%8 {
+				out ^= 1 << (e.fault.Bit & 31)
+			}
+			w.block.regs[base+lane][in.Dst+isa.Reg(slot)] = out
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package sim is the SIMT architectural simulator: it executes SASS-like
+// programs (internal/isa, built by internal/asm) on a simulated GPU
+// (internal/device) with warp-level scheduling, scoreboarding, PDOM
+// divergence reconvergence, block residency governed by the occupancy
+// rules, and cycle-approximate timing.
+//
+// The simulator is the injection surface shared by all three
+// methodologies of the paper: the profiler reads its dynamic counters,
+// the fault injectors perturb architectural state through FaultPlan, and
+// the beam campaign adds storage and hidden-resource strikes on top.
+//
+// Runs are fully deterministic: the same program, inputs, and fault plan
+// produce the same result, which the injectors rely on for golden
+// comparison.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/mem"
+)
+
+// Config describes one kernel launch.
+type Config struct {
+	Device  *device.Device
+	Program *isa.Program
+
+	// GridX and GridY give the block grid; BlockThreads is the 1-D block
+	// size (CTAs with 2-D indexing read SR_CTAID.X/Y).
+	GridX, GridY int
+	BlockThreads int
+
+	// MaxCycles is the watchdog budget; exceeding it is a DUE (hang).
+	// Zero means 50 million cycles.
+	MaxCycles int64
+
+	// Fault optionally perturbs the run (nil for golden runs).
+	Fault *FaultPlan
+
+	// Trace, when non-nil, receives one line per issued warp-instruction
+	// ("cycle sm warp pc disassembly"), the dynamic analogue of
+	// Program.Disassemble. Tracing slows simulation considerably; use it
+	// for debugging kernels, not campaigns.
+	Trace io.Writer
+}
+
+// Outcome classifies how a run terminated.
+type Outcome uint8
+
+// Run outcomes. SDCs are not visible at this level: they are determined
+// by the workload's output comparator.
+const (
+	OutcomeOK Outcome = iota
+	OutcomeDUE
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if o == OutcomeOK {
+		return "ok"
+	}
+	return "DUE"
+}
+
+// Result is the outcome of one launch.
+type Result struct {
+	Outcome   Outcome
+	DUEReason string
+	Profile   Profile
+}
+
+// Profile carries the dynamic execution metrics the profiler and the
+// beam's exposure model consume.
+type Profile struct {
+	Cycles     int64
+	WarpInstrs uint64
+	LaneOps    uint64
+
+	// PerOpLane counts executed lane-level operations per opcode.
+	PerOpLane map[isa.Op]uint64
+
+	// ActiveWarpCycles sums, over all cycles and SMs, the number of
+	// resident unfinished warps; SMCycles sums the cycles during which
+	// each SM had at least one live warp.
+	ActiveWarpCycles uint64
+	SMCycles         uint64
+
+	// SMsUsed is the number of SMs that received at least one block.
+	SMsUsed int
+}
+
+// IPC returns issued warp-instructions per SM-cycle, the metric NVIDIA
+// profilers call "issued IPC" and Table I reports.
+func (p *Profile) IPC() float64 {
+	if p.SMCycles == 0 {
+		return 0
+	}
+	return float64(p.WarpInstrs) / float64(p.SMCycles)
+}
+
+// AchievedOccupancy returns average resident warps per SM-cycle divided
+// by the maximum resident warps, as in Table I.
+func (p *Profile) AchievedOccupancy(dev *device.Device) float64 {
+	if p.SMCycles == 0 {
+		return 0
+	}
+	return float64(p.ActiveWarpCycles) / float64(p.SMCycles) / float64(dev.MaxWarpsPerSM)
+}
+
+// ClassLaneOps aggregates lane-op counts by Figure-1 instruction class.
+func (p *Profile) ClassLaneOps() map[isa.Class]uint64 {
+	out := make(map[isa.Class]uint64, isa.ClassCount)
+	for op, n := range p.PerOpLane {
+		out[op.ClassOf()] += n
+	}
+	return out
+}
+
+// Run launches the kernel and simulates it to completion.
+func Run(cfg Config, global *mem.Global) (*Result, error) {
+	e, err := newEngine(cfg, global)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(), nil
+}
+
+func validate(cfg Config) error {
+	switch {
+	case cfg.Device == nil:
+		return fmt.Errorf("sim: nil device")
+	case cfg.Program == nil:
+		return fmt.Errorf("sim: nil program")
+	case cfg.GridX <= 0 || cfg.GridY <= 0:
+		return fmt.Errorf("sim: invalid grid %dx%d", cfg.GridX, cfg.GridY)
+	case cfg.BlockThreads <= 0 || cfg.BlockThreads > 1024:
+		return fmt.Errorf("sim: invalid block size %d", cfg.BlockThreads)
+	case cfg.Program.SharedMem > cfg.Device.SharedMemPerSM:
+		return fmt.Errorf("sim: kernel needs %dB shared, SM has %dB",
+			cfg.Program.SharedMem, cfg.Device.SharedMemPerSM)
+	}
+	return nil
+}

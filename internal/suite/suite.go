@@ -1,0 +1,89 @@
+// Package suite catalogs the paper's workload matrix (Table I): which
+// codes run on which architecture, in which precision variants, and
+// which of them use "proprietary library" kernels (CUBLAS GEMM, cuDNN-
+// backed YOLO) that the Kepler-era SASSIFI toolchain cannot instrument
+// (§III-D).
+package suite
+
+import (
+	"fmt"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+)
+
+// Entry is one workload configuration of Table I.
+type Entry struct {
+	Name  string
+	Build kernels.Builder
+	// Library marks codes built on NVIDIA proprietary libraries: on
+	// Kepler neither injector can instrument them, so the predictor
+	// substitutes the Volta NVBitFI AVF (§III-D, §VII).
+	Library bool
+	// FP16 marks half-precision codes, which NVBitFI cannot inject into
+	// (§VI); the predictor substitutes the FP32 variant's AVF.
+	FP16 bool
+	// AVFProxy names the variant whose AVF substitutes for this one when
+	// direct injection is impossible (empty: inject directly).
+	AVFProxy string
+}
+
+// Kepler returns the Table I workload set for the K40c.
+func Kepler() []Entry {
+	return []Entry{
+		{Name: "CCL", Build: kernels.CCLBuilder()},
+		{Name: "BFS", Build: kernels.BFSBuilder()},
+		{Name: "FLAVA", Build: kernels.LavaBuilder(isa.F32)},
+		{Name: "FHOTSPOT", Build: kernels.HotspotBuilder(isa.F32)},
+		{Name: "FGAUSSIAN", Build: kernels.GaussianBuilder()},
+		{Name: "FLUD", Build: kernels.LUDBuilder()},
+		{Name: "NW", Build: kernels.NWBuilder()},
+		{Name: "FMXM", Build: kernels.MxMBuilder(isa.F32)},
+		{Name: "FGEMM", Build: kernels.GEMMBuilder(isa.F32), Library: true, AVFProxy: "FGEMM"},
+		{Name: "MERGESORT", Build: kernels.MergesortBuilder()},
+		{Name: "QUICKSORT", Build: kernels.QuicksortBuilder()},
+		{Name: "FYOLOV2", Build: kernels.YOLOBuilder(false, isa.F32), Library: true, AVFProxy: "FYOLOV3"},
+		{Name: "FYOLOV3", Build: kernels.YOLOBuilder(true, isa.F32), Library: true, AVFProxy: "FYOLOV3"},
+	}
+}
+
+// Volta returns the Table I workload set for the V100.
+func Volta() []Entry {
+	return []Entry{
+		{Name: "HLAVA", Build: kernels.LavaBuilder(isa.F16), FP16: true, AVFProxy: "FLAVA"},
+		{Name: "FLAVA", Build: kernels.LavaBuilder(isa.F32)},
+		{Name: "DLAVA", Build: kernels.LavaBuilder(isa.F64)},
+		{Name: "HHOTSPOT", Build: kernels.HotspotBuilder(isa.F16), FP16: true, AVFProxy: "FHOTSPOT"},
+		{Name: "FHOTSPOT", Build: kernels.HotspotBuilder(isa.F32)},
+		{Name: "DHOTSPOT", Build: kernels.HotspotBuilder(isa.F64)},
+		{Name: "HMXM", Build: kernels.MxMBuilder(isa.F16), FP16: true, AVFProxy: "FMXM"},
+		{Name: "FMXM", Build: kernels.MxMBuilder(isa.F32)},
+		{Name: "DMXM", Build: kernels.MxMBuilder(isa.F64)},
+		{Name: "HGEMM", Build: kernels.GEMMBuilder(isa.F16), Library: true, FP16: true, AVFProxy: "FGEMM"},
+		{Name: "FGEMM", Build: kernels.GEMMBuilder(isa.F32), Library: true},
+		{Name: "DGEMM", Build: kernels.GEMMBuilder(isa.F64), Library: true},
+		{Name: "HGEMM-MMA", Build: kernels.GEMMMMABuilder(true), Library: true, FP16: true, AVFProxy: "FGEMM-MMA"},
+		{Name: "FGEMM-MMA", Build: kernels.GEMMMMABuilder(false), Library: true},
+		{Name: "HYOLOV3", Build: kernels.YOLOBuilder(true, isa.F16), Library: true, FP16: true, AVFProxy: "FYOLOV3"},
+		{Name: "FYOLOV3", Build: kernels.YOLOBuilder(true, isa.F32), Library: true},
+	}
+}
+
+// ForDevice returns the workload set for the given device.
+func ForDevice(dev *device.Device) []Entry {
+	if dev.Arch == device.Kepler {
+		return Kepler()
+	}
+	return Volta()
+}
+
+// Find returns the entry with the given name.
+func Find(entries []Entry, name string) (Entry, error) {
+	for _, e := range entries {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("suite: no workload %q", name)
+}

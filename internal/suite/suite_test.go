@@ -1,0 +1,74 @@
+package suite
+
+import (
+	"testing"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+)
+
+func TestTableIMatrix(t *testing.T) {
+	k := Kepler()
+	if len(k) != 13 {
+		t.Fatalf("Kepler suite has %d codes, Table I lists 13", len(k))
+	}
+	v := Volta()
+	if len(v) != 16 {
+		t.Fatalf("Volta suite has %d variants, Table I lists 16", len(v))
+	}
+}
+
+func TestLibraryAndFP16Flags(t *testing.T) {
+	k := Kepler()
+	for _, name := range []string{"FGEMM", "FYOLOV2", "FYOLOV3"} {
+		e, err := Find(k, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Library {
+			t.Errorf("%s must be a library code (CUBLAS / cuDNN)", name)
+		}
+	}
+	v := Volta()
+	for _, name := range []string{"HLAVA", "HHOTSPOT", "HMXM", "HGEMM", "HGEMM-MMA", "HYOLOV3"} {
+		e, err := Find(v, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.FP16 {
+			t.Errorf("%s must be flagged FP16", name)
+		}
+		if e.AVFProxy == "" {
+			t.Errorf("%s needs an FP32 AVF proxy (NVBitFI cannot inject half)", name)
+		}
+	}
+}
+
+func TestEveryEntryBuilds(t *testing.T) {
+	for _, dev := range []*device.Device{device.K40c(), device.V100()} {
+		for _, e := range ForDevice(dev) {
+			if _, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2); err != nil {
+				t.Errorf("%s on %s: %v", e.Name, dev.Name, err)
+			}
+		}
+	}
+}
+
+func TestProxiesResolveWithinSuite(t *testing.T) {
+	v := Volta()
+	for _, e := range v {
+		if e.AVFProxy == "" {
+			continue
+		}
+		if _, err := Find(v, e.AVFProxy); err != nil {
+			t.Errorf("%s proxy %q not in the Volta suite", e.Name, e.AVFProxy)
+		}
+	}
+}
+
+func TestFindUnknown(t *testing.T) {
+	if _, err := Find(Kepler(), "NOPE"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
