@@ -1,0 +1,302 @@
+// Command gpurel-lint runs the static dataflow analyzer over the
+// built-in kernels and micro-benchmarks: a lint gate for the SASS-like
+// IR (dead stores, use-before-def, unreachable blocks, SSY hazards) and
+// an injection-free static AVF estimator, cross-validatable against the
+// fault injectors.
+//
+//	gpurel-lint                                 lint everything, both pipelines
+//	gpurel-lint -device kepler -code FMXM -v    one workload, show warnings
+//	gpurel-lint -json                           machine-readable report
+//	gpurel-lint -selftest                       prove the detectors fire
+//	gpurel-lint -device kepler -cross-validate  static vs injection AVF table
+//
+// Exit status is 1 when any Error-severity finding exists (warnings do
+// not gate), 2 on usage or build failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel/internal/analysis"
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
+	"gpurel/internal/isa"
+	"gpurel/internal/microbench"
+	"gpurel/internal/report"
+	"gpurel/internal/suite"
+)
+
+type jsonFinding struct {
+	Severity string `json:"severity"`
+	Kind     string `json:"kind"`
+	Instr    int    `json:"instr"`
+	Msg      string `json:"msg"`
+}
+
+type progReport struct {
+	Device   string  `json:"device"`
+	Workload string  `json:"workload"`
+	Program  string  `json:"program"`
+	Opt      string  `json:"opt"`
+	Sites    int     `json:"sites"`
+	SDC      float64 `json:"static_sdc"`
+	DUE      float64 `json:"static_due"`
+	Dead     float64 `json:"dead_fraction"`
+
+	Errors   []jsonFinding `json:"errors"`
+	Warnings []jsonFinding `json:"warnings"`
+}
+
+func main() {
+	devName := flag.String("device", "all", "device: kepler, volta, or all")
+	optName := flag.String("opt", "both", "pipeline: 1 (legacy), 2 (modern), or both")
+	code := flag.String("code", "", "lint a single workload (default: all, plus micro-benchmarks)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	verbose := flag.Bool("v", false, "list warnings (errors are always listed)")
+	selftest := flag.Bool("selftest", false, "run the detectors on seeded-defect fixtures and exit")
+	crossVal := flag.Bool("cross-validate", false, "compare static AVF against an NVBitFI campaign per workload")
+	faults := flag.Int("faults", 400, "campaign size for -cross-validate")
+	seed := flag.Uint64("seed", 7, "campaign seed for -cross-validate")
+	csv := flag.Bool("csv", false, "emit the -cross-validate table as CSV")
+	flag.Parse()
+
+	if *selftest {
+		os.Exit(runSelftest())
+	}
+
+	devs, err := pickDevices(*devName)
+	if err != nil {
+		fail(err)
+	}
+	opts, err := pickOpts(*optName)
+	if err != nil {
+		fail(err)
+	}
+
+	if *crossVal {
+		os.Exit(runCrossValidate(devs, *code, *faults, *seed, *csv))
+	}
+
+	var reports []progReport
+	for _, dev := range devs {
+		entries := suite.ForDevice(dev)
+		if *code != "" {
+			e, err := suite.Find(entries, *code)
+			if err != nil {
+				fail(err)
+			}
+			entries = []suite.Entry{e}
+		}
+		for _, opt := range opts {
+			for _, e := range entries {
+				inst, err := e.Build(dev, opt)
+				if err != nil {
+					fail(fmt.Errorf("building %s on %s: %w", e.Name, dev.Name, err))
+				}
+				seen := map[string]bool{}
+				for _, l := range inst.Launches {
+					if seen[l.Prog.Name] {
+						continue
+					}
+					seen[l.Prog.Name] = true
+					reports = append(reports, analyzeProg(dev.Name, e.Name, optLabel(opt), l.Prog))
+				}
+			}
+			if *code == "" {
+				for _, m := range microbench.Catalog(dev) {
+					inst, err := m.Build(dev, opt)
+					if err != nil {
+						fail(fmt.Errorf("building micro %s on %s: %w", m.Name, dev.Name, err))
+					}
+					for _, l := range inst.Launches {
+						reports = append(reports, analyzeProg(dev.Name, "micro:"+m.Name, optLabel(opt), l.Prog))
+					}
+				}
+			}
+		}
+	}
+
+	errorCount := 0
+	for i := range reports {
+		errorCount += len(reports[i].Errors)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail(err)
+		}
+	} else {
+		printText(reports, *verbose)
+	}
+	if errorCount > 0 {
+		os.Exit(1)
+	}
+}
+
+func analyzeProg(dev, workload, opt string, p *isa.Program) progReport {
+	r := analysis.Analyze(p)
+	est := r.Estimate(nil, nil)
+	pr := progReport{
+		Device: dev, Workload: workload, Program: p.Name, Opt: opt,
+		Sites: est.Sites, SDC: est.SDC, DUE: est.DUE, Dead: est.DeadFraction,
+		Errors:   []jsonFinding{},
+		Warnings: []jsonFinding{},
+	}
+	for _, f := range r.Errors() {
+		pr.Errors = append(pr.Errors, jsonFinding{f.Sev.String(), f.Kind, f.Instr, f.Msg})
+	}
+	for _, f := range r.Warnings() {
+		pr.Warnings = append(pr.Warnings, jsonFinding{f.Sev.String(), f.Kind, f.Instr, f.Msg})
+	}
+	return pr
+}
+
+func printText(reports []progReport, verbose bool) {
+	warnTotal, errTotal := 0, 0
+	for _, pr := range reports {
+		fmt.Printf("%-7s %-2s %-18s %-16s sites=%-3d sdc=%.3f due=%.3f dead=%.3f warn=%d err=%d\n",
+			pr.Device, pr.Opt, pr.Workload, pr.Program,
+			pr.Sites, pr.SDC, pr.DUE, pr.Dead, len(pr.Warnings), len(pr.Errors))
+		for _, f := range pr.Errors {
+			fmt.Printf("  error[%s] /*%04d*/ %s\n", f.Kind, f.Instr, f.Msg)
+		}
+		if verbose {
+			for _, f := range pr.Warnings {
+				fmt.Printf("  warn[%s] /*%04d*/ %s\n", f.Kind, f.Instr, f.Msg)
+			}
+		}
+		warnTotal += len(pr.Warnings)
+		errTotal += len(pr.Errors)
+	}
+	fmt.Printf("%d programs, %d errors, %d warnings\n", len(reports), errTotal, warnTotal)
+}
+
+// runSelftest seeds one program with a dead store and one with a
+// use-before-def read, and verifies the analyzer flags exactly those.
+// These fixtures are hand-assembled: the Builder's own verify gate
+// would refuse to emit some of them.
+func runSelftest() int {
+	mk := func(op isa.Op, dst isa.Reg, srcs ...isa.Reg) isa.Instr {
+		in := isa.Instr{Op: op, Pred: isa.PT, DstP: isa.PT, Dst: dst,
+			Srcs: [3]isa.Operand{isa.R(isa.RZ), isa.R(isa.RZ), isa.R(isa.RZ)}}
+		for i, s := range srcs {
+			in.Srcs[i] = isa.R(s)
+		}
+		return in
+	}
+	stg := mk(isa.OpSTG, isa.RZ, 4)
+	stg.Srcs[1] = isa.Imm(0)
+	stg.Srcs[2] = isa.R(2)
+	seeded := &isa.Program{Name: "selftest", Instrs: []isa.Instr{
+		mk(isa.OpMOV32I, 0),
+		mk(isa.OpIMUL, 1, 0, 0), // dead store: R1 never read
+		mk(isa.OpIADD, 2, 3, 0), // use-before-def: R3 never written
+		mk(isa.OpMOV32I, 4),     // address
+		stg,
+		mk(isa.OpEXIT, isa.RZ),
+	}}
+	r := analysis.Analyze(seeded)
+	ok := true
+	expect := func(found bool, what string) {
+		if found {
+			fmt.Printf("selftest: detected %s\n", what)
+		} else {
+			fmt.Printf("selftest: FAILED to detect %s\n", what)
+			ok = false
+		}
+	}
+	hasKind := func(fs []analysis.Finding, kind string) bool {
+		for _, f := range fs {
+			if f.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	expect(hasKind(r.Warnings(), analysis.KindDeadStore), "the seeded dead store")
+	expect(hasKind(r.Errors(), analysis.KindUseBeforeDef), "the seeded use-before-def")
+	if !ok {
+		return 1
+	}
+	fmt.Println("selftest: ok")
+	return 0
+}
+
+func runCrossValidate(devs []*device.Device, code string, faults int, seed uint64, csv bool) int {
+	var cvs []*faultinj.CrossValidation
+	for _, dev := range devs {
+		all := suite.ForDevice(dev)
+		var entries []suite.Entry
+		if code != "" {
+			e, err := suite.Find(all, code)
+			if err != nil {
+				fail(err)
+			}
+			entries = []suite.Entry{e}
+		} else {
+			// Default to the validated set; value-masking-dominated
+			// workloads (see faultinj.CrossValKernels) need -code.
+			for _, name := range faultinj.CrossValKernels {
+				if e, err := suite.Find(all, name); err == nil {
+					entries = append(entries, e)
+				}
+			}
+		}
+		cfg := faultinj.Config{Tool: faultinj.NVBitFI, TotalFaults: faults, Seed: seed}
+		for _, e := range entries {
+			cv, err := faultinj.CrossValidate(cfg, e.Name, e.Build, dev)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skip %s on %s: %v\n", e.Name, dev.Name, err)
+				continue
+			}
+			cvs = append(cvs, cv)
+			fmt.Fprintf(os.Stderr, "done %s on %s\n", e.Name, dev.Name)
+		}
+	}
+	fmt.Print(report.CrossValidation(cvs, csv))
+	return 0
+}
+
+func optLabel(opt asm.OptLevel) string {
+	if opt == asm.O1 {
+		return "O1"
+	}
+	return "O2"
+}
+
+func pickDevices(name string) ([]*device.Device, error) {
+	switch name {
+	case "kepler", "k40c":
+		return []*device.Device{device.K40c()}, nil
+	case "volta", "v100":
+		return []*device.Device{device.V100()}, nil
+	case "all":
+		return []*device.Device{device.K40c(), device.V100()}, nil
+	default:
+		return nil, fmt.Errorf("unknown device %q", name)
+	}
+}
+
+func pickOpts(name string) ([]asm.OptLevel, error) {
+	switch name {
+	case "1":
+		return []asm.OptLevel{asm.O1}, nil
+	case "2":
+		return []asm.OptLevel{asm.O2}, nil
+	case "both":
+		return []asm.OptLevel{asm.O1, asm.O2}, nil
+	default:
+		return nil, fmt.Errorf("unknown pipeline %q (want 1, 2, or both)", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import "gpurel/internal/isa"
+
+// ACE (Architecturally Correct Execution) bit estimation. For every
+// instruction that defines a value (a GPR span or a predicate), the
+// analyzer estimates the probability that a single bit flipped in that
+// value changes architectural output — split into an SDC channel (the
+// corruption reaches stored output silently) and a DUE channel (the
+// corruption derails addressing or control and crashes/hangs the run).
+//
+// The estimate propagates backward along def-use chains: a value is ACE
+// to the extent its consumers are, attenuated by a per-consumer logical-
+// masking factor (an AND masks half the bits, a MUFU compresses its
+// input, an FP16 consumer reads only 16 of 32 bits, ...). Sinks are the
+// memory system (stored values, addresses) and control flow (branch
+// guards). Contributions combine as independent paths (noisy-or), in
+// the spirit of the two-level SDC model of Hari et al. and classic
+// ACE/AVF analysis: static AVF = sum over sites of ACE fraction.
+//
+// A value nothing consumes has ACE 0: it is architecturally dead, and —
+// transitively — so is everything that only feeds dead values. This is
+// the static counterpart of the dead/ineffectual-code difference the
+// paper blames for the SASSIFI-vs-NVBitFI AVF gap (§VI).
+
+// InstrACE is the per-instruction ACE estimate.
+type InstrACE struct {
+	// SDC / DUE estimate the probability that a destination bit flip
+	// silently corrupts output / crashes-hangs the run. SDC+DUE <= 1.
+	SDC float64
+	DUE float64
+}
+
+// Unmasked returns the total probability the flip is not masked.
+func (a InstrACE) Unmasked() float64 { return a.SDC + a.DUE }
+
+// Dead reports whether the instruction's result is architecturally dead.
+func (a InstrACE) Dead() bool { return a.SDC+a.DUE < 1e-12 }
+
+// Terminal sink weights (sdc, due): where a corrupted value meets
+// architectural output directly.
+func sinkWeights(kind EdgeKind, useOp isa.Op) (float64, float64, bool) {
+	switch kind {
+	case EdgeStoreVal:
+		if useOp == isa.OpSTS {
+			// Shared memory round-trips back through LDS before it can
+			// reach output; memory is not tracked, so attenuate.
+			return 0.8, 0, true
+		}
+		return 1.0, 0, true // STG/RED write architectural output
+	case EdgeAddr:
+		// A flipped address bit reads/writes the wrong location: wrong
+		// data (SDC) or out-of-bounds (DUE), cf. the simulator's
+		// address-fault semantics.
+		return 0.45, 0.45, true
+	case EdgeBranchGuard:
+		// A flipped branch guard takes the wrong path: wrong-output SDC
+		// or livelock/fetch-overrun DUE in comparable measure.
+		return 0.4, 0.4, true
+	}
+	return 0, 0, false
+}
+
+// passFactor returns the attenuation applied when a value flows through
+// the consuming instruction into that instruction's own destination:
+// the fraction of input-bit flips expected to survive into the result.
+func passFactor(in *isa.Instr, kind EdgeKind) float64 {
+	switch kind {
+	case EdgeCmp:
+		// A single input bit rarely crosses the comparison threshold:
+		// strong logical masking before the predicate.
+		return 0.3
+	case EdgeGuard:
+		// Flipping the guard toggles whether the consumer writes at
+		// all: its (stale or spurious) result is wrong where used.
+		return 0.8
+	case EdgeSelCond:
+		return 0.5 // SEL picks the other input: wrong half the time
+	}
+	switch in.Op {
+	case isa.OpMOV, isa.OpMOV32I:
+		return 1.0
+	case isa.OpSEL:
+		return 0.5 // each input is selected about half the time
+	case isa.OpIADD:
+		return 1.0
+	case isa.OpLOP:
+		if in.Logic == isa.LopXOR {
+			return 1.0
+		}
+		return 0.5 // AND/OR mask roughly half the input bits
+	case isa.OpSHF:
+		return 0.7 // bits shifted out are lost
+	case isa.OpIMNMX:
+		return 0.5 // only the selected operand survives
+	case isa.OpIMUL, isa.OpIMAD:
+		return 0.8
+	case isa.OpFADD, isa.OpDADD, isa.OpFFMA, isa.OpDFMA:
+		return 0.75 // alignment/rounding mask low-order bits
+	case isa.OpFMUL, isa.OpDMUL:
+		return 0.7
+	case isa.OpHADD, isa.OpHFMA:
+		return 0.375 // FP16 reads 16 of 32 register bits, then rounds
+	case isa.OpHMUL:
+		return 0.35
+	case isa.OpHMMA, isa.OpFMMA:
+		return 0.8 // wide dot-products propagate most input faults
+	case isa.OpMUFU:
+		return 0.5 // transcendentals compress their domain
+	case isa.OpF2F, isa.OpF2I, isa.OpI2F:
+		return 0.6 // width conversion truncates or renormalizes
+	default:
+		return 0.8
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// propagateACE iterates the backward transfer to a fixpoint. The
+// combine is noisy-or over def-use edges, which is monotone and bounded,
+// so the sweep converges; the epsilon cut bounds the loop count on
+// cyclic (loop-carried) chains.
+func propagateACE(p *isa.Program, du *DefUse) []InstrACE {
+	n := len(p.Instrs)
+	ace := make([]InstrACE, n)
+	const eps = 1e-9
+	for iter := 0; iter < 1000; iter++ {
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			var missSDC, missDUE float64 = 1, 1
+			for _, e := range du.Out[i] {
+				useIn := &p.Instrs[e.Use]
+				if s, d, terminal := sinkWeights(e.Kind, useIn.Op); terminal {
+					missSDC *= 1 - s
+					missDUE *= 1 - d
+					continue
+				}
+				f := passFactor(useIn, e.Kind)
+				missSDC *= 1 - f*ace[e.Use].SDC
+				missDUE *= 1 - f*ace[e.Use].DUE
+			}
+			sdc, due := 1-missSDC, 1-missDUE
+			if t := sdc + due; t > 1 {
+				sdc /= t
+				due /= t
+			}
+			if abs(sdc-ace[i].SDC) > eps || abs(due-ace[i].DUE) > eps {
+				changed = true
+			}
+			ace[i] = InstrACE{SDC: sdc, DUE: due}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ace
+}

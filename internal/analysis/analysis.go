@@ -1,0 +1,85 @@
+// Package analysis is a static dataflow analyzer for the SASS-like IR of
+// internal/isa. It constructs a basic-block control-flow graph from the
+// BRA/SSY/SYNC/EXIT terminators, runs backward liveness and reaching-
+// definition (def-use) analysis over the general-purpose and predicate
+// register files — handling F64 register pairs, wide loads/stores, and
+// MMA fragments via DstRegs/SrcRegSpans — and from those computes
+// per-instruction ACE (Architecturally Correct Execution) fractions: the
+// analytically-derived probability that a bit flipped in an
+// instruction's destination reaches program output.
+//
+// Three consumers build on the analyzer:
+//
+//   - StaticAVF / Result.Estimate produce injection-free AVF estimates
+//     that internal/fit's Eq. 1-4 predictor accepts as a drop-in
+//     replacement for injection-derived AVFs, and that internal/faultinj
+//     cross-validates against dynamic campaigns.
+//   - Result.Findings is a lint report: dead stores, unreachable blocks,
+//     use-before-def registers, and SSY divergence-without-reconvergence
+//     hazards. internal/asm's verifier rejects the Error-severity subset
+//     at build time; cmd/gpurel-lint reports everything.
+//   - DeadFraction measures the architecturally-dead share of a program,
+//     the static analogue of the ~18% SASSIFI-vs-NVBitFI AVF gap the
+//     paper attributes to toolchain codegen differences (§VI).
+//
+// The analyzer is purely architectural: it sees register dataflow, not
+// memory contents, scheduler state, or pipeline latches. Faults in
+// structures it cannot see (the §VII DUE sources) are out of scope and
+// tracked as ROADMAP follow-on work.
+package analysis
+
+import "gpurel/internal/isa"
+
+// Result bundles every product of one analyzer run over a program.
+type Result struct {
+	Prog *isa.Program
+	CFG  *CFG
+
+	// LiveOut / PredLiveOut give, per instruction, the registers whose
+	// values may still be read on some path after it executes.
+	LiveOut     []RegSet
+	PredLiveOut []PredSet
+
+	// ACE holds the per-instruction ACE fractions (see ace.go).
+	ACE []InstrACE
+
+	// DefUse holds the def-use edges the ACE propagation walked.
+	DefUse *DefUse
+
+	// Findings is the lint report, in instruction order.
+	Findings []Finding
+}
+
+// Analyze runs the full pipeline — CFG, liveness, reaching definitions,
+// ACE propagation, lint — over one program.
+func Analyze(p *isa.Program) *Result {
+	r := &Result{Prog: p}
+	r.CFG = BuildCFG(p)
+	r.LiveOut, r.PredLiveOut = liveness(p, r.CFG)
+	r.DefUse = buildDefUse(p, r.CFG)
+	r.ACE = propagateACE(p, r.DefUse)
+	r.Findings = lint(r)
+	return r
+}
+
+// Errors returns the Error-severity findings.
+func (r *Result) Errors() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Sev == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Warnings returns the Warn-severity findings.
+func (r *Result) Warnings() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Sev == SevWarn {
+			out = append(out, f)
+		}
+	}
+	return out
+}

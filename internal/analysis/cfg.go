@@ -1,0 +1,147 @@
+package analysis
+
+import "gpurel/internal/isa"
+
+// Block is one basic block: the half-open instruction range [Start, End)
+// with no internal control transfers and no internal branch targets.
+type Block struct {
+	ID         int
+	Start, End int
+	Succs      []int
+	Preds      []int
+}
+
+// Last returns the index of the block's final instruction.
+func (b *Block) Last() int { return b.End - 1 }
+
+// CFG is the basic-block control-flow graph of one program, built from
+// the BRA/SSY/SYNC/EXIT terminators with the same semantics the SIMT
+// engine executes: a predicated BRA may split the warp (both successors),
+// an unconditional EXIT retires it (no successors), and SYNC jumps to the
+// reconvergence point declared by the innermost enclosing SSY.
+type CFG struct {
+	Prog    *isa.Program
+	Blocks  []*Block
+	BlockOf []int // instruction index -> block ID
+
+	// SyncTarget maps each SYNC instruction to the reconvergence target
+	// of the innermost SSY whose region covers it, or -1 when no SSY
+	// region covers it (a lint error: the engine would fault).
+	SyncTarget map[int]int
+
+	// FallsOff lists blocks whose control flow can reach the index one
+	// past the last instruction — an instruction-fetch DUE at runtime.
+	FallsOff []int
+
+	// Reachable marks blocks reachable from the entry block.
+	Reachable []bool
+}
+
+// BuildCFG partitions the program into basic blocks and wires the edges.
+func BuildCFG(p *isa.Program) *CFG {
+	n := len(p.Instrs)
+	cfg := &CFG{Prog: p, BlockOf: make([]int, n), SyncTarget: make(map[int]int)}
+	if n == 0 {
+		return cfg
+	}
+
+	// Leaders: entry, every branch/SSY target, every post-terminator slot.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.HasTarget() && in.Target >= 0 && in.Target < n {
+			leader[in.Target] = true
+		}
+		if in.EndsBlock() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		b := &Block{ID: len(cfg.Blocks), Start: i, End: j}
+		cfg.Blocks = append(cfg.Blocks, b)
+		for k := i; k < j; k++ {
+			cfg.BlockOf[k] = b.ID
+		}
+		i = j
+	}
+
+	// SYNC reconvergence: the innermost SSY whose [ssy, target) range
+	// covers the SYNC supplies the target, mirroring the engine's
+	// pendingReconv/rpc hand-off.
+	for i := range p.Instrs {
+		if p.Instrs[i].Op != isa.OpSYNC {
+			continue
+		}
+		cfg.SyncTarget[i] = -1
+		for j := i - 1; j >= 0; j-- {
+			in := &p.Instrs[j]
+			if in.Op == isa.OpSSY && in.Target > i {
+				cfg.SyncTarget[i] = in.Target
+				break
+			}
+		}
+	}
+
+	edge := func(from *Block, to int) {
+		if to >= n {
+			cfg.FallsOff = append(cfg.FallsOff, from.ID)
+			return
+		}
+		tb := cfg.BlockOf[to]
+		for _, s := range from.Succs {
+			if s == tb {
+				return
+			}
+		}
+		from.Succs = append(from.Succs, tb)
+		cfg.Blocks[tb].Preds = append(cfg.Blocks[tb].Preds, from.ID)
+	}
+
+	for _, b := range cfg.Blocks {
+		last := &p.Instrs[b.Last()]
+		switch {
+		case last.Op == isa.OpBRA:
+			if last.Target >= 0 {
+				edge(b, last.Target)
+			}
+			if !last.Unconditional() {
+				edge(b, b.End)
+			}
+		case last.Op == isa.OpEXIT:
+			if !last.Unconditional() {
+				edge(b, b.End)
+			}
+		case last.Op == isa.OpSYNC:
+			if t := cfg.SyncTarget[b.Last()]; t >= 0 {
+				edge(b, t)
+			} else {
+				// Unknown reconvergence: assume fall-through so the rest
+				// of the analysis stays conservative; lint flags it.
+				edge(b, b.End)
+			}
+		default:
+			edge(b, b.End)
+		}
+	}
+
+	cfg.Reachable = make([]bool, len(cfg.Blocks))
+	stack := []int{0}
+	cfg.Reachable[0] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range cfg.Blocks[id].Succs {
+			if !cfg.Reachable[s] {
+				cfg.Reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+
+	"gpurel/internal/isa"
+)
+
+// Severity grades a lint finding.
+type Severity uint8
+
+// Severities. Errors are the subset the assembler's verifier rejects at
+// build time; warnings are reported by cmd/gpurel-lint.
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warn"
+}
+
+// Finding kinds.
+const (
+	KindDeadStore     = "dead-store"
+	KindDeadLoad      = "dead-load"
+	KindDeadPred      = "dead-pred"
+	KindUnreachable   = "unreachable"
+	KindUseBeforeDef  = "use-before-def"
+	KindFallOffEnd    = "fall-off-end"
+	KindSSYNoBranch   = "ssy-no-divergent-branch"
+	KindSSYBackward   = "ssy-backward-target"
+	KindSSYPastEnd    = "ssy-target-past-end"
+	KindSyncNoRegion  = "sync-outside-ssy-region"
+	KindPairSplitBra  = "branch-splits-pair"
+)
+
+// Finding is one lint diagnostic, anchored to an instruction index.
+type Finding struct {
+	Sev   Severity `json:"severity"`
+	Kind  string   `json:"kind"`
+	Instr int      `json:"instr"`
+	Msg   string   `json:"msg"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s[%s] /*%04d*/ %s", f.Sev, f.Kind, f.Instr, f.Msg)
+}
+
+// lint assembles the full report for an analyzed program.
+func lint(r *Result) []Finding {
+	p := r.Prog
+	var out []Finding
+
+	out = append(out, ControlHazards(p)...)
+
+	for _, id := range r.CFG.FallsOff {
+		b := r.CFG.Blocks[id]
+		if !r.CFG.Reachable[id] {
+			continue
+		}
+		out = append(out, Finding{
+			Sev: SevError, Kind: KindFallOffEnd, Instr: b.Last(),
+			Msg: fmt.Sprintf("control flow reaches past the last instruction (block %d): instruction-fetch DUE", id),
+		})
+	}
+
+	for _, b := range r.CFG.Blocks {
+		if !r.CFG.Reachable[b.ID] {
+			out = append(out, Finding{
+				Sev: SevError, Kind: KindUnreachable, Instr: b.Start,
+				Msg: fmt.Sprintf("block %d (instructions %d..%d) is unreachable", b.ID, b.Start, b.End-1),
+			})
+		}
+	}
+
+	for _, u := range r.DefUse.Uninit {
+		var what string
+		if u.IsPred {
+			what = u.Pred.String()
+		} else {
+			what = u.Reg.String()
+		}
+		out = append(out, Finding{
+			Sev: SevError, Kind: KindUseBeforeDef, Instr: u.Instr,
+			Msg: fmt.Sprintf("%s may be read before any definition: %s", what, p.Instrs[u.Instr].String()),
+		})
+	}
+
+	// Dead writes: liveness-based, flow-sensitive. Only side-effect-free
+	// results qualify; a dead load is split out because removing one
+	// also removes a potential address DUE (a real behavioural change).
+	for _, b := range r.CFG.Blocks {
+		if !r.CFG.Reachable[b.ID] {
+			continue // already reported as unreachable
+		}
+		for i := b.Start; i < b.End; i++ {
+			in := &p.Instrs[i]
+			if n := in.DstRegs(); n > 0 {
+				live := false
+				for k := 0; k < n; k++ {
+					if r.LiveOut[i].Has(in.Dst + isa.Reg(k)) {
+						live = true
+						break
+					}
+				}
+				if !live {
+					kind := KindDeadStore
+					if in.Op == isa.OpLDG || in.Op == isa.OpLDS {
+						kind = KindDeadLoad
+					}
+					out = append(out, Finding{
+						Sev: SevWarn, Kind: kind, Instr: i,
+						Msg: fmt.Sprintf("result %s is never read: %s", in.Dst, in.String()),
+					})
+				}
+			}
+			if pr, ok := in.WritesPredReg(); ok && !r.PredLiveOut[i].Has(pr) {
+				out = append(out, Finding{
+					Sev: SevWarn, Kind: KindDeadPred, Instr: i,
+					Msg: fmt.Sprintf("predicate %s is never read: %s", pr, in.String()),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ControlHazards performs the whole-program control-flow checks that do
+// not need dataflow: SSY/reconvergence pairing, SYNC region coverage,
+// and branch targets that split a multi-register initialization
+// sequence. internal/asm's verifier rejects these at build time.
+func ControlHazards(p *isa.Program) []Finding {
+	var out []Finding
+	n := len(p.Instrs)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case isa.OpSSY:
+			switch {
+			case in.Target <= i:
+				out = append(out, Finding{
+					Sev: SevError, Kind: KindSSYBackward, Instr: i,
+					Msg: fmt.Sprintf("SSY reconvergence target %d does not follow the SSY", in.Target),
+				})
+			case in.Target >= n:
+				out = append(out, Finding{
+					Sev: SevError, Kind: KindSSYPastEnd, Instr: i,
+					Msg: fmt.Sprintf("SSY reconvergence target %d is past the last instruction", in.Target),
+				})
+			default:
+				// The engine hands pendingReconv to the next BRA; an SSY
+				// with no conditional branch before its reconvergence
+				// point leaves a stale pending target for an unrelated
+				// later branch to consume.
+				matched := false
+				for j := i + 1; j < in.Target; j++ {
+					if p.Instrs[j].Op == isa.OpBRA && !p.Instrs[j].Unconditional() {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					out = append(out, Finding{
+						Sev: SevError, Kind: KindSSYNoBranch, Instr: i,
+						Msg: fmt.Sprintf("SSY at %d has no divergent branch before its reconvergence point %d", i, in.Target),
+					})
+				}
+			}
+		case isa.OpSYNC:
+			covered := false
+			for j := i - 1; j >= 0; j-- {
+				if p.Instrs[j].Op == isa.OpSSY && p.Instrs[j].Target > i {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				out = append(out, Finding{
+					Sev: SevError, Kind: KindSyncNoRegion, Instr: i,
+					Msg: fmt.Sprintf("SYNC at %d is outside every SSY region: the engine faults", i),
+				})
+			}
+		}
+	}
+	out = append(out, pairSplitHazards(p)...)
+	return out
+}
+
+// pairSplitHazards flags branch targets that land inside a contiguous
+// initialization run of a register span some instruction consumes whole
+// (an F64 pair or MMA fragment): jumping mid-run executes only part of
+// the initialization and leaves the rest of the span stale.
+func pairSplitHazards(p *isa.Program) []Finding {
+	n := len(p.Instrs)
+	if n == 0 {
+		return nil
+	}
+
+	// Multi-register source spans consumed anywhere in the program.
+	type span struct {
+		base isa.Reg
+		cnt  int
+	}
+	consumed := make(map[span]bool)
+	for i := range p.Instrs {
+		for _, s := range srcSpans(&p.Instrs[i]) {
+			if s.N >= 2 {
+				consumed[span{s.Base, s.N}] = true
+			}
+		}
+	}
+	if len(consumed) == 0 {
+		return nil
+	}
+
+	// Branch targets, with the branch that jumps there.
+	targets := make(map[int][]int)
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.OpBRA && p.Instrs[i].Target >= 0 && p.Instrs[i].Target < n {
+			targets[p.Instrs[i].Target] = append(targets[p.Instrs[i].Target], i)
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	// Maximal runs of unconditional single-register writes to
+	// consecutive ascending registers.
+	for i := 0; i < n; {
+		if !singleRegWrite(&p.Instrs[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && singleRegWrite(&p.Instrs[j]) &&
+			p.Instrs[j].Dst == p.Instrs[j-1].Dst+1 {
+			j++
+		}
+		runBase := p.Instrs[i].Dst
+		runLen := j - i
+		if runLen >= 2 {
+			for sp := range consumed {
+				if sp.base < runBase || int(sp.base)+sp.cnt > int(runBase)+runLen {
+					continue
+				}
+				subStart := i + int(sp.base-runBase)
+				subEnd := subStart + sp.cnt - 1
+				for t := subStart + 1; t <= subEnd; t++ {
+					for _, bra := range targets[t] {
+						out = append(out, Finding{
+							Sev: SevError, Kind: KindPairSplitBra, Instr: bra,
+							Msg: fmt.Sprintf("branch at %d targets %d, splitting the initialization of %s..%s consumed as a %d-register span",
+								bra, t, sp.base, sp.base+isa.Reg(sp.cnt-1), sp.cnt),
+						})
+					}
+				}
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// singleRegWrite reports an unconditional write of exactly one GPR.
+func singleRegWrite(in *isa.Instr) bool {
+	return in.Unconditional() && in.DstRegs() == 1
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import "gpurel/internal/isa"
+
+// Backward liveness over the GPR and predicate files. The analysis is a
+// may-analysis: a register is live after instruction i when some path
+// from i reads it before every path overwrites it. Predicated writes do
+// not kill — the guard may be false at runtime — which keeps the dead-
+// store detector sound for predicated code.
+
+// liveness returns the per-instruction live-out sets.
+func liveness(p *isa.Program, cfg *CFG) ([]RegSet, []PredSet) {
+	n := len(p.Instrs)
+	liveOut := make([]RegSet, n)
+	predOut := make([]PredSet, n)
+	if n == 0 {
+		return liveOut, predOut
+	}
+
+	nb := len(cfg.Blocks)
+	// Block summaries: use = upward-exposed reads, def = strong kills.
+	useG := make([]RegSet, nb)
+	useP := make([]PredSet, nb)
+	defG := make([]RegSet, nb)
+	defP := make([]PredSet, nb)
+	for _, b := range cfg.Blocks {
+		for i := b.End - 1; i >= b.Start; i-- {
+			in := &p.Instrs[i]
+			ug, up := instrUses(in)
+			if in.Unconditional() {
+				dg, dp := instrDefs(in)
+				defG[b.ID].Union(&dg)
+				defP[b.ID].Union(dp)
+				useG[b.ID].Subtract(&dg)
+				useP[b.ID] &^= dp
+			}
+			useG[b.ID].Union(&ug)
+			useP[b.ID].Union(up)
+		}
+	}
+
+	// Fixpoint: liveIn[b] = use[b] ∪ (liveOut[b] − def[b]).
+	inG := make([]RegSet, nb)
+	inP := make([]PredSet, nb)
+	outG := make([]RegSet, nb)
+	outP := make([]PredSet, nb)
+	changed := true
+	for changed {
+		changed = false
+		for id := nb - 1; id >= 0; id-- {
+			b := cfg.Blocks[id]
+			var og RegSet
+			var op PredSet
+			for _, s := range b.Succs {
+				og.Union(&inG[s])
+				op.Union(inP[s])
+			}
+			outG[id] = og
+			outP[id] = op
+			ig := og
+			ig.Subtract(&defG[id])
+			ig.Union(&useG[id])
+			ip := op &^ defP[id]
+			ip |= useP[id]
+			if ig != inG[id] || ip != inP[id] {
+				inG[id] = ig
+				inP[id] = ip
+				changed = true
+			}
+		}
+	}
+
+	// Per-instruction live-out by walking each block backward.
+	for _, b := range cfg.Blocks {
+		lg := outG[b.ID]
+		lp := outP[b.ID]
+		for i := b.End - 1; i >= b.Start; i-- {
+			liveOut[i] = lg
+			predOut[i] = lp
+			in := &p.Instrs[i]
+			if in.Unconditional() {
+				dg, dp := instrDefs(in)
+				lg.Subtract(&dg)
+				lp &^= dp
+			}
+			ug, up := instrUses(in)
+			lg.Union(&ug)
+			lp |= up
+		}
+	}
+	return liveOut, predOut
+}

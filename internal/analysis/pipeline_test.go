@@ -1,0 +1,115 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpurel/internal/analysis"
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/microbench"
+	"gpurel/internal/suite"
+)
+
+// buildDeadTemps emits a kernel with author-level dead code: a dead
+// multiply chain plus enough rewritable arithmetic that the legacy
+// pipeline's every-4th-instruction move insertion lands on dead values
+// too. The O2 pipeline's DCE strips all of it; the legacy pipeline
+// keeps it and adds scratch moves on top — the codegen difference the
+// paper blames for the SASSIFI-vs-NVBitFI AVF gap (§VI).
+func buildDeadTemps(t *testing.T, opt asm.OptLevel) *isa.Program {
+	t.Helper()
+	b := asm.New("deadtemps", opt)
+	x := b.R()
+	d1 := b.R()
+	d2 := b.R()
+	d3 := b.R()
+	out := b.R()
+	b.MovImm(x, 7)
+	b.IMul(d1, isa.R(x), isa.R(x))      // dead
+	b.IMul(d2, isa.R(x), isa.R(d1))     // dead, feeds only d3
+	b.IAdd(d3, isa.R(d2), isa.ImmInt(3)) // dead
+	b.IAdd(out, isa.R(x), isa.ImmInt(1))
+	addr := b.R()
+	b.MovImm(addr, 0x80)
+	b.Stg(addr, 0, out)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build O%d: %v", opt, err)
+	}
+	return p
+}
+
+// TestLegacyDeadFractionExceedsO2 is the static §VI check: the same
+// source built by the legacy pipeline must show a measurably higher
+// architecturally-dead fraction than the O2 pipeline.
+func TestLegacyDeadFractionExceedsO2(t *testing.T) {
+	legacy := analysis.DeadFraction(buildDeadTemps(t, asm.O1))
+	modern := analysis.DeadFraction(buildDeadTemps(t, asm.O2))
+	if modern != 0 {
+		t.Errorf("O2 dead fraction = %.3f, want 0 (DCE strips the dead chain)", modern)
+	}
+	if legacy < modern+0.2 {
+		t.Errorf("legacy dead fraction %.3f not measurably above O2's %.3f", legacy, modern)
+	}
+}
+
+// TestLegacyMovesFlaggedDead checks the lint view of the same effect:
+// the legacy build carries dead-store warnings, the O2 build none, and
+// neither build has errors.
+func TestLegacyMovesFlaggedDead(t *testing.T) {
+	r1 := analysis.Analyze(buildDeadTemps(t, asm.O1))
+	r2 := analysis.Analyze(buildDeadTemps(t, asm.O2))
+	if errs := r1.Errors(); len(errs) != 0 {
+		t.Errorf("legacy build has errors: %v", errs)
+	}
+	if errs := r2.Errors(); len(errs) != 0 {
+		t.Errorf("O2 build has errors: %v", errs)
+	}
+	if len(r1.Warnings()) == 0 {
+		t.Errorf("legacy build shows no dead-store warnings; want at least one")
+	}
+	if warns := r2.Warnings(); len(warns) != 0 {
+		t.Errorf("O2 build warnings = %v, want none", warns)
+	}
+}
+
+// TestRoundTripSuiteClean is the build -> analyze -> verify round trip
+// over every built-in kernel and microbenchmark at both pipelines: if
+// insertLegacyMoves or the O2 passes ever shifted a branch target or
+// label, the analyzer would surface it as an unreachable block, a
+// fall-off-the-end path, a use-before-def, or a split pair.
+func TestRoundTripSuiteClean(t *testing.T) {
+	for _, dev := range []*device.Device{device.K40c(), device.TitanV()} {
+		for _, opt := range []asm.OptLevel{asm.O1, asm.O2} {
+			for _, e := range suite.ForDevice(dev) {
+				inst, err := e.Build(dev, opt)
+				if err != nil {
+					t.Fatalf("%s/%s O%d: %v", dev.Name, e.Name, opt, err)
+				}
+				seen := map[string]bool{}
+				for _, l := range inst.Launches {
+					if seen[l.Prog.Name] {
+						continue
+					}
+					seen[l.Prog.Name] = true
+					if errs := analysis.Analyze(l.Prog).Errors(); len(errs) != 0 {
+						t.Errorf("%s/%s O%d %s: %v", dev.Name, e.Name, opt, l.Prog.Name, errs)
+					}
+				}
+			}
+			for _, m := range microbench.Catalog(dev) {
+				inst, err := m.Build(dev, opt)
+				if err != nil {
+					t.Fatalf("%s/micro %s O%d: %v", dev.Name, m.Name, opt, err)
+				}
+				for _, l := range inst.Launches {
+					if errs := analysis.Analyze(l.Prog).Errors(); len(errs) != 0 {
+						t.Errorf("%s/micro %s O%d: %v", dev.Name, m.Name, opt, errs)
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,13 +3,17 @@ package asm
 import (
 	"fmt"
 
+	"gpurel/internal/analysis"
 	"gpurel/internal/isa"
 )
 
 // verify performs static checks on a built program: branch targets in
 // range, register operands within the file, F64 pair alignment, MMA
-// fragment alignment, and the presence of a terminator. It is the last
-// gate before a program reaches the simulator.
+// fragment alignment, the presence of a terminator, and — via the
+// whole-program control-flow checks of internal/analysis — SSY
+// reconvergence pairing and branch targets that split a multi-register
+// initialization. It is the last gate before a program reaches the
+// simulator.
 func verify(p *isa.Program) error {
 	if len(p.Instrs) == 0 {
 		return fmt.Errorf("asm(%s): empty program", p.Name)
@@ -65,6 +69,9 @@ func verify(p *isa.Program) error {
 	}
 	if !hasExit {
 		return fmt.Errorf("asm(%s): program has no EXIT", p.Name)
+	}
+	if hazards := analysis.ControlHazards(p); len(hazards) > 0 {
+		return fmt.Errorf("asm(%s): instruction %d: %s", p.Name, hazards[0].Instr, hazards[0].Msg)
 	}
 	return nil
 }

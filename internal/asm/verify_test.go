@@ -1,0 +1,156 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"gpurel/internal/isa"
+)
+
+// vIns builds one instruction with an unconditional guard and RZ
+// sources, for hand-assembling invalid programs the Builder would
+// refuse to produce.
+func vIns(op isa.Op, dst isa.Reg, srcs ...isa.Reg) isa.Instr {
+	in := isa.Instr{Op: op, Pred: isa.PT, DstP: isa.PT, Dst: dst,
+		Srcs: [3]isa.Operand{isa.R(isa.RZ), isa.R(isa.RZ), isa.R(isa.RZ)}}
+	for i, s := range srcs {
+		in.Srcs[i] = isa.R(s)
+	}
+	return in
+}
+
+func TestVerifyRejectsSSYWithoutDivergentBranch(t *testing.T) {
+	ssy := vIns(isa.OpSSY, isa.RZ)
+	ssy.Target = 2
+	p := &isa.Program{Name: "badssy", Instrs: []isa.Instr{
+		ssy,
+		vIns(isa.OpMOV32I, 0),
+		vIns(isa.OpEXIT, isa.RZ),
+	}}
+	err := verify(p)
+	if err == nil || !strings.Contains(err.Error(), "no divergent branch") {
+		t.Fatalf("verify = %v, want SSY-without-divergent-branch rejection", err)
+	}
+}
+
+func TestVerifyRejectsBackwardSSY(t *testing.T) {
+	ssy := vIns(isa.OpSSY, isa.RZ)
+	ssy.Target = 0
+	p := &isa.Program{Name: "backssy", Instrs: []isa.Instr{
+		vIns(isa.OpMOV32I, 0),
+		ssy,
+		vIns(isa.OpEXIT, isa.RZ),
+	}}
+	err := verify(p)
+	if err == nil || !strings.Contains(err.Error(), "does not follow") {
+		t.Fatalf("verify = %v, want backward-SSY rejection", err)
+	}
+}
+
+func TestVerifyRejectsPairSplitBranch(t *testing.T) {
+	setp := vIns(isa.OpISETP, isa.RZ, 0, isa.RZ)
+	setp.DstP = 0
+	setp.Cmp = isa.CmpLT
+	bra := vIns(isa.OpBRA, isa.RZ)
+	bra.Target = 3 // lands between the two halves of the (R2,R3) pair init
+	bra.Pred = 0
+	p := &isa.Program{Name: "pairsplit", Instrs: []isa.Instr{
+		vIns(isa.OpMOV32I, 0),
+		setp,
+		vIns(isa.OpMOV32I, 2),
+		vIns(isa.OpMOV32I, 3),
+		vIns(isa.OpDADD, 4, 2, 2),
+		bra,
+		vIns(isa.OpEXIT, isa.RZ),
+	}}
+	err := verify(p)
+	if err == nil || !strings.Contains(err.Error(), "splitting") {
+		t.Fatalf("verify = %v, want pair-split rejection", err)
+	}
+}
+
+func TestVerifyAcceptsBranchToPairRunStart(t *testing.T) {
+	setp := vIns(isa.OpISETP, isa.RZ, 0, isa.RZ)
+	setp.DstP = 0
+	setp.Cmp = isa.CmpLT
+	bra := vIns(isa.OpBRA, isa.RZ)
+	bra.Target = 2 // re-runs the whole pair initialization: fine
+	bra.Pred = 0
+	p := &isa.Program{Name: "pairok", Instrs: []isa.Instr{
+		vIns(isa.OpMOV32I, 0),
+		setp,
+		vIns(isa.OpMOV32I, 2),
+		vIns(isa.OpMOV32I, 3),
+		vIns(isa.OpDADD, 4, 2, 2),
+		bra,
+		vIns(isa.OpEXIT, isa.RZ),
+	}}
+	if err := verify(p); err != nil {
+		t.Fatalf("verify rejected a branch to the start of a pair run: %v", err)
+	}
+}
+
+func TestVerifyRejectsUncoveredSync(t *testing.T) {
+	p := &isa.Program{Name: "badsync", Instrs: []isa.Instr{
+		vIns(isa.OpMOV32I, 0),
+		vIns(isa.OpSYNC, isa.RZ),
+		vIns(isa.OpEXIT, isa.RZ),
+	}}
+	err := verify(p)
+	if err == nil || !strings.Contains(err.Error(), "SSY region") {
+		t.Fatalf("verify = %v, want uncovered-SYNC rejection", err)
+	}
+}
+
+// TestLegacyMovesPreserveBranchTargets is the build -> analyze -> verify
+// round trip for the legacy pipeline's bookkeeping: insertLegacyMoves
+// grows the instruction stream mid-loop, and the backward branch must
+// still land on the first body instruction. The body's leading MOV32I
+// carries a magic immediate so the target is identifiable after the
+// rewrite.
+func TestLegacyMovesPreserveBranchTargets(t *testing.T) {
+	const magic = 0xBEEF
+	build := func(opt OptLevel) *isa.Program {
+		b := New("looplabels", opt)
+		i := b.R()
+		acc := b.R()
+		mark := b.R()
+		b.MovImm(acc, 0)
+		b.ForCounter(i, 0, 8, LoopOpts{}, func() {
+			b.MovImm(mark, magic) // first body instruction
+			b.IAdd(acc, isa.R(acc), isa.R(mark))
+			b.IMul(acc, isa.R(acc), isa.R(i))
+			b.IAdd(acc, isa.R(acc), isa.ImmInt(1))
+			b.IMul(acc, isa.R(acc), isa.R(mark))
+			b.IAdd(acc, isa.R(acc), isa.R(i))
+		})
+		addr := b.R()
+		b.MovImm(addr, 0x40)
+		b.Stg(addr, 0, acc)
+		b.Exit()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("build O%d: %v", opt, err)
+		}
+		return p
+	}
+	for _, opt := range []OptLevel{O1, O2} {
+		p := build(opt)
+		found := false
+		for idx := range p.Instrs {
+			in := &p.Instrs[idx]
+			if in.Op != isa.OpBRA || in.Target > idx {
+				continue
+			}
+			found = true
+			tgt := &p.Instrs[in.Target]
+			if tgt.Op != isa.OpMOV32I || tgt.Srcs[0].Imm != magic {
+				t.Errorf("O%d: backward branch at %d lands on %s, want the magic MOV32I",
+					opt, idx, tgt.String())
+			}
+		}
+		if !found {
+			t.Fatalf("O%d: no backward branch in the built loop", opt)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package faultinj
+
+import (
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+	"gpurel/internal/suite"
+)
+
+// TestCrossValidateAgreement checks that the static ACE-based AVF
+// estimate and a dynamic NVBitFI campaign agree within the documented
+// tolerance on several kernels. The four kernels cover a compute-dense
+// matrix multiply, a dependency-chained DP kernel, a divergent graph
+// kernel, and an iterative label-propagation kernel.
+func TestCrossValidateAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 400-fault campaigns; skipped in -short (the race tier)")
+	}
+	dev := device.K40c()
+	cfg := Config{Tool: NVBitFI, TotalFaults: 400, Seed: 7}
+	for _, name := range []string{"FMXM", "NW", "BFS", "CCL"} {
+		e, err := suite.Find(suite.Kepler(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cv, err := CrossValidate(cfg, e.Name, e.Build, dev)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !cv.Agrees() {
+			t.Errorf("%s: static unmasked %.3f vs dynamic %.3f (delta %+.3f) outside tolerance %.2f",
+				name, cv.StaticUnmasked(), cv.DynamicUnmasked(), cv.Delta(), CrossValTolerance)
+		}
+		if cv.Static.Sites == 0 || cv.Dynamic.Injected == 0 {
+			t.Errorf("%s: degenerate cross-validation: %d static sites, %d injections",
+				name, cv.Static.Sites, cv.Dynamic.Injected)
+		}
+	}
+}
+
+// TestStaticEstimateDeterministic pins that the static path has no
+// hidden dependence on campaign state: two estimates of the same
+// workload are identical.
+func TestStaticEstimateDeterministic(t *testing.T) {
+	dev := device.K40c()
+	e, err := suite.Find(suite.Kepler(), "FMXM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		runner, err := kernels.NewRunner(e.Name, e.Build, dev, NVBitFI.OptLevel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := StaticEstimate(runner, NVBitFI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Unmasked()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("static estimate not deterministic: %.6f vs %.6f", a, b)
+	}
+}

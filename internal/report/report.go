@@ -307,3 +307,31 @@ func eccLabel(ecc bool) string {
 func Devices(s *core.Study) []*core.DeviceStudy {
 	return []*core.DeviceStudy{s.Kepler, s.Volta}
 }
+
+// CrossValidation renders the static-versus-injection AVF comparison
+// emitted by `gpurel-lint --cross-validate`: one row per workload with
+// both unmasked AVF views, the delta, and whether it sits inside the
+// documented tolerance.
+func CrossValidation(cvs []*faultinj.CrossValidation, csv bool) string {
+	t := &table{header: []string{
+		"code", "tool", "static SDC", "static DUE", "static unmasked",
+		"dyn SDC", "dyn DUE", "dyn unmasked", "delta", "within tol", "faults"}}
+	for _, cv := range cvs {
+		agree := "yes"
+		if !cv.Agrees() {
+			agree = "NO"
+		}
+		t.add(cv.Name, cv.Tool.String(),
+			fmt.Sprintf("%.3f", cv.Static.SDC),
+			fmt.Sprintf("%.3f", cv.Static.DUE),
+			fmt.Sprintf("%.3f", cv.StaticUnmasked()),
+			fmt.Sprintf("%.3f", cv.Dynamic.SDCAVF.P),
+			fmt.Sprintf("%.3f", cv.Dynamic.DUEAVF.P),
+			fmt.Sprintf("%.3f", cv.DynamicUnmasked()),
+			fmt.Sprintf("%+.3f", cv.Delta()),
+			agree,
+			fmt.Sprintf("%d", cv.Dynamic.Injected))
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"Static vs injection AVF (tolerance ±%.2f)", faultinj.CrossValTolerance))
+}

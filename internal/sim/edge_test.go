@@ -57,13 +57,14 @@ func TestExplicitSyncJumpsToReconvergence(t *testing.T) {
 
 func TestSyncOutsideDivergenceIsDUE(t *testing.T) {
 	g := mem.NewGlobal(1 << 16)
-	b := asm.New("badsync", asm.O1)
-	b.Sync()
-	b.Exit()
-	prog, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
+	// The assembler's verify gate rejects an uncovered SYNC at build
+	// time, so hand-assemble the malformed program: the engine's own
+	// runtime fault path must still catch it.
+	zero := [3]isa.Operand{isa.R(isa.RZ), isa.R(isa.RZ), isa.R(isa.RZ)}
+	prog := &isa.Program{Name: "badsync", Instrs: []isa.Instr{
+		{Op: isa.OpSYNC, Pred: isa.PT, DstP: isa.PT, Dst: isa.RZ, Srcs: zero},
+		{Op: isa.OpEXIT, Pred: isa.PT, DstP: isa.PT, Dst: isa.RZ, Srcs: zero},
+	}}
 	res, _ := Run(Config{Device: device.K40c(), Program: prog, GridX: 1, GridY: 1, BlockThreads: 32}, g)
 	if res.Outcome != OutcomeDUE || !strings.Contains(res.DUEReason, "SYNC") {
 		t.Fatalf("bare SYNC must fault: %+v", res)

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Repository check tiers.
+#
+#   scripts/check.sh         tier 1: build + tests (the gate every change must pass)
+#   scripts/check.sh full    tier 2: tier 1 + go vet + lint gate + race detector
+#
+# The race run executes the whole test suite a second time under
+# -race instrumentation; expect it to take several times longer than
+# the plain run. It uses -short so the heaviest campaign tests (already
+# exercised un-instrumented by tier 1) do not push packages past the
+# per-package timeout under the ~10x race slowdown.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go test ./..."
+go test ./...
+
+if [ "${1:-}" = "full" ]; then
+    echo "== go vet ./..."
+    go vet ./...
+    echo "== gpurel-lint (selftest + built-in kernels and micros)"
+    go run ./cmd/gpurel-lint -selftest
+    go run ./cmd/gpurel-lint >/dev/null
+    echo "== go test -race -short ./..."
+    go test -race -short -timeout 20m ./...
+fi
+
+echo "checks passed"
