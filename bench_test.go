@@ -19,8 +19,10 @@ import (
 	"gpurel/internal/fit"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/mem"
 	"gpurel/internal/microbench"
 	"gpurel/internal/profiler"
+	"gpurel/internal/sim"
 	"gpurel/internal/suite"
 )
 
@@ -197,8 +199,7 @@ func fig6Inputs(b *testing.B) (*profiler.CodeProfile, *faultinj.Result, *fit.Uni
 		}
 		phi[m.Name] = mp.Phi()
 		if m.Name == "RF" {
-			inst, _ := mr.Build(dev, asm.O2)
-			l := inst.Launches[0]
+			l := mr.Instance().Launches[0]
 			rfBytes = l.GridX * l.GridY * l.BlockThreads * l.Prog.NumRegs * 4
 		}
 	}
@@ -299,6 +300,61 @@ func BenchmarkSimGoldenYOLOv3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := kernels.NewRunner("FYOLOV3", kernels.YOLOBuilder(true, isa.F32), dev, asm.O2); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate benchmarks: per-fault injection throughput ---
+
+// benchPerFault measures the marginal cost of one injected fault under
+// the checkpointed engine: a golden runner is built once, then each
+// iteration restores a launch-boundary snapshot, simulates the fault
+// launch, and cuts off as soon as the state rejoins golden.
+func benchPerFault(b *testing.B, name string, build kernels.Builder) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner(name, build, dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl := len(r.GoldenProfiles())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := &sim.FaultPlan{Kind: sim.FaultValueBit, TriggerIndex: uint64(i % 50), Bit: i % 32}
+		if _, err := r.RunWithFault(plan, i%nl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "faults/s")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/fault")
+	}
+}
+
+func BenchmarkSimPerFaultFMXM(b *testing.B) {
+	benchPerFault(b, "FMXM", kernels.MxMBuilder(isa.F32))
+}
+
+func BenchmarkSimPerFaultYOLOv3(b *testing.B) {
+	benchPerFault(b, "FYOLOV3", kernels.YOLOBuilder(true, isa.F32))
+}
+
+// BenchmarkSimSnapshotRestore isolates the memory-checkpoint substrate:
+// one restore + one full-region word diff per iteration over a
+// workload-sized device memory.
+func BenchmarkSimSnapshotRestore(b *testing.B) {
+	g := mem.NewGlobal(1 << 22)
+	if _, err := g.Alloc(1 << 20); err != nil {
+		b.Fatal(err)
+	}
+	snap := g.Snapshot()
+	b.SetBytes(int64(g.AllocatedBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FlipBit(uint64(i) * 977)
+		g.Restore(snap)
+		if !g.EqualSnapshot(snap) {
+			b.Fatal("restore did not converge")
 		}
 	}
 }

@@ -83,8 +83,7 @@ func main() {
 			phi[m.Name] = mp.Phi()
 		}
 		if m.Name == "RF" {
-			inst, _ := mr.Build(dev, asm.O2)
-			l := inst.Launches[0]
+			l := mr.Instance().Launches[0]
 			rfBytes = l.GridX * l.GridY * l.BlockThreads * l.Prog.NumRegs * 4
 		}
 		fmt.Fprintf(os.Stderr, "micro %s done\n", m.Name)

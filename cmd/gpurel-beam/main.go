@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gpurel/internal/asm"
 	"gpurel/internal/beam"
@@ -31,6 +32,7 @@ func main() {
 	code := flag.String("code", "", "run a single workload")
 	ecc := flag.Bool("ecc", true, "ECC state for -code")
 	trials := flag.Int("trials", 350, "beam trials per configuration")
+	workers := flag.Int("workers", 0, "campaign parallelism (0: one worker per CPU)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
@@ -45,6 +47,8 @@ func main() {
 		Beam:      map[core.BeamKey]*beam.Result{},
 	}
 
+	start := time.Now()
+	totalTrials := 0
 	switch {
 	case *fig3:
 		for _, m := range microbench.Catalog(dev) {
@@ -52,13 +56,15 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			res, err := beam.Run(beam.Config{ECC: m.Name != "RF", Trials: *trials, Seed: *seed}, r)
+			res, err := beam.Run(beam.Config{ECC: m.Name != "RF", Trials: *trials, Workers: *workers, Seed: *seed}, r)
 			if err != nil {
 				fail(err)
 			}
 			ds.MicroBeam[m.Name] = res
+			totalTrials += res.Trials
 			fmt.Fprintf(os.Stderr, "done %s\n", m.Name)
 		}
+		summary(totalTrials, start)
 		fmt.Print(report.Figure3(ds, *csv))
 	case *fig5:
 		entries := suite.ForDevice(dev)
@@ -71,11 +77,12 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			res, err := beam.Run(beam.Config{ECC: key.ECC, Trials: *trials, Seed: *seed}, r)
+			res, err := beam.Run(beam.Config{ECC: key.ECC, Trials: *trials, Workers: *workers, Seed: *seed}, r)
 			if err != nil {
 				fail(err)
 			}
 			ds.Beam[key] = res
+			totalTrials += res.Trials
 			fmt.Fprintf(os.Stderr, "done %s ecc=%v\n", key.Code, key.ECC)
 		}
 		// Figure 5 normalizes against the micro floor; run the cheapest
@@ -84,11 +91,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		refRes, err := beam.Run(beam.Config{ECC: true, Trials: *trials, Seed: *seed}, ref)
+		refRes, err := beam.Run(beam.Config{ECC: true, Trials: *trials, Workers: *workers, Seed: *seed}, ref)
 		if err != nil {
 			fail(err)
 		}
 		ds.MicroBeam["REF"] = refRes
+		totalTrials += refRes.Trials
+		summary(totalTrials, start)
 		fmt.Print(report.Figure5(ds, *csv))
 	case *code != "":
 		entries := suite.ForDevice(dev)
@@ -100,10 +109,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res, err := beam.Run(beam.Config{ECC: *ecc, Trials: *trials, Seed: *seed}, r)
+		res, err := beam.Run(beam.Config{ECC: *ecc, Trials: *trials, Workers: *workers, Seed: *seed}, r)
 		if err != nil {
 			fail(err)
 		}
+		summary(res.Trials, start)
 		fmt.Printf("%s on %s, ECC %v: SDC FIT %.4f [%.4f, %.4f] a.u. (%d events), DUE FIT %.4f (%d events), %d trials\n",
 			res.Name, res.Device, res.ECC,
 			res.SDCFIT.Rate, res.SDCFIT.CI.Lower, res.SDCFIT.CI.Upper, res.SDC,
@@ -115,6 +125,14 @@ func main() {
 	default:
 		fail(fmt.Errorf("pick one of -fig3, -fig5, or -code NAME"))
 	}
+}
+
+// summary prints the wall-clock/throughput line every campaign mode
+// ends with.
+func summary(trials int, start time.Time) {
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "campaign total: %d trials in %s (%.0f trials/s)\n",
+		trials, elapsed.Round(time.Millisecond), float64(trials)/elapsed.Seconds())
 }
 
 // refOp is the normalization micro-benchmark of Figure 5: FADD on

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"gpurel/internal/core"
 	"gpurel/internal/device"
@@ -24,6 +25,7 @@ func main() {
 	toolName := flag.String("tool", "nvbitfi", "injector: sassifi or nvbitfi")
 	code := flag.String("code", "", "inject into a single workload (default: all)")
 	faults := flag.Int("faults", 500, "NVBitFI total faults / SASSIFI faults per class (quarter of total)")
+	workers := flag.Int("workers", 0, "campaign parallelism (0: one worker per CPU)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
@@ -40,6 +42,7 @@ func main() {
 		Tool:           tool,
 		FaultsPerClass: *faults / 4,
 		TotalFaults:    *faults,
+		Workers:        *workers,
 		Seed:           *seed,
 	}
 
@@ -55,15 +58,24 @@ func main() {
 		Dev: dev,
 		AVF: map[faultinj.Tool]map[string]*faultinj.Result{tool: {}},
 	}
+	start := time.Now()
+	totalFaults := 0
 	for _, e := range entries {
+		codeStart := time.Now()
 		res, err := faultinj.Run(cfg, e.Name, e.Build, dev)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skip %s: %v\n", e.Name, err)
 			continue
 		}
 		ds.AVF[tool][e.Name] = res
-		fmt.Fprintf(os.Stderr, "done %s\n", e.Name)
+		totalFaults += res.Injected
+		el := time.Since(codeStart)
+		fmt.Fprintf(os.Stderr, "done %s: %d faults in %s (%.0f faults/s)\n",
+			e.Name, res.Injected, el.Round(time.Millisecond), float64(res.Injected)/el.Seconds())
 	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "campaign total: %d faults in %s (%.0f faults/s)\n",
+		totalFaults, elapsed.Round(time.Millisecond), float64(totalFaults)/elapsed.Seconds())
 	fmt.Print(report.Figure4(ds, *csv))
 
 	// Per-class detail for single-code runs.

@@ -22,6 +22,7 @@ func main() {
 	outDir := flag.String("out", "out", "output directory")
 	trials := flag.Int("trials", 350, "beam trials per configuration")
 	faults := flag.Int("faults", 500, "injection faults per code")
+	workers := flag.Int("workers", 0, "study parallelism across and within campaigns (0: one worker per CPU)")
 	seed := flag.Uint64("seed", 1, "study seed")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	fromDir := flag.String("from", "", "re-render artifacts from a directory of saved study_*.json files instead of running campaigns")
@@ -49,6 +50,7 @@ func main() {
 		CodeTrials:      *trials,
 		SassifiPerClass: *faults / 4,
 		NVBitFITotal:    *faults,
+		Workers:         *workers,
 		Seed:            *seed,
 	}
 	if !*quiet {

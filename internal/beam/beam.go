@@ -103,10 +103,7 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 400
 	}
-	inst, err := r.Build(r.Dev, r.Opt)
-	if err != nil {
-		return nil, err
-	}
+	inst := r.Instance()
 	sil := r.Dev.Silicon
 	allocBits := float64(inst.Global.AllocatedBytes()) * 8
 
@@ -125,7 +122,13 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 			numRegs:      maxInt(l.Prog.NumRegs, 1),
 			sharedBytes:  l.Prog.SharedMem,
 		}
-		for op, n := range p.PerOpLane {
+		// Iterate opcodes in numeric order: summing in map order would
+		// make opTotal (and every derived rate) wobble by a ULP per run.
+		for op := isa.Op(0); int(op) < isa.OpCount; op++ {
+			n, ok := p.PerOpLane[op]
+			if !ok {
+				continue
+			}
 			lam := sil.Sigma(op) * float64(n)
 			ex.opLambda[op] = lam
 			ex.opTotal += lam
@@ -173,13 +176,23 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				src, oc := runTrial(cfg, r, sil, exposures, lambdaTotal, allocBits, rngs[i])
+				src, oc, err := runTrial(cfg, r, sil, exposures, lambdaTotal, allocBits, rngs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("beam: %s trial %d: %w", r.Name, i, err)
+					}
+					mu.Unlock()
+					continue
+				}
 				outs[i] = trialOut{src, oc}
 			}
 		}()
@@ -189,6 +202,11 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 	}
 	close(work)
 	wg.Wait()
+	if firstErr != nil {
+		// An infrastructure error is not a beam observation; abort the
+		// campaign instead of biasing any channel.
+		return nil, firstErr
+	}
 
 	for _, o := range outs {
 		res.BySource[o.src].Strikes++
@@ -209,9 +227,10 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 	return res, nil
 }
 
-// runTrial samples one strike and classifies its outcome.
+// runTrial samples one strike and classifies its outcome. A non-nil
+// error is an infrastructure failure, not a classification.
 func runTrial(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
-	exposures []exposure, lambdaTotal, allocBits float64, rng *stats.RNG) (Source, kernels.Outcome) {
+	exposures []exposure, lambdaTotal, allocBits float64, rng *stats.RNG) (Source, kernels.Outcome, error) {
 
 	// Pick the launch, then the site category within it.
 	x := rng.Float64() * lambdaTotal
@@ -226,15 +245,19 @@ func runTrial(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 
 	switch {
 	case x < ex.opTotal:
-		return SrcFU, fuStrike(r, sil, ex, rng, cfg.ECC)
+		oc, err := fuStrike(r, sil, ex, rng, cfg.ECC)
+		return SrcFU, oc, err
 	case x < ex.opTotal+ex.rfLambda:
-		return SrcRF, storageStrike(cfg, r, sil, ex, rng, SrcRF, allocBits)
+		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcRF, allocBits)
+		return SrcRF, oc, err
 	case x < ex.opTotal+ex.rfLambda+ex.shLambda:
-		return SrcShared, storageStrike(cfg, r, sil, ex, rng, SrcShared, allocBits)
+		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcShared, allocBits)
+		return SrcShared, oc, err
 	case x < ex.opTotal+ex.rfLambda+ex.shLambda+ex.glLambda:
-		return SrcGlobal, storageStrike(cfg, r, sil, ex, rng, SrcGlobal, allocBits)
+		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcGlobal, allocBits)
+		return SrcGlobal, oc, err
 	default:
-		return SrcHidden, hiddenStrike(sil, ex, rng)
+		return SrcHidden, hiddenStrike(sil, ex, rng), nil
 	}
 }
 
@@ -242,7 +265,7 @@ func runTrial(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 // unit: usually its output value, sometimes its effective address
 // (memory ops), occasionally a pipeline latch that suppresses the
 // instruction.
-func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *stats.RNG, ecc bool) kernels.Outcome {
+func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *stats.RNG, ecc bool) (kernels.Outcome, error) {
 	// Sample the dynamic operation proportional to sigma * count.
 	x := rng.Float64() * ex.opTotal
 	var op isa.Op
@@ -269,7 +292,7 @@ func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *st
 	// The memory data path is end-to-end ECC-covered when ECC is on;
 	// the address path is not (§V-B).
 	if kind == sim.FaultValueBit && op.IsMemory() && ecc && rng.Bool(sil.PLDSTDataECC) {
-		return kernels.Masked
+		return kernels.Masked, nil
 	}
 	opFilter := func(target isa.Op) func(isa.Op) bool {
 		return func(o isa.Op) bool { return o == target }
@@ -280,27 +303,23 @@ func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *st
 		TriggerIndex: uint64(rng.Int64N(int64(ex.perOp[op]))),
 		Bit:          rng.IntN(64),
 	}
-	out, err := r.RunWithFault(plan, ex.launch)
-	if err != nil {
-		return kernels.DUE
-	}
-	return out
+	return r.RunWithFault(plan, ex.launch)
 }
 
 // storageStrike flips one bit of the register file, shared memory, or
 // global memory. Under SECDED ECC the flip is corrected (masked) unless
 // it is a multi-bit upset, which becomes a detected unrecoverable error.
 func storageStrike(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
-	ex *exposure, rng *stats.RNG, src Source, allocBits float64) kernels.Outcome {
+	ex *exposure, rng *stats.RNG, src Source, allocBits float64) (kernels.Outcome, error) {
 	if cfg.ECC {
 		p := sil.MBUProb
 		if src == SrcGlobal {
 			p = sil.DRAMDetectedProb // DRAM multi-cell upsets and bursts
 		}
 		if rng.Bool(p) {
-			return kernels.DUE // detected uncorrectable
+			return kernels.DUE, nil // detected uncorrectable
 		}
-		return kernels.Masked // corrected SBU
+		return kernels.Masked, nil // corrected SBU
 	}
 	plan := &sim.FaultPlan{
 		TriggerIndex: uint64(rng.Int64N(int64(maxU64(ex.laneOps, 1)))),
@@ -320,11 +339,7 @@ func storageStrike(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 		plan.Kind = sim.FaultGlobalBit
 		plan.BitIdx = rng.Uint64() % uint64(maxInt(int(allocBits), 1))
 	}
-	out, err := r.RunWithFault(plan, ex.launch)
-	if err != nil {
-		return kernels.DUE
-	}
-	return out
+	return r.RunWithFault(plan, ex.launch)
 }
 
 // hiddenStrike resolves a strike on management hardware the SASS-level

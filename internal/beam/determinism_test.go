@@ -1,0 +1,45 @@
+package beam
+
+import (
+	"testing"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+)
+
+// TestBeamDeterministicAcrossWorkers locks in the split-RNG scheme: each
+// trial draws from its own RNG split off the master by trial index, so
+// the campaign result must be bit-identical whether trials run on one
+// worker or eight.
+func TestBeamDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full campaigns")
+	}
+	dev := device.K40c()
+	r, err := kernels.NewRunner("FHOTSPOT", kernels.HotspotBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		res, err := Run(Config{ECC: false, Trials: 80, Workers: workers, Seed: 31337}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.SDC != b.SDC || a.DUE != b.DUE {
+		t.Fatalf("workers=1 gave SDC/DUE %d/%d, workers=8 gave %d/%d",
+			a.SDC, a.DUE, b.SDC, b.DUE)
+	}
+	if a.BySource != b.BySource {
+		t.Fatalf("per-source breakdown differs across worker counts:\n1: %+v\n8: %+v",
+			a.BySource, b.BySource)
+	}
+	if a.SDCFIT.Rate != b.SDCFIT.Rate || a.DUEFIT.Rate != b.DUEFIT.Rate {
+		t.Fatalf("FIT rates differ across worker counts: %v/%v vs %v/%v",
+			a.SDCFIT.Rate, a.DUEFIT.Rate, b.SDCFIT.Rate, b.DUEFIT.Rate)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"gpurel/internal/beam"
 	"gpurel/internal/device"
@@ -66,12 +67,28 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 	for tool, byCode := range ds.AVF {
 		out.AVF[tool.String()] = byCode
 	}
-	for key, res := range ds.Beam {
-		out.Beam = append(out.Beam, beamEntryJSON{Code: key.Code, ECC: key.ECC, Result: res})
+	// Emit struct-keyed maps in sorted key order so the artifact is
+	// byte-stable across runs (map iteration order is randomized).
+	for _, key := range sortedBeamKeys(ds.Beam) {
+		out.Beam = append(out.Beam, beamEntryJSON{Code: key.Code, ECC: key.ECC, Result: ds.Beam[key]})
 	}
-	for key, pred := range ds.Predictions {
+	predKeys := make([]PredKey, 0, len(ds.Predictions))
+	for key := range ds.Predictions {
+		predKeys = append(predKeys, key)
+	}
+	sort.Slice(predKeys, func(i, j int) bool {
+		a, b := predKeys[i], predKeys[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.ECC != b.ECC {
+			return !a.ECC
+		}
+		return a.Tool < b.Tool
+	})
+	for _, key := range predKeys {
 		out.Predictions = append(out.Predictions, predEntryJSON{
-			Code: key.Code, ECC: key.ECC, Tool: key.Tool.String(), Prediction: pred,
+			Code: key.Code, ECC: key.ECC, Tool: key.Tool.String(), Prediction: ds.Predictions[key],
 		})
 	}
 	// JSON cannot carry infinities; zero-event comparisons (ratio ±Inf)

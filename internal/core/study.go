@@ -13,6 +13,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 
 	"gpurel/internal/asm"
 	"gpurel/internal/beam"
@@ -57,9 +60,118 @@ func (o *Options) defaults() {
 	if o.MicroAVFFaults <= 0 {
 		o.MicroAVFFaults = 80
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	if o.Progress == nil {
 		o.Progress = func(string, ...any) {}
 	}
+	// Campaigns from different codes report concurrently; serialize the
+	// sink so interleaved lines stay whole.
+	var mu sync.Mutex
+	inner := o.Progress
+	o.Progress = func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		inner(format, args...)
+	}
+}
+
+// splitWorkers divides a worker budget between n concurrent campaigns
+// (outer) and the parallelism inside each campaign (inner).
+func splitWorkers(total, n int) (outer, inner int) {
+	if n < 1 {
+		n = 1
+	}
+	outer = total
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
+// forEach runs fn(i) for i in [0, n) with at most `parallel` concurrent
+// calls and returns the first error.
+func forEach(n, parallel int, fn func(i int) error) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > n {
+		parallel = n
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	work := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// runnerCache builds each (workload, opt level) runner at most once per
+// device study and shares its golden run, profiles, and launch-boundary
+// snapshots across the profiling, injection, and beam phases.
+type runnerCache struct {
+	dev *device.Device
+	mu  sync.Mutex
+	m   map[runnerKey]*runnerEntry
+}
+
+type runnerKey struct {
+	name string
+	opt  asm.OptLevel
+}
+
+type runnerEntry struct {
+	once sync.Once
+	r    *kernels.Runner
+	err  error
+}
+
+func newRunnerCache(dev *device.Device) *runnerCache {
+	return &runnerCache{dev: dev, m: make(map[runnerKey]*runnerEntry)}
+}
+
+// get returns the shared runner for (name, opt), building it on first
+// use. Concurrent callers for the same key block on one build.
+func (c *runnerCache) get(name string, build kernels.Builder, opt asm.OptLevel) (*kernels.Runner, error) {
+	key := runnerKey{name, opt}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &runnerEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.r, e.err = kernels.NewRunner(name, build, c.dev, opt)
+	})
+	return e.r, e.err
 }
 
 // BeamKey identifies one beam configuration of a workload.
@@ -151,54 +263,74 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		DUEUnderestimate: make(map[bool]float64),
 	}
 
+	cache := newRunnerCache(dev)
+	var mu sync.Mutex // guards the ds maps and micro accumulators
+
 	// 1. Micro-benchmark beam campaigns (Figure 3). ECC is enabled for
-	// all micro-benchmarks except RF (§V-B).
+	// all micro-benchmarks except RF (§V-B). Micros run concurrently;
+	// each campaign result depends only on its own seed, so the split
+	// does not change any number.
 	microAVF := make(map[string]float64)
 	microPhi := make(map[string]float64)
 	var rfExposedBytes int
-	for _, m := range microbench.Catalog(dev) {
-		r, err := kernels.NewRunner(m.Name, m.Build, dev, asm.O2)
+	micros := microbench.Catalog(dev)
+	outer, innerW := splitWorkers(opts.Workers, len(micros))
+	err := forEach(len(micros), outer, func(i int) error {
+		m := micros[i]
+		r, err := cache.get(m.Name, m.Build, asm.O2)
 		if err != nil {
-			return nil, fmt.Errorf("core: micro %s: %w", m.Name, err)
+			return fmt.Errorf("core: micro %s: %w", m.Name, err)
 		}
 		if mp, err := profiler.Profile(r); err == nil {
+			mu.Lock()
 			microPhi[m.Name] = mp.Phi()
+			mu.Unlock()
 		}
 		ecc := m.Name != "RF"
 		res, err := beam.Run(beam.Config{
-			ECC: ecc, Trials: opts.MicroTrials, Workers: opts.Workers,
+			ECC: ecc, Trials: opts.MicroTrials, Workers: innerW,
 			Seed: opts.Seed ^ hash(m.Name),
 		}, r)
 		if err != nil {
-			return nil, fmt.Errorf("core: micro beam %s: %w", m.Name, err)
+			return fmt.Errorf("core: micro beam %s: %w", m.Name, err)
 		}
+		mu.Lock()
 		ds.MicroBeam[m.Name] = res
+		mu.Unlock()
 		opts.Progress("micro beam %-6s on %s: SDC %.2f DUE %.2f a.u.",
 			m.Name, dev.Name, res.SDCFIT.Rate, res.DUEFIT.Rate)
 
 		if m.Name == "RF" {
-			inst, err := r.Build(dev, asm.O2)
-			if err != nil {
-				return nil, err
-			}
-			l := inst.Launches[0]
+			l := r.Instance().Launches[0]
+			mu.Lock()
 			rfExposedBytes = l.GridX * l.GridY * l.BlockThreads * l.Prog.NumRegs * 4
 			microAVF[m.Name] = 1 // every stored bit is checked
-			continue
+			mu.Unlock()
+			return nil
 		}
 		// Micro AVF via direct injection on the unit under test.
 		tool := faultinj.NVBitFI
 		if dev.Arch == device.Kepler {
 			tool = faultinj.Sassifi
 		}
-		avfRes, err := faultinj.Run(faultinj.Config{
+		ir, err := cache.get(m.Name, m.Build, tool.OptLevel())
+		if err != nil {
+			return fmt.Errorf("core: micro %s at %s opt: %w", m.Name, tool, err)
+		}
+		avfRes, err := faultinj.RunWithRunner(faultinj.Config{
 			Tool: tool, FaultsPerClass: opts.MicroAVFFaults,
 			TotalFaults: opts.MicroAVFFaults * 3,
-			Workers:     opts.Workers, Seed: opts.Seed ^ hash(m.Name) ^ 0xa7f5a17,
-		}, m.Name, m.Build, dev)
+			Workers:     innerW, Seed: opts.Seed ^ hash(m.Name) ^ 0xa7f5a17,
+		}, ir)
 		if err == nil {
+			mu.Lock()
 			microAVF[m.Name] = avfRes.SDCAVF.P
+			mu.Unlock()
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	units, err := fit.FromMicroResults(dev.Name, ds.MicroBeam, microAVF, microPhi, rfExposedBytes)
 	if err != nil {
@@ -206,67 +338,105 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 	}
 	ds.Units = units
 
-	// 2. Profiling (Table I, Figure 1).
+	// 2. Profiling (Table I, Figure 1), concurrent across codes.
 	entries := suite.ForDevice(dev)
-	for _, e := range entries {
-		r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+	outer, _ = splitWorkers(opts.Workers, len(entries))
+	err = forEach(len(entries), outer, func(i int) error {
+		e := entries[i]
+		r, err := cache.get(e.Name, e.Build, asm.O2)
 		if err != nil {
-			return nil, fmt.Errorf("core: profiling %s: %w", e.Name, err)
+			return fmt.Errorf("core: profiling %s: %w", e.Name, err)
 		}
 		cp, err := profiler.Profile(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		mu.Lock()
 		ds.Profiles[e.Name] = cp
+		mu.Unlock()
 		opts.Progress("profile %-10s: IPC %.2f occ %.2f regs %d shared %dB",
 			e.Name, cp.IPC, cp.Occupancy, cp.RegsPerThread, cp.SharedBytes)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// 3. Injection campaigns (Figure 4).
+	// 3. Injection campaigns (Figure 4), concurrent across (tool, code)
+	// pairs; each campaign reuses the cached runner for its pipeline.
 	tools := []faultinj.Tool{faultinj.NVBitFI}
 	if dev.Arch == device.Kepler {
 		tools = []faultinj.Tool{faultinj.Sassifi, faultinj.NVBitFI}
 	}
+	type injJob struct {
+		tool faultinj.Tool
+		e    suite.Entry
+	}
+	var injJobs []injJob
 	for _, tool := range tools {
 		ds.AVF[tool] = make(map[string]*faultinj.Result)
 		for _, e := range entries {
-			if !injectable(dev, tool, e) {
-				continue
+			if injectable(dev, tool, e) {
+				injJobs = append(injJobs, injJob{tool, e})
 			}
-			res, err := faultinj.Run(faultinj.Config{
-				Tool: tool, FaultsPerClass: opts.SassifiPerClass,
-				TotalFaults: opts.NVBitFITotal, Workers: opts.Workers,
-				Seed: opts.Seed ^ hash(e.Name) ^ uint64(tool),
-			}, e.Name, e.Build, dev)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s on %s: %w", tool, e.Name, err)
-			}
-			ds.AVF[tool][e.Name] = res
-			opts.Progress("%s %-10s: AVF SDC %.3f DUE %.3f (n=%d)",
-				tool, e.Name, res.SDCAVF.P, res.DUEAVF.P, res.Injected)
 		}
 	}
+	outer, innerW = splitWorkers(opts.Workers, len(injJobs))
+	err = forEach(len(injJobs), outer, func(i int) error {
+		j := injJobs[i]
+		r, err := cache.get(j.e.Name, j.e.Build, j.tool.OptLevel())
+		if err != nil {
+			return fmt.Errorf("core: %s on %s: %w", j.tool, j.e.Name, err)
+		}
+		res, err := faultinj.RunWithRunner(faultinj.Config{
+			Tool: j.tool, FaultsPerClass: opts.SassifiPerClass,
+			TotalFaults: opts.NVBitFITotal, Workers: innerW,
+			Seed: opts.Seed ^ hash(j.e.Name) ^ uint64(j.tool),
+		}, r)
+		if err != nil {
+			return fmt.Errorf("core: %s on %s: %w", j.tool, j.e.Name, err)
+		}
+		mu.Lock()
+		ds.AVF[j.tool][j.e.Name] = res
+		mu.Unlock()
+		opts.Progress("%s %-10s: AVF SDC %.3f DUE %.3f (n=%d)",
+			j.tool, j.e.Name, res.SDCAVF.P, res.DUEAVF.P, res.Injected)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-	// 4. Beam campaigns over the codes (Figure 5).
-	for _, key := range BeamConfigs(dev, entries) {
+	// 4. Beam campaigns over the codes (Figure 5), concurrent across
+	// (code, ECC) configurations.
+	keys := BeamConfigs(dev, entries)
+	outer, innerW = splitWorkers(opts.Workers, len(keys))
+	err = forEach(len(keys), outer, func(i int) error {
+		key := keys[i]
 		e, err := suite.Find(entries, key.Code)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+		r, err := cache.get(e.Name, e.Build, asm.O2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := beam.Run(beam.Config{
-			ECC: key.ECC, Trials: opts.CodeTrials, Workers: opts.Workers,
+			ECC: key.ECC, Trials: opts.CodeTrials, Workers: innerW,
 			Seed: opts.Seed ^ hash(e.Name) ^ boolBit(key.ECC),
 		}, r)
 		if err != nil {
-			return nil, fmt.Errorf("core: beam %s ecc=%v: %w", e.Name, key.ECC, err)
+			return fmt.Errorf("core: beam %s ecc=%v: %w", e.Name, key.ECC, err)
 		}
+		mu.Lock()
 		ds.Beam[key] = res
+		mu.Unlock()
 		opts.Progress("beam %-10s ecc=%-5v: SDC %.3f DUE %.3f a.u.",
 			e.Name, key.ECC, res.SDCFIT.Rate, res.DUEFIT.Rate)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }
@@ -302,6 +472,22 @@ func boolBit(b bool) uint64 {
 	return 0
 }
 
+// sortedBeamKeys returns the map's keys ordered by (code, ECC off
+// first), for deterministic iteration.
+func sortedBeamKeys(m map[BeamKey]*beam.Result) []BeamKey {
+	keys := make([]BeamKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Code != keys[j].Code {
+			return keys[i].Code < keys[j].Code
+		}
+		return !keys[i].ECC
+	})
+	return keys
+}
+
 // Finalize computes the predictions and comparisons of §VII once the
 // AVF proxies are resolvable. voltaAVF supplies the Volta NVBitFI
 // results needed by Kepler's library codes (nil when finalizing Volta
@@ -314,7 +500,12 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 	} else {
 		tools = []faultinj.Tool{faultinj.NVBitFI}
 	}
-	for key, beamRes := range ds.Beam {
+	// Iterate beam configurations in sorted order: Comparisons is an
+	// ordered artifact, and the DUE ratio accumulation below must not
+	// pick up ULP noise from map iteration order.
+	beamKeys := sortedBeamKeys(ds.Beam)
+	for _, key := range beamKeys {
+		beamRes := ds.Beam[key]
 		e, err := suite.Find(entries, key.Code)
 		if err != nil {
 			return err
@@ -336,7 +527,8 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 	// NVBitFI-based predictions.
 	for _, ecc := range []bool{false, true} {
 		var ratios []float64
-		for key, beamRes := range ds.Beam {
+		for _, key := range beamKeys {
+			beamRes := ds.Beam[key]
 			if key.ECC != ecc {
 				continue
 			}

@@ -55,10 +55,7 @@ func (r *Result) UnmaskedAVF() float64 {
 // estimates weighted by each launch's injectable lane-ops.
 func StaticEstimate(r *kernels.Runner, tool Tool) (*analysis.Estimate, error) {
 	filter := func(op isa.Op) bool { return opInjectable(tool, op) }
-	inst, err := r.Build(r.Dev, r.Opt)
-	if err != nil {
-		return nil, err
-	}
+	inst := r.Instance()
 	profiles := r.GoldenProfiles()
 	if len(profiles) != len(inst.Launches) {
 		return nil, fmt.Errorf("faultinj: %s: %d golden profiles for %d launches",

@@ -1,0 +1,66 @@
+package faultinj
+
+import (
+	"reflect"
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+)
+
+// TestCampaignDeterministicAcrossWorkers locks in the split-RNG scheme:
+// plan sampling consumes one serial RNG before any worker starts, and
+// every plan's outcome is a pure function of the plan, so the campaign
+// result must be bit-identical whether trials run on one worker or
+// eight.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full campaigns")
+	}
+	dev := device.K40c()
+	run := func(workers int) *Result {
+		res, err := Run(Config{
+			Tool: Sassifi, FaultsPerClass: 12, Workers: workers, Seed: 99,
+		}, "FMXM", kernels.MxMBuilder(isa.F32), dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.Injected != b.Injected || a.SDC != b.SDC || a.DUE != b.DUE || a.Masked != b.Masked {
+		t.Fatalf("workers=1 gave SDC/DUE/Masked %d/%d/%d of %d, workers=8 gave %d/%d/%d of %d",
+			a.SDC, a.DUE, a.Masked, a.Injected, b.SDC, b.DUE, b.Masked, b.Injected)
+	}
+	if !reflect.DeepEqual(a.PerClass, b.PerClass) {
+		t.Fatalf("per-class AVFs differ across worker counts:\n1: %+v\n8: %+v", a.PerClass, b.PerClass)
+	}
+	if !reflect.DeepEqual(a.ByMode, b.ByMode) {
+		t.Fatalf("per-mode AVFs differ across worker counts:\n1: %+v\n8: %+v", a.ByMode, b.ByMode)
+	}
+}
+
+// TestNVBitFIDeterministicAcrossWorkers covers the same property for the
+// NVBitFI frontend on a multi-launch workload, where plan launch
+// assignment also has to be order-independent.
+func TestNVBitFIDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full campaigns")
+	}
+	dev := device.V100()
+	run := func(workers int) *Result {
+		res, err := Run(Config{
+			Tool: NVBitFI, TotalFaults: 60, Workers: workers, Seed: 4242,
+		}, "FHOTSPOT", kernels.HotspotBuilder(isa.F32), dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.SDC != b.SDC || a.DUE != b.DUE || a.Masked != b.Masked || a.Injected != b.Injected {
+		t.Fatalf("workers=1 gave SDC/DUE/Masked %d/%d/%d of %d, workers=8 gave %d/%d/%d of %d",
+			a.SDC, a.DUE, a.Masked, a.Injected, b.SDC, b.DUE, b.Masked, b.Injected)
+	}
+}

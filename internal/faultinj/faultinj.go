@@ -161,7 +161,8 @@ func opInjectable(tool Tool, op isa.Op) bool {
 	return true
 }
 
-// Run executes an injection campaign against one workload.
+// Run executes an injection campaign against one workload, building the
+// runner (and paying its golden run) first.
 func Run(cfg Config, name string, build kernels.Builder, dev *device.Device) (*Result, error) {
 	if cfg.Tool == Sassifi && dev.Arch != device.Kepler {
 		return nil, fmt.Errorf("faultinj: SASSIFI supports Kepler/Maxwell only, not %s", dev.Name)
@@ -169,6 +170,23 @@ func Run(cfg Config, name string, build kernels.Builder, dev *device.Device) (*R
 	runner, err := kernels.NewRunner(name, build, dev, cfg.Tool.OptLevel())
 	if err != nil {
 		return nil, err
+	}
+	return RunWithRunner(cfg, runner)
+}
+
+// RunWithRunner executes an injection campaign against an already-built
+// runner, reusing its cached instance, golden profiles, and launch-
+// boundary snapshots. The runner must have been built with the compiler
+// pipeline the tool's toolchain implies (Tool.OptLevel).
+func RunWithRunner(cfg Config, runner *kernels.Runner) (*Result, error) {
+	dev := runner.Dev
+	name := runner.Name
+	if cfg.Tool == Sassifi && dev.Arch != device.Kepler {
+		return nil, fmt.Errorf("faultinj: SASSIFI supports Kepler/Maxwell only, not %s", dev.Name)
+	}
+	if runner.Opt != cfg.Tool.OptLevel() {
+		return nil, fmt.Errorf("faultinj: %s runner built at opt level %d, %s injects at %d",
+			name, runner.Opt, cfg.Tool, cfg.Tool.OptLevel())
 	}
 	rng := stats.NewRNG(0x1437, cfg.Seed)
 
@@ -183,7 +201,10 @@ func Run(cfg Config, name string, build kernels.Builder, dev *device.Device) (*R
 		PerMode:  make(map[Mode]int),
 		ByMode:   make(map[Mode]*ModeAVF),
 	}
-	outcomes := runPlans(cfg, runner, plans)
+	outcomes, err := runPlans(cfg, runner, plans)
+	if err != nil {
+		return nil, err
+	}
 	for i, p := range plans {
 		res.Injected++
 		res.PerMode[p.mode]++
@@ -358,10 +379,7 @@ func samplePlans(cfg Config, r *kernels.Runner, rng *stats.RNG, n int, filter fu
 // allocated register of a random resident thread, at a random point of a
 // launch chosen proportionally to its dynamic length.
 func gprPlans(r *kernels.Runner, rng *stats.RNG, n int) []plan {
-	inst, err := r.Build(r.Dev, r.Opt)
-	if err != nil {
-		return nil
-	}
+	inst := r.Instance()
 	perLaunch := r.LaunchLaneOps(nil)
 	var total uint64
 	for _, c := range perLaunch {
@@ -416,14 +434,19 @@ func sampleSite(rng *stats.RNG, perLaunch []uint64, total uint64) (int, uint64) 
 	return len(perLaunch) - 1, perLaunch[len(perLaunch)-1] - 1
 }
 
-// runPlans executes the plans with a bounded worker pool.
-func runPlans(cfg Config, r *kernels.Runner, plans []plan) []kernels.Outcome {
+// runPlans executes the plans with a bounded worker pool. An
+// infrastructure error (build or simulator failure, as opposed to a
+// simulated crash, which classifies as DUE) aborts the campaign: it must
+// surface to the caller rather than be counted as any outcome.
+func runPlans(cfg Config, r *kernels.Runner, plans []plan) ([]kernels.Outcome, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	outcomes := make([]kernels.Outcome, len(plans))
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -432,7 +455,13 @@ func runPlans(cfg Config, r *kernels.Runner, plans []plan) []kernels.Outcome {
 			for i := range work {
 				out, err := r.RunWithFault(plans[i].fault, plans[i].launch)
 				if err != nil {
-					out = kernels.DUE // infrastructure failure: count conservatively
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("faultinj: %s plan %d (%s): %w",
+							r.Name, i, plans[i].mode, err)
+					}
+					mu.Unlock()
+					continue
 				}
 				outcomes[i] = out
 			}
@@ -443,5 +472,8 @@ func runPlans(cfg Config, r *kernels.Runner, plans []plan) []kernels.Outcome {
 	}
 	close(work)
 	wg.Wait()
-	return outcomes
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outcomes, nil
 }

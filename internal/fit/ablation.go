@@ -2,6 +2,7 @@ package fit
 
 import (
 	"gpurel/internal/faultinj"
+	"gpurel/internal/isa"
 	"gpurel/internal/microbench"
 	"gpurel/internal/profiler"
 )
@@ -39,7 +40,11 @@ func PredictAblated(cp *profiler.CodeProfile, avf *faultinj.Result, units *UnitF
 		phi = 1
 	}
 	var covered uint64
-	for op, n := range cp.PerOpLane {
+	for op := isa.Op(0); int(op) < isa.OpCount; op++ {
+		n, ok := cp.PerOpLane[op]
+		if !ok {
+			continue
+		}
 		unit := microbench.UnitFor(op)
 		if unit == "" {
 			continue

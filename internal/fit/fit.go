@@ -124,7 +124,13 @@ func Predict(cp *profiler.CodeProfile, avf *faultinj.Result, units *UnitFITs, ec
 		PerUnit: make(map[string]float64),
 	}
 	var covered uint64
-	for op, n := range cp.PerOpLane {
+	// Numeric op order keeps the Eq. 2 accumulation deterministic (map
+	// order would shift the sums by a ULP between runs).
+	for op := isa.Op(0); int(op) < isa.OpCount; op++ {
+		n, ok := cp.PerOpLane[op]
+		if !ok {
+			continue
+		}
 		unit := microbench.UnitFor(op)
 		if unit == "" {
 			continue // OTHERS: no measured unit FIT

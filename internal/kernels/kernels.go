@@ -61,25 +61,44 @@ func (o Outcome) String() string {
 }
 
 // Runner executes a workload repeatedly: once golden (capturing per-launch
-// profiles and timing), then any number of times with fault plans.
+// profiles, timing, and a memory snapshot at every launch boundary), then
+// any number of times with fault plans.
+//
+// The golden run checkpoints device memory before each launch, so a
+// faulted replay restores the pre-launch snapshot instead of re-simulating
+// the launches before the fault, runs only the fault launch, and — when
+// its post-launch memory is bit-identical to the golden snapshot —
+// classifies the fault as architecturally masked without simulating the
+// remaining launches or the output comparator. Device memory is the only
+// state that crosses a launch boundary (registers, shared memory, and the
+// divergence stacks die with the grid), so boundary equality is exact,
+// not heuristic: campaign outcomes are bit-identical to full
+// re-simulation for the same seed.
 type Runner struct {
 	Name  string
 	Build Builder
 	Dev   *device.Device
 	Opt   asm.OptLevel
 
+	inst           *Instance       // cached build: programs, geometry, comparator
+	snaps          []*mem.Snapshot // snaps[i] = memory before launch i; snaps[n] = final
+	pool           *mem.Pool       // recycled working memories for faulted replays
 	goldenProfiles []sim.Profile
 	goldenCycles   []int64
 }
 
-// NewRunner builds the workload once and performs the golden run.
+// NewRunner builds the workload once, performs the golden run, and
+// records the launch-boundary snapshots that make faulted replays cheap.
 func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel) (*Runner, error) {
 	r := &Runner{Name: name, Build: build, Dev: dev, Opt: opt}
 	inst, err := build(dev, opt)
 	if err != nil {
 		return nil, fmt.Errorf("kernels: building %s: %w", name, err)
 	}
+	r.inst = inst
+	r.pool = mem.NewPool(inst.Global.CapacityBytes())
 	for i, l := range inst.Launches {
+		r.snaps = append(r.snaps, inst.Global.Snapshot())
 		res, err := sim.Run(sim.Config{
 			Device: dev, Program: l.Prog,
 			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
@@ -94,11 +113,17 @@ func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel)
 		r.goldenProfiles = append(r.goldenProfiles, res.Profile)
 		r.goldenCycles = append(r.goldenCycles, res.Profile.Cycles)
 	}
+	r.snaps = append(r.snaps, inst.Global.Snapshot())
 	if !inst.Check(inst.Global) {
 		return nil, fmt.Errorf("kernels: golden run of %s fails its own check", name)
 	}
 	return r, nil
 }
+
+// Instance returns the cached build artifacts: assembled programs,
+// launch geometry, the post-golden-run memory, and the comparator.
+// Callers must treat it as read-only; faulted replays never touch it.
+func (r *Runner) Instance() *Instance { return r.inst }
 
 // GoldenProfiles returns the per-launch golden profiles.
 func (r *Runner) GoldenProfiles() []sim.Profile { return r.goldenProfiles }
@@ -130,15 +155,38 @@ func (r *Runner) LaunchLaneOps(filter func(op isa.Op) bool) []uint64 {
 	return out
 }
 
-// RunWithFault rebuilds the workload and executes it with the fault plan
-// applied to the given launch. The watchdog is set to a small multiple of
-// the golden cycle count so hangs resolve quickly.
+// RunWithFault executes the workload with the fault plan applied to the
+// given launch, using the checkpointed engine: launches before the fault
+// are skipped by restoring the pre-launch snapshot, and a fault launch
+// whose memory matches the golden post-launch snapshot is masked without
+// simulating the rest of the program. The watchdog is set to a small
+// multiple of the golden cycle count so hangs resolve quickly.
+//
+// On an infrastructure error the returned Outcome is DUE, but callers
+// must treat the error as fatal to the trial, not as a classification:
+// an errored trial is neither Masked nor a DUE observation.
 func (r *Runner) RunWithFault(plan *sim.FaultPlan, faultLaunch int) (Outcome, error) {
-	inst, err := r.Build(r.Dev, r.Opt)
-	if err != nil {
-		return Masked, err
+	if faultLaunch < 0 || faultLaunch >= len(r.inst.Launches) {
+		return DUE, fmt.Errorf("kernels: %s has no launch %d", r.Name, faultLaunch)
 	}
-	for i, l := range inst.Launches {
+	g := r.pool.Get()
+	defer r.pool.Put(g)
+	g.Restore(r.snaps[faultLaunch])
+
+	out, err := r.resumeWithFault(g, plan, faultLaunch)
+	if err != nil {
+		return DUE, err
+	}
+	return out, nil
+}
+
+// resumeWithFault runs launches faultLaunch.. on the working memory g
+// (already holding the pre-fault-launch state), injecting the plan into
+// the first of them and cutting off as soon as the state rejoins golden.
+func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch int) (Outcome, error) {
+	launches := r.inst.Launches
+	for i := faultLaunch; i < len(launches); i++ {
+		l := launches[i]
 		cfg := sim.Config{
 			Device: r.Dev, Program: l.Prog,
 			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
@@ -147,15 +195,21 @@ func (r *Runner) RunWithFault(plan *sim.FaultPlan, faultLaunch int) (Outcome, er
 		if i == faultLaunch {
 			cfg.Fault = plan
 		}
-		res, err := sim.Run(cfg, inst.Global)
+		res, err := sim.Run(cfg, g)
 		if err != nil {
-			return Masked, fmt.Errorf("kernels: %s launch %d: %w", r.Name, i, err)
+			return DUE, fmt.Errorf("kernels: %s launch %d: %w", r.Name, i, err)
 		}
 		if res.Outcome == sim.OutcomeDUE {
 			return DUE, nil
 		}
+		// Early masked-fault cutoff: if memory at this launch boundary is
+		// bit-identical to golden, the remaining launches replay the
+		// golden execution exactly and the comparator must pass.
+		if g.EqualSnapshot(r.snaps[i+1]) {
+			return Masked, nil
+		}
 	}
-	if !inst.Check(inst.Global) {
+	if !r.inst.Check(g) {
 		return SDC, nil
 	}
 	return Masked, nil

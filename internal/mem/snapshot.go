@@ -1,0 +1,107 @@
+// Snapshot support for checkpointed execution: a Snapshot is an
+// immutable copy of the allocated region of a Global, cheap to restore
+// and to compare against. The fault-injection runner records one
+// snapshot per launch boundary of the golden run, restores the
+// pre-launch snapshot instead of re-simulating earlier launches, and
+// uses the post-launch comparison to detect architecturally masked
+// faults without replaying the rest of the program.
+package mem
+
+import "sync"
+
+// Snapshot is a frozen copy of the allocated region of a Global. It is
+// safe for concurrent use once created.
+type Snapshot struct {
+	words    []uint32 // copy of the allocated words (including the null guard)
+	hwm      uint32   // allocation high-water mark at capture time, bytes
+	capacity int      // capacity of the source Global, bytes
+}
+
+// CapacityBytes returns the total capacity of the Global in bytes.
+func (g *Global) CapacityBytes() int { return len(g.words) * 4 }
+
+// Snapshot captures the allocated region (null guard included, so word
+// indices line up) and the allocator state.
+func (g *Global) Snapshot() *Snapshot {
+	n := int(g.hwm) / 4
+	s := &Snapshot{
+		words:    make([]uint32, n),
+		hwm:      g.hwm,
+		capacity: g.CapacityBytes(),
+	}
+	copy(s.words, g.words[:n])
+	return s
+}
+
+// Restore rewinds the Global to the snapshot's state. The Global must
+// have at least the snapshot's allocated capacity; words beyond the
+// restored high-water mark are untouched (kernel stores are bounds-
+// checked against hwm, so they are never dirtied by a simulation).
+func (g *Global) Restore(s *Snapshot) {
+	copy(g.words[:len(s.words)], s.words)
+	if g.hwm > s.hwm {
+		// Shrinking restore: re-zero the region the previous state had
+		// allocated beyond the snapshot, keeping the invariant that
+		// words above hwm are zero.
+		for i := len(s.words); i < int(g.hwm)/4; i++ {
+			g.words[i] = 0
+		}
+	}
+	g.hwm = s.hwm
+}
+
+// EqualSnapshot reports whether the allocated region is bit-identical
+// to the snapshot. The word-granular compare is the masked-fault test
+// of the checkpointed runner: equality at a launch boundary means the
+// remaining launches would replay the golden execution exactly.
+func (g *Global) EqualSnapshot(s *Snapshot) bool {
+	if g.hwm != s.hwm {
+		return false
+	}
+	w := g.words[:len(s.words)]
+	// Compare eight words at a time; campaigns spend a measurable share
+	// of their time in this diff, and the unrolled loop lets the
+	// compiler keep the bounds checks out of the hot path.
+	i := 0
+	for ; i+8 <= len(w); i += 8 {
+		a, b := w[i:i+8], s.words[i:i+8]
+		if a[0] != b[0] || a[1] != b[1] || a[2] != b[2] || a[3] != b[3] ||
+			a[4] != b[4] || a[5] != b[5] || a[6] != b[6] || a[7] != b[7] {
+			return false
+		}
+	}
+	for ; i < len(w); i++ {
+		if w[i] != s.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pool recycles Global instances of one capacity so that per-fault
+// setup does not allocate (and zero) the whole device memory. Pooled
+// instances keep the invariant that words above hwm are zero.
+type Pool struct {
+	capacity int
+	p        sync.Pool
+}
+
+// NewPool creates a pool of Globals with the given capacity in bytes.
+func NewPool(capacity int) *Pool {
+	pl := &Pool{capacity: capacity}
+	pl.p.New = func() any { return NewGlobal(pl.capacity) }
+	return pl
+}
+
+// Get returns a Global from the pool (or a fresh one). Its contents are
+// unspecified below its hwm; restore a Snapshot before use.
+func (p *Pool) Get() *Global { return p.p.Get().(*Global) }
+
+// Put returns a Global to the pool. Only Globals obtained from Get (or
+// with the pool's capacity) may be returned.
+func (p *Pool) Put(g *Global) {
+	if g == nil || g.CapacityBytes() != p.capacity {
+		return
+	}
+	p.p.Put(g)
+}

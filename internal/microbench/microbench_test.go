@@ -54,11 +54,7 @@ func TestRFMicroSaturatesRegisterFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := r.Build(dev, asm.O2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	regs := inst.Launches[0].Prog.NumRegs
+	regs := r.Instance().Launches[0].Prog.NumRegs
 	if regs < rfRegsUsed {
 		t.Fatalf("RF micro uses %d regs, want >= %d", regs, rfRegsUsed)
 	}

@@ -44,13 +44,10 @@ type CodeProfile struct {
 	Launches     []sim.Profile
 }
 
-// Profile characterizes a workload from its golden runner plus a fresh
-// build (for the static kernel footprints).
+// Profile characterizes a workload from its golden runner and the
+// runner's cached build (for the static kernel footprints).
 func Profile(r *kernels.Runner) (*CodeProfile, error) {
-	inst, err := r.Build(r.Dev, r.Opt)
-	if err != nil {
-		return nil, err
-	}
+	inst := r.Instance()
 	cp := &CodeProfile{
 		Name:      r.Name,
 		Mix:       make(map[isa.Class]float64),

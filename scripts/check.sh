@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh         tier 1: build + tests (the gate every change must pass)
 #   scripts/check.sh full    tier 2: tier 1 + go vet + lint gate + race detector
+#   scripts/check.sh bench   substrate benchmarks (one iteration each; smoke, not timing)
 #
 # The race run executes the whole test suite a second time under
 # -race instrumentation; expect it to take several times longer than
@@ -11,6 +12,13 @@
 # per-package timeout under the ~10x race slowdown.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "bench" ]; then
+    echo "== go test -run=^\$ -bench=BenchmarkSim -benchtime=1x"
+    go test -run='^$' -bench=BenchmarkSim -benchtime=1x .
+    echo "checks passed"
+    exit 0
+fi
 
 echo "== go build ./..."
 go build ./...
