@@ -22,9 +22,11 @@ import (
 
 	"gpurel/internal/analysis"
 	"gpurel/internal/asm"
+	"gpurel/internal/beam"
 	"gpurel/internal/device"
 	"gpurel/internal/faultinj"
 	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
 	"gpurel/internal/microbench"
 	"gpurel/internal/report"
 	"gpurel/internal/suite"
@@ -58,10 +60,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	verbose := flag.Bool("v", false, "list warnings (errors are always listed)")
 	selftest := flag.Bool("selftest", false, "run the detectors on seeded-defect fixtures and exit")
-	crossVal := flag.Bool("cross-validate", false, "compare static AVF against an NVBitFI campaign per workload")
+	crossVal := flag.Bool("cross-validate", false, "compare static AVF against an NVBitFI campaign, and the static hidden-DUE model against a beam campaign, per workload")
 	faults := flag.Int("faults", 400, "campaign size for -cross-validate")
+	beamTrials := flag.Int("beam-trials", 2000, "beam trials per workload for the hidden-DUE table of -cross-validate")
 	seed := flag.Uint64("seed", 7, "campaign seed for -cross-validate")
-	csv := flag.Bool("csv", false, "emit the -cross-validate table as CSV")
+	csv := flag.Bool("csv", false, "emit the -cross-validate tables as CSV")
 	flag.Parse()
 
 	if *selftest {
@@ -78,7 +81,7 @@ func main() {
 	}
 
 	if *crossVal {
-		os.Exit(runCrossValidate(devs, *code, *faults, *seed, *csv))
+		os.Exit(runCrossValidate(devs, *code, *faults, *beamTrials, *seed, *csv))
 	}
 
 	var reports []progReport
@@ -228,8 +231,9 @@ func runSelftest() int {
 	return 0
 }
 
-func runCrossValidate(devs []*device.Device, code string, faults int, seed uint64, csv bool) int {
+func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int, seed uint64, csv bool) int {
 	var cvs []*faultinj.CrossValidation
+	var hcvs []*faultinj.HiddenCrossValidation
 	for _, dev := range devs {
 		all := suite.ForDevice(dev)
 		var entries []suite.Entry
@@ -258,8 +262,39 @@ func runCrossValidate(devs []*device.Device, code string, faults int, seed uint6
 			cvs = append(cvs, cv)
 			fmt.Fprintf(os.Stderr, "done %s on %s\n", e.Name, dev.Name)
 		}
+
+		// Hidden-resource DUE: static model vs a beam campaign's hidden
+		// strike ledger. ECC stays on so storage strikes short-circuit
+		// and the campaign cost is dominated by the strikes of interest.
+		var hiddenEntries []suite.Entry
+		if code != "" {
+			hiddenEntries = entries
+		} else {
+			for _, name := range faultinj.HiddenCrossValKernels {
+				if e, err := suite.Find(all, name); err == nil {
+					hiddenEntries = append(hiddenEntries, e)
+				}
+			}
+		}
+		bcfg := beam.Config{ECC: true, Trials: beamTrials, Seed: seed}
+		for _, e := range hiddenEntries {
+			r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skip hidden %s on %s: %v\n", e.Name, dev.Name, err)
+				continue
+			}
+			hcv, err := faultinj.CrossValidateHidden(bcfg, r)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skip hidden %s on %s: %v\n", e.Name, dev.Name, err)
+				continue
+			}
+			hcvs = append(hcvs, hcv)
+			fmt.Fprintf(os.Stderr, "done hidden %s on %s\n", e.Name, dev.Name)
+		}
 	}
 	fmt.Print(report.CrossValidation(cvs, csv))
+	fmt.Println()
+	fmt.Print(report.HiddenCrossValidation(hcvs, csv))
 	return 0
 }
 

@@ -72,6 +72,10 @@ func main() {
 	}
 	fmt.Print(report.Figure6(ds, *csv))
 	fmt.Println()
+	fmt.Print(report.HiddenDUE(ds, *csv))
+	fmt.Println()
+	fmt.Print(report.DUEGapTable(ds, *csv))
+	fmt.Println()
 	fmt.Print(report.DUETable(ds, *csv))
 }
 

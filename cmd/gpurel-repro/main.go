@@ -104,6 +104,8 @@ func writeAll(outDir string, study *core.Study) {
 		{"fig4", report.Figure4},
 		{"fig5", report.Figure5},
 		{"fig6", report.Figure6},
+		{"hidden", report.HiddenDUE},
+		{"due_gap", report.DUEGapTable},
 		{"due", report.DUETable},
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {

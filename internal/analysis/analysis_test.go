@@ -10,8 +10,8 @@ import (
 // unconditional guard (PT) and RZ sources so that tests only read the
 // registers they name.
 
-func rr(n int) isa.Reg      { return isa.Reg(n) }
-func pp(n int) isa.PredReg  { return isa.PredReg(n) }
+func rr(n int) isa.Reg     { return isa.Reg(n) }
+func pp(n int) isa.PredReg { return isa.PredReg(n) }
 
 func raw(op isa.Op, dst isa.Reg, srcs ...isa.Reg) isa.Instr {
 	in := isa.Instr{Op: op, Pred: isa.PT, DstP: isa.PT, Dst: dst,
@@ -122,31 +122,31 @@ func TestLintFindings(t *testing.T) {
 		{
 			name: "diamond is clean",
 			prog: prog("diamond",
-				movi(rr(0)),            // 0: value
-				movi(rr(1)),            // 1: address
+				movi(rr(0)),                 // 0: value
+				movi(rr(1)),                 // 1: address
 				isetp(pp(0), rr(0), isa.RZ), // 2
-				ssy(8),                    // 3
-				braIf(pp(0), true, 7),  // 4: @!P0 -> else
-				iadd(rr(2), rr(0), rr(0)), // 5: then
-				bra(8),                    // 6
-				imul(rr(2), rr(0), rr(0)), // 7: else
-				stg(rr(1), rr(2)),   // 8: join
-				exit(),                    // 9
+				ssy(8),                      // 3
+				braIf(pp(0), true, 7),       // 4: @!P0 -> else
+				iadd(rr(2), rr(0), rr(0)),   // 5: then
+				bra(8),                      // 6
+				imul(rr(2), rr(0), rr(0)),   // 7: else
+				stg(rr(1), rr(2)),           // 8: join
+				exit(),                      // 9
 			),
 		},
 		{
 			name: "counted loop is clean",
 			prog: prog("loop",
-				movi(rr(0)), // i
-				movi(rr(1)), // acc
-				movi(rr(2)), // limit
-				movi(rr(3)), // out address
-				iadd(rr(1), rr(1), rr(0)), // 4: body
-				iadd(rr(0), rr(0), isa.RZ),   // 5: i++
+				movi(rr(0)),                // i
+				movi(rr(1)),                // acc
+				movi(rr(2)),                // limit
+				movi(rr(3)),                // out address
+				iadd(rr(1), rr(1), rr(0)),  // 4: body
+				iadd(rr(0), rr(0), isa.RZ), // 5: i++
 				isetp(pp(0), rr(0), rr(2)), // 6
-				braIf(pp(0), false, 4), // 7
-				stg(rr(3), rr(1)),   // 8
-				exit(),                    // 9
+				braIf(pp(0), false, 4),     // 7
+				stg(rr(3), rr(1)),          // 8
+				exit(),                     // 9
 			),
 		},
 		{
@@ -155,8 +155,8 @@ func TestLintFindings(t *testing.T) {
 				movi(rr(0)),
 				imul(rr(1), rr(0), rr(0)), // 1: dead
 				iadd(rr(2), rr(3), rr(0)), // 2: R3 never written
-				movi(rr(4)),                     // 3: address
-				stg(rr(4), rr(2)),            // 4
+				movi(rr(4)),               // 3: address
+				stg(rr(4), rr(2)),         // 4
 				exit(),
 			),
 			wantErrs:  []string{KindUseBeforeDef},
@@ -167,7 +167,7 @@ func TestLintFindings(t *testing.T) {
 			prog: prog("guardedinit",
 				isetp(pp(0), isa.RZ, isa.RZ),
 				guard(movi(rr(5)), pp(0)), // predicated init
-				movi(rr(1)),                  // address
+				movi(rr(1)),               // address
 				stg(rr(1), rr(5)),         // optimistic: no finding
 				exit(),
 			),
@@ -229,12 +229,12 @@ func TestLintFindings(t *testing.T) {
 			prog: prog("pairsplit",
 				movi(rr(0)),
 				isetp(pp(0), rr(0), isa.RZ),
-				movi(rr(2)),                     // 2: pair lo
-				movi(rr(3)),                     // 3: pair hi
+				movi(rr(2)),               // 2: pair lo
+				movi(rr(3)),               // 3: pair hi
 				dadd(rr(4), rr(2), rr(2)), // 4: consumes (R2,R3)
-				braIf(pp(0), false, 3),          // 5: jumps between the halves
-				movi(rr(6)),                     // 6: address
-				wide(stg(rr(6), rr(4))),      // 7
+				braIf(pp(0), false, 3),    // 5: jumps between the halves
+				movi(rr(6)),               // 6: address
+				wide(stg(rr(6), rr(4))),   // 7
 				exit(),
 			),
 			wantErrs: []string{KindPairSplitBra},
@@ -322,11 +322,11 @@ func TestCFGShapes(t *testing.T) {
 // wide loads and stores) are tracked register-by-register.
 func TestLivenessSpans(t *testing.T) {
 	p := prog("pairs",
-		movi(rr(0)),                     // 0: address
+		movi(rr(0)),                        // 0: address
 		wide(raw(isa.OpLDG, rr(2), rr(0))), // 1: loads R2,R3
-		dadd(rr(4), rr(2), rr(2)), // 2: reads R2,R3; writes R4,R5
-		movi(rr(6)),                     // 3: address
-		wide(stg(rr(6), rr(4))),      // 4: stores R4,R5
+		dadd(rr(4), rr(2), rr(2)),          // 2: reads R2,R3; writes R4,R5
+		movi(rr(6)),                        // 3: address
+		wide(stg(rr(6), rr(4))),            // 4: stores R4,R5
 		exit(),
 	)
 	r := Analyze(p)
@@ -353,10 +353,10 @@ func TestLivenessSpans(t *testing.T) {
 // reach the use.
 func TestPredicatedWritesDontKill(t *testing.T) {
 	p := prog("predkill",
-		movi(rr(0)),                    // 0
+		movi(rr(0)),                 // 0
 		isetp(pp(0), rr(0), isa.RZ), // 1
 		guard(movi(rr(0)), pp(0)),   // 2: guarded redefinition
-		movi(rr(1)),                    // 3: address
+		movi(rr(1)),                 // 3: address
 		stg(rr(1), rr(0)),           // 4
 		exit(),
 	)
@@ -384,10 +384,10 @@ func TestPredicatedWritesDontKill(t *testing.T) {
 // to global memory is fully ACE; a transitively dead chain is ACE 0.
 func TestACEPropagation(t *testing.T) {
 	live := prog("live",
-		movi(rr(0)),          // 0: feeds the store value via IADD
-		movi(rr(1)),          // 1: address
+		movi(rr(0)),               // 0: feeds the store value via IADD
+		movi(rr(1)),               // 1: address
 		iadd(rr(2), rr(0), rr(0)), // 2
-		stg(rr(1), rr(2)), // 3
+		stg(rr(1), rr(2)),         // 3
 		exit(),
 	)
 	r := Analyze(live)

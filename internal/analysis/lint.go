@@ -26,17 +26,17 @@ func (s Severity) String() string {
 
 // Finding kinds.
 const (
-	KindDeadStore     = "dead-store"
-	KindDeadLoad      = "dead-load"
-	KindDeadPred      = "dead-pred"
-	KindUnreachable   = "unreachable"
-	KindUseBeforeDef  = "use-before-def"
-	KindFallOffEnd    = "fall-off-end"
-	KindSSYNoBranch   = "ssy-no-divergent-branch"
-	KindSSYBackward   = "ssy-backward-target"
-	KindSSYPastEnd    = "ssy-target-past-end"
-	KindSyncNoRegion  = "sync-outside-ssy-region"
-	KindPairSplitBra  = "branch-splits-pair"
+	KindDeadStore    = "dead-store"
+	KindDeadLoad     = "dead-load"
+	KindDeadPred     = "dead-pred"
+	KindUnreachable  = "unreachable"
+	KindUseBeforeDef = "use-before-def"
+	KindFallOffEnd   = "fall-off-end"
+	KindSSYNoBranch  = "ssy-no-divergent-branch"
+	KindSSYBackward  = "ssy-backward-target"
+	KindSSYPastEnd   = "ssy-target-past-end"
+	KindSyncNoRegion = "sync-outside-ssy-region"
+	KindPairSplitBra = "branch-splits-pair"
 )
 
 // Finding is one lint diagnostic, anchored to an instruction index.

@@ -26,8 +26,8 @@ func buildDeadTemps(t *testing.T, opt asm.OptLevel) *isa.Program {
 	d3 := b.R()
 	out := b.R()
 	b.MovImm(x, 7)
-	b.IMul(d1, isa.R(x), isa.R(x))      // dead
-	b.IMul(d2, isa.R(x), isa.R(d1))     // dead, feeds only d3
+	b.IMul(d1, isa.R(x), isa.R(x))       // dead
+	b.IMul(d2, isa.R(x), isa.R(d1))      // dead, feeds only d3
 	b.IAdd(d3, isa.R(d2), isa.ImmInt(3)) // dead
 	b.IAdd(out, isa.R(x), isa.ImmInt(1))
 	addr := b.R()

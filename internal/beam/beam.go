@@ -75,6 +75,32 @@ type Result struct {
 
 	// BySource counts SDC/DUE outcomes per strike-site category.
 	BySource [SrcCount]struct{ Strikes, SDC, DUE int }
+
+	// ByHidden breaks the SrcHidden strikes down by management resource
+	// (§VII-B): the per-resource ledger the static hidden-DUE model of
+	// internal/analysis cross-validates against.
+	ByHidden [device.HiddenCount]struct{ Strikes, SDC, DUE int }
+}
+
+// HiddenStrikes returns the total hidden-resource strike count.
+func (r *Result) HiddenStrikes() int { return r.BySource[SrcHidden].Strikes }
+
+// HiddenDUEFraction returns the measured P(DUE | hidden strike), or 0
+// when the campaign sampled no hidden strikes.
+func (r *Result) HiddenDUEFraction() float64 {
+	if s := r.BySource[SrcHidden]; s.Strikes > 0 {
+		return float64(s.DUE) / float64(s.Strikes)
+	}
+	return 0
+}
+
+// HiddenShare returns the fraction of hidden strikes that landed in one
+// resource, or 0 when the campaign sampled no hidden strikes.
+func (r *Result) HiddenShare(h device.HiddenResource) float64 {
+	if s := r.BySource[SrcHidden]; s.Strikes > 0 {
+		return float64(r.ByHidden[h].Strikes) / float64(s.Strikes)
+	}
+	return 0
 }
 
 // exposure captures the strike-rate budget of one launch.
@@ -160,10 +186,6 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 		LambdaPerCycle: lambdaTotal / cyclesTotal,
 	}
 
-	type trialOut struct {
-		src     Source
-		outcome kernels.Outcome
-	}
 	outs := make([]trialOut, cfg.Trials)
 	master := stats.NewRNG(0xbea3, cfg.Seed)
 	rngs := make([]*stats.RNG, cfg.Trials)
@@ -184,7 +206,7 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				src, oc, err := runTrial(cfg, r, sil, exposures, lambdaTotal, allocBits, rngs[i])
+				out, err := runTrial(cfg, r, sil, exposures, lambdaTotal, allocBits, rngs[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -193,7 +215,7 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 					mu.Unlock()
 					continue
 				}
-				outs[i] = trialOut{src, oc}
+				outs[i] = out
 			}
 		}()
 	}
@@ -210,13 +232,22 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 
 	for _, o := range outs {
 		res.BySource[o.src].Strikes++
+		if o.src == SrcHidden {
+			res.ByHidden[o.hid].Strikes++
+		}
 		switch o.outcome {
 		case kernels.SDC:
 			res.SDC++
 			res.BySource[o.src].SDC++
+			if o.src == SrcHidden {
+				res.ByHidden[o.hid].SDC++
+			}
 		case kernels.DUE:
 			res.DUE++
 			res.BySource[o.src].DUE++
+			if o.src == SrcHidden {
+				res.ByHidden[o.hid].DUE++
+			}
 		}
 	}
 	// FIT in arbitrary units: (strikes per cycle) * P(channel | strike).
@@ -227,10 +258,18 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 	return res, nil
 }
 
+// trialOut is the classified outcome of one strike trial; hid is
+// meaningful only when src == SrcHidden.
+type trialOut struct {
+	src     Source
+	hid     device.HiddenResource
+	outcome kernels.Outcome
+}
+
 // runTrial samples one strike and classifies its outcome. A non-nil
 // error is an infrastructure failure, not a classification.
 func runTrial(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
-	exposures []exposure, lambdaTotal, allocBits float64, rng *stats.RNG) (Source, kernels.Outcome, error) {
+	exposures []exposure, lambdaTotal, allocBits float64, rng *stats.RNG) (trialOut, error) {
 
 	// Pick the launch, then the site category within it.
 	x := rng.Float64() * lambdaTotal
@@ -246,18 +285,19 @@ func runTrial(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 	switch {
 	case x < ex.opTotal:
 		oc, err := fuStrike(r, sil, ex, rng, cfg.ECC)
-		return SrcFU, oc, err
+		return trialOut{src: SrcFU, outcome: oc}, err
 	case x < ex.opTotal+ex.rfLambda:
 		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcRF, allocBits)
-		return SrcRF, oc, err
+		return trialOut{src: SrcRF, outcome: oc}, err
 	case x < ex.opTotal+ex.rfLambda+ex.shLambda:
 		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcShared, allocBits)
-		return SrcShared, oc, err
+		return trialOut{src: SrcShared, outcome: oc}, err
 	case x < ex.opTotal+ex.rfLambda+ex.shLambda+ex.glLambda:
 		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcGlobal, allocBits)
-		return SrcGlobal, oc, err
+		return trialOut{src: SrcGlobal, outcome: oc}, err
 	default:
-		return SrcHidden, hiddenStrike(sil, ex, rng), nil
+		h, oc := hiddenStrike(sil, ex, rng)
+		return trialOut{src: SrcHidden, hid: h, outcome: oc}, nil
 	}
 }
 
@@ -347,7 +387,7 @@ func storageStrike(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 // silicon model. These are the events that make architecture-level
 // fault simulation underestimate the DUE rate by orders of magnitude
 // (§VII-B).
-func hiddenStrike(sil *device.SiliconModel, ex *exposure, rng *stats.RNG) kernels.Outcome {
+func hiddenStrike(sil *device.SiliconModel, ex *exposure, rng *stats.RNG) (device.HiddenResource, kernels.Outcome) {
 	x := rng.Float64() * ex.hidTotal
 	h := device.HiddenScheduler
 	for hr := device.HiddenResource(0); hr < device.HiddenCount; hr++ {
@@ -362,11 +402,11 @@ func hiddenStrike(sil *device.SiliconModel, ex *exposure, rng *stats.RNG) kernel
 	roll := rng.Float64()
 	switch {
 	case roll < s.PDUE:
-		return kernels.DUE
+		return h, kernels.DUE
 	case roll < s.PDUE+s.PSDC:
-		return kernels.SDC
+		return h, kernels.SDC
 	default:
-		return kernels.Masked
+		return h, kernels.Masked
 	}
 }
 

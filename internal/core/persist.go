@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 
+	"gpurel/internal/analysis"
 	"gpurel/internal/beam"
 	"gpurel/internal/device"
 	"gpurel/internal/faultinj"
@@ -32,15 +33,17 @@ type predEntryJSON struct {
 }
 
 type deviceStudyJSON struct {
-	Device      string
-	MicroBeam   map[string]*beam.Result
-	Units       *fit.UnitFITs
-	Profiles    map[string]*profiler.CodeProfile
-	AVF         map[string]map[string]*faultinj.Result
-	Beam        []beamEntryJSON
-	Predictions []predEntryJSON
-	Comparisons []fit.Comparison
-	DUE         map[string]float64
+	Device       string
+	MicroBeam    map[string]*beam.Result
+	Units        *fit.UnitFITs
+	Profiles     map[string]*profiler.CodeProfile
+	AVF          map[string]map[string]*faultinj.Result
+	Beam         []beamEntryJSON
+	Predictions  []predEntryJSON
+	Comparisons  []fit.Comparison
+	StaticHidden map[string]*analysis.HiddenEstimate
+	DUE          map[string]float64
+	DUECorrected map[string]float64
 }
 
 func toolByName(name string) (faultinj.Tool, error) {
@@ -57,12 +60,14 @@ func toolByName(name string) (faultinj.Tool, error) {
 // SaveJSON writes the study to path.
 func (ds *DeviceStudy) SaveJSON(path string) error {
 	out := deviceStudyJSON{
-		Device:    ds.Dev.Name,
-		MicroBeam: ds.MicroBeam,
-		Units:     ds.Units,
-		Profiles:  ds.Profiles,
-		AVF:       map[string]map[string]*faultinj.Result{},
-		DUE:       map[string]float64{},
+		Device:       ds.Dev.Name,
+		MicroBeam:    ds.MicroBeam,
+		Units:        ds.Units,
+		Profiles:     ds.Profiles,
+		AVF:          map[string]map[string]*faultinj.Result{},
+		StaticHidden: ds.StaticHidden,
+		DUE:          map[string]float64{},
+		DUECorrected: map[string]float64{},
 	}
 	for tool, byCode := range ds.AVF {
 		out.AVF[tool.String()] = byCode
@@ -104,6 +109,9 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 	for ecc, v := range ds.DUEUnderestimate {
 		out.DUE[eccKey(ecc)] = v
 	}
+	for ecc, v := range ds.DUECorrectedUnderestimate {
+		out.DUECorrected[eccKey(ecc)] = v
+	}
 	data, err := json.MarshalIndent(out, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: marshaling study: %w", err)
@@ -133,15 +141,20 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 		return nil, fmt.Errorf("core: unknown device %q in %s", in.Device, path)
 	}
 	ds := &DeviceStudy{
-		Dev:              dev,
-		MicroBeam:        in.MicroBeam,
-		Units:            in.Units,
-		Profiles:         in.Profiles,
-		AVF:              map[faultinj.Tool]map[string]*faultinj.Result{},
-		Beam:             map[BeamKey]*beam.Result{},
-		Predictions:      map[PredKey]fit.Prediction{},
-		Comparisons:      in.Comparisons,
-		DUEUnderestimate: map[bool]float64{},
+		Dev:                       dev,
+		MicroBeam:                 in.MicroBeam,
+		Units:                     in.Units,
+		Profiles:                  in.Profiles,
+		AVF:                       map[faultinj.Tool]map[string]*faultinj.Result{},
+		Beam:                      map[BeamKey]*beam.Result{},
+		Predictions:               map[PredKey]fit.Prediction{},
+		Comparisons:               in.Comparisons,
+		StaticHidden:              in.StaticHidden,
+		DUEUnderestimate:          map[bool]float64{},
+		DUECorrectedUnderestimate: map[bool]float64{},
+	}
+	if ds.StaticHidden == nil {
+		ds.StaticHidden = map[string]*analysis.HiddenEstimate{}
 	}
 	for toolName, byCode := range in.AVF {
 		tool, err := toolByName(toolName)
@@ -162,6 +175,9 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 	}
 	for k, v := range in.DUE {
 		ds.DUEUnderestimate[k == "on"] = v
+	}
+	for k, v := range in.DUECorrected {
+		ds.DUECorrectedUnderestimate[k == "on"] = v
 	}
 	return ds, nil
 }

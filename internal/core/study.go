@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"gpurel/internal/analysis"
 	"gpurel/internal/asm"
 	"gpurel/internal/beam"
 	"gpurel/internal/device"
@@ -210,9 +211,19 @@ type DeviceStudy struct {
 	Predictions map[PredKey]fit.Prediction
 	Comparisons []fit.Comparison
 
+	// StaticHidden is the per-code static hidden-resource DUE estimate
+	// (internal/analysis), the correction term the injectors cannot
+	// supply.
+	StaticHidden map[string]*analysis.HiddenEstimate
+
 	// DUEUnderestimate is the average beam/predicted DUE ratio per ECC
 	// state (§VII-B: 120x / 629x on K40c, 60x / 46,700x on V100).
 	DUEUnderestimate map[bool]float64
+
+	// DUECorrectedUnderestimate is the same ratio after the static
+	// hidden-resource correction: how much of the §VII-B gap the static
+	// proxies close.
+	DUECorrectedUnderestimate map[bool]float64
 }
 
 // Study is the full two-device reproduction.
@@ -254,13 +265,15 @@ func eccOffOnVolta(e suite.Entry) bool { return !e.Library }
 func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 	opts.defaults()
 	ds := &DeviceStudy{
-		Dev:              dev,
-		MicroBeam:        make(map[string]*beam.Result),
-		Profiles:         make(map[string]*profiler.CodeProfile),
-		AVF:              make(map[faultinj.Tool]map[string]*faultinj.Result),
-		Beam:             make(map[BeamKey]*beam.Result),
-		Predictions:      make(map[PredKey]fit.Prediction),
-		DUEUnderestimate: make(map[bool]float64),
+		Dev:                       dev,
+		MicroBeam:                 make(map[string]*beam.Result),
+		Profiles:                  make(map[string]*profiler.CodeProfile),
+		AVF:                       make(map[faultinj.Tool]map[string]*faultinj.Result),
+		Beam:                      make(map[BeamKey]*beam.Result),
+		Predictions:               make(map[PredKey]fit.Prediction),
+		StaticHidden:              make(map[string]*analysis.HiddenEstimate),
+		DUEUnderestimate:          make(map[bool]float64),
+		DUECorrectedUnderestimate: make(map[bool]float64),
 	}
 
 	cache := newRunnerCache(dev)
@@ -351,11 +364,13 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		if err != nil {
 			return err
 		}
+		hid := faultinj.StaticHidden(r)
 		mu.Lock()
 		ds.Profiles[e.Name] = cp
+		ds.StaticHidden[e.Name] = hid
 		mu.Unlock()
-		opts.Progress("profile %-10s: IPC %.2f occ %.2f regs %d shared %dB",
-			e.Name, cp.IPC, cp.Occupancy, cp.RegsPerThread, cp.SharedBytes)
+		opts.Progress("profile %-10s: IPC %.2f occ %.2f regs %d shared %dB hiddenDUE %.3f",
+			e.Name, cp.IPC, cp.Occupancy, cp.RegsPerThread, cp.SharedBytes, hid.DUE)
 		return nil
 	})
 	if err != nil {
@@ -517,6 +532,9 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 				continue
 			}
 			pred := fit.Predict(cp, avf, ds.Units, key.ECC)
+			// Fold in the static hidden-resource DUE term (§VII-B): the
+			// part of the DUE rate the injector-fed AVFs cannot see.
+			pred = pred.ApplyStaticDUE(ds.Units, ds.StaticHidden[key.Code])
 			pk := PredKey{Code: key.Code, ECC: key.ECC, Tool: tool}
 			ds.Predictions[pk] = pred
 			ds.Comparisons = append(ds.Comparisons,
@@ -524,9 +542,10 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 		}
 	}
 	// DUE underestimation, averaged geometrically per ECC state over the
-	// NVBitFI-based predictions.
+	// NVBitFI-based predictions — uncorrected (the paper's headline
+	// number) and after the static hidden-resource correction.
 	for _, ecc := range []bool{false, true} {
-		var ratios []float64
+		var ratios, corrected []float64
 		for _, key := range beamKeys {
 			beamRes := ds.Beam[key]
 			if key.ECC != ecc {
@@ -540,9 +559,15 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 				continue
 			}
 			ratios = append(ratios, beamRes.DUEFIT.Rate/pred.DUEFIT)
+			if pred.DUEFITCorrected > 0 {
+				corrected = append(corrected, beamRes.DUEFIT.Rate/pred.DUEFITCorrected)
+			}
 		}
 		if len(ratios) > 0 {
 			ds.DUEUnderestimate[ecc] = stats.GeomMeanAbsSigned(ratios)
+		}
+		if len(corrected) > 0 {
+			ds.DUECorrectedUnderestimate[ecc] = stats.GeomMeanAbsSigned(corrected)
 		}
 	}
 	return nil

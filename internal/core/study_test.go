@@ -72,6 +72,44 @@ func TestDeviceStudyEndToEnd(t *testing.T) {
 	if ds.Units.RFPerByteSDC <= 0 {
 		t.Fatal("RF per-byte FIT missing")
 	}
+	// Static hidden-resource model: every profiled code has an estimate
+	// with a proper conditional DUE probability.
+	for name := range ds.Profiles {
+		h, ok := ds.StaticHidden[name]
+		if !ok {
+			t.Fatalf("no static hidden estimate for %s", name)
+		}
+		if h.DUE <= 0 || h.DUE >= 1 {
+			t.Fatalf("%s: static hidden DUE %.3f outside (0,1)", name, h.DUE)
+		}
+	}
+	// The static DUE correction must close the underestimation gap: a
+	// strictly positive additive term on every prediction, so the
+	// corrected factor is strictly smaller wherever the beam saw DUEs.
+	if ds.Units.HiddenDUEBase() <= 0 {
+		t.Fatal("micro beam data yields no hidden DUE floor")
+	}
+	applied := 0
+	for key, pred := range ds.Predictions {
+		if pred.DUECorrection <= 0 || pred.DUEFITCorrected <= pred.DUEFIT {
+			t.Fatalf("%+v: correction %.4f did not increase DUE FIT (%.4f -> %.4f)",
+				key, pred.DUECorrection, pred.DUEFIT, pred.DUEFITCorrected)
+		}
+		applied++
+	}
+	if applied == 0 {
+		t.Fatal("no predictions carried the static DUE correction")
+	}
+	for _, ecc := range []bool{false, true} {
+		u, uok := ds.DUEUnderestimate[ecc]
+		c, cok := ds.DUECorrectedUnderestimate[ecc]
+		if uok != cok {
+			t.Fatalf("ecc=%v: corrected factor present=%v, uncorrected present=%v", ecc, cok, uok)
+		}
+		if uok && c >= u {
+			t.Fatalf("ecc=%v: corrected underestimation %.1fx not below uncorrected %.1fx", ecc, c, u)
+		}
+	}
 }
 
 func TestInjectableMatrix(t *testing.T) {
@@ -189,6 +227,31 @@ func TestPersistRoundTrip(t *testing.T) {
 		gotPred, ok := got.Predictions[key]
 		if !ok || gotPred.SDCFIT != want.SDCFIT {
 			t.Fatalf("prediction %+v lost or altered", key)
+		}
+		if gotPred.DUEFITCorrected != want.DUEFITCorrected {
+			t.Fatalf("prediction %+v: corrected DUE FIT lost or altered", key)
+		}
+	}
+	// This Volta study doubles as the second device of the acceptance
+	// check: the corrected DUE prediction must beat the uncorrected one
+	// here too, and both the hidden estimates and the corrected ratios
+	// must survive the round trip.
+	if len(got.StaticHidden) != len(ds.StaticHidden) || len(ds.StaticHidden) == 0 {
+		t.Fatalf("static hidden estimates lost: %d/%d", len(got.StaticHidden), len(ds.StaticHidden))
+	}
+	for name, want := range ds.StaticHidden {
+		if h, ok := got.StaticHidden[name]; !ok || h.DUE != want.DUE {
+			t.Fatalf("static hidden estimate for %s lost or altered", name)
+		}
+	}
+	for _, ecc := range []bool{false, true} {
+		u, uok := ds.DUEUnderestimate[ecc]
+		c, cok := ds.DUECorrectedUnderestimate[ecc]
+		if uok && (!cok || c >= u) {
+			t.Fatalf("volta ecc=%v: corrected underestimation %.1fx not below uncorrected %.1fx", ecc, c, u)
+		}
+		if cok && got.DUECorrectedUnderestimate[ecc] != c {
+			t.Fatalf("volta ecc=%v: corrected ratio lost in round trip", ecc)
 		}
 	}
 }

@@ -1,0 +1,118 @@
+package faultinj
+
+import (
+	"gpurel/internal/analysis"
+	"gpurel/internal/beam"
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+)
+
+// Cross-validation of the static hidden-resource DUE model
+// (internal/analysis) against the beam campaign's per-resource strike
+// ledger (internal/beam): both estimate P(DUE | strike in a hidden
+// management resource) — the quantity the architecture-level injectors
+// cannot measure at all, and the reason they underestimate the DUE rate
+// by orders of magnitude (§VII-B). The comparison mirrors the SDC-side
+// CrossValidation above: one scalar per workload, a documented
+// tolerance, and a pinned kernel list the tolerance is validated on.
+
+// HiddenCrossValTolerance is the documented agreement bound between the
+// static P(DUE | hidden strike) and the beam-measured hidden DUE
+// fraction, in absolute probability. The static model modulates a
+// calibrated per-resource prior by code structure; the beam fraction
+// carries binomial sampling noise over the campaign's hidden strikes
+// (a few hundred at the validated trial counts). Measured deltas across
+// the pinned kernels sit well inside +/- 0.15.
+const HiddenCrossValTolerance = 0.15
+
+// HiddenCrossValKernels lists the built-in workloads over which
+// HiddenCrossValTolerance is validated (see TestHiddenCrossValAgreement).
+// They are chosen for hidden-strike sample size: at the validated trial
+// count each draws >= 50 hidden strikes, keeping the binomial noise on
+// the beam side of the comparison a small fraction of the tolerance.
+var HiddenCrossValKernels = []string{"FMXM", "CCL", "FLUD", "MERGESORT", "QUICKSORT"}
+
+// StaticHidden computes the workload's static hidden-resource DUE
+// estimate: per-launch analyses weighted by each launch's active-warp-
+// cycles, the exposure the per-warp hidden state (reconvergence stacks,
+// scheduler slots) scales with. Instruction weights within a launch
+// come from the golden dynamic profile, as in StaticEstimate.
+func StaticHidden(r *kernels.Runner) *analysis.HiddenEstimate {
+	inst := r.Instance()
+	profiles := r.GoldenProfiles()
+	ests := make([]*analysis.HiddenEstimate, 0, len(inst.Launches))
+	weights := make([]float64, 0, len(inst.Launches))
+	for i, l := range inst.Launches {
+		a := analysis.Analyze(l.Prog)
+		var w []float64
+		lw := 1.0
+		if i < len(profiles) {
+			w = a.OpWeights(profiles[i].PerOpLane)
+			lw = float64(profiles[i].ActiveWarpCycles)
+		}
+		ests = append(ests, a.HiddenEstimate(w))
+		weights = append(weights, lw)
+	}
+	return analysis.CombineHidden(r.Name, ests, weights)
+}
+
+// HiddenCrossValidation pairs the two hidden-DUE views of one workload.
+type HiddenCrossValidation struct {
+	Name   string
+	Device string
+	Static *analysis.HiddenEstimate
+	Beam   *beam.Result
+}
+
+// StaticDUEGivenStrike is the model's P(DUE | hidden strike).
+func (c *HiddenCrossValidation) StaticDUEGivenStrike() float64 { return c.Static.DUE }
+
+// BeamDUEGivenStrike is the campaign's measured hidden DUE fraction.
+func (c *HiddenCrossValidation) BeamDUEGivenStrike() float64 { return c.Beam.HiddenDUEFraction() }
+
+// StaticShare returns the model's strike share for one hidden resource.
+func (c *HiddenCrossValidation) StaticShare(h device.HiddenResource) float64 {
+	switch h {
+	case device.HiddenScheduler:
+		return c.Static.SchedulerShare
+	case device.HiddenInstrPipe:
+		return c.Static.InstrPipeShare
+	case device.HiddenMemPath:
+		return c.Static.MemPathShare
+	default:
+		return c.Static.HostIfaceShare
+	}
+}
+
+// Delta is static minus beam P(DUE | hidden strike); |Delta| within
+// HiddenCrossValTolerance counts as agreement.
+func (c *HiddenCrossValidation) Delta() float64 {
+	return c.StaticDUEGivenStrike() - c.BeamDUEGivenStrike()
+}
+
+// Agrees reports whether the two views agree within the tolerance. A
+// campaign that sampled no hidden strikes cannot disagree with anything
+// and reports false: the comparison is void, not validated.
+func (c *HiddenCrossValidation) Agrees() bool {
+	if c.Beam.HiddenStrikes() == 0 {
+		return false
+	}
+	d := c.Delta()
+	if d < 0 {
+		d = -d
+	}
+	return d <= HiddenCrossValTolerance
+}
+
+// CrossValidateHidden runs a beam campaign and the static hidden-DUE
+// model over one already-built runner and pairs the results.
+func CrossValidateHidden(cfg beam.Config, r *kernels.Runner) (*HiddenCrossValidation, error) {
+	b, err := beam.Run(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	return &HiddenCrossValidation{
+		Name: r.Name, Device: r.Dev.Name,
+		Static: StaticHidden(r), Beam: b,
+	}, nil
+}

@@ -106,6 +106,12 @@ type Prediction struct {
 	// one of the acknowledged underestimation sources, §VII-A).
 	Covered float64
 
+	// Static hidden-resource DUE correction (§VII-B), filled by
+	// ApplyStaticDUE; all three stay zero when no correction applied.
+	StaticHiddenDUE float64 // static P(DUE | hidden strike) of the workload
+	DUECorrection   float64 // additive hidden-resource DUE FIT (a.u.)
+	DUEFITCorrected float64 // DUEFIT + DUECorrection
+
 	// PerUnit attributes the instruction-term SDC FIT to units.
 	PerUnit map[string]float64
 }

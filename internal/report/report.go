@@ -247,16 +247,90 @@ func aliasComparisons(ds *core.DeviceStudy) []ComparisonAlias {
 	return out
 }
 
-// DUETable renders the §VII-B DUE underestimation analysis.
+// DUETable renders the §VII-B DUE underestimation analysis: the
+// uncorrected Eq. 1-4 factor next to the factor after the static
+// hidden-resource correction.
 func DUETable(ds *core.DeviceStudy, csv bool) string {
-	t := &table{header: []string{"device", "ECC", "beam DUE / predicted DUE"}}
+	t := &table{header: []string{"device", "ECC", "beam DUE / predicted DUE", "after static correction"}}
 	for _, ecc := range []bool{false, true} {
-		if v, ok := ds.DUEUnderestimate[ecc]; ok {
-			t.add(ds.Dev.Name, eccLabel(ecc), fmt.Sprintf("%.0fx", v))
+		v, ok := ds.DUEUnderestimate[ecc]
+		if !ok {
+			continue
 		}
+		corr := "n/a"
+		if c, ok := ds.DUECorrectedUnderestimate[ecc]; ok {
+			corr = fmt.Sprintf("%.1fx", c)
+		}
+		t.add(ds.Dev.Name, eccLabel(ecc), fmt.Sprintf("%.0fx", v), corr)
 	}
 	return finish(t, csv,
 		"§VII-B — beam DUE rate vs prediction (faults in hidden resources dominate DUEs)")
+}
+
+// DUEGapTable renders the per-code DUE channel: beam measurement,
+// uncorrected Eq. 1-4 prediction, static-DUE-corrected prediction, and
+// the underestimation factor under each. The corrected factor being
+// consistently smaller is the tentpole claim of the hidden-resource
+// model; rows where no hidden estimate exists show the uncorrected
+// numbers only.
+func DUEGapTable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "ECC", "beam DUE", "predicted", "corrected",
+		"under (pred)", "under (corr)"}}
+	for _, ecc := range []bool{false, true} {
+		for _, name := range suiteOrder(ds) {
+			beamRes, ok := ds.Beam[core.BeamKey{Code: name, ECC: ecc}]
+			if !ok {
+				continue
+			}
+			pred, ok := ds.Predictions[core.PredKey{Code: name, ECC: ecc, Tool: faultinj.NVBitFI}]
+			if !ok {
+				continue
+			}
+			under := func(p float64) string {
+				if p <= 0 || beamRes.DUEFIT.Rate <= 0 {
+					return "n/a"
+				}
+				return fmt.Sprintf("%.0fx", beamRes.DUEFIT.Rate/p)
+			}
+			corrected := "n/a"
+			if pred.DUEFITCorrected > 0 {
+				corrected = fmt.Sprintf("%.4f", pred.DUEFITCorrected)
+			}
+			t.add(name, eccLabel(ecc),
+				fmt.Sprintf("%.4f", beamRes.DUEFIT.Rate),
+				fmt.Sprintf("%.4f", pred.DUEFIT),
+				corrected,
+				under(pred.DUEFIT), under(pred.DUEFITCorrected))
+		}
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"§VII-B per code — DUE underestimation before/after the static hidden-resource correction (%s, NVBitFI)",
+		ds.Dev.Name))
+}
+
+// HiddenDUE renders the static hidden-resource model per code: the
+// three structural proxies, the implied strike shares, and the combined
+// static P(DUE | hidden strike).
+func HiddenDUE(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "fetch", "div depth", "load",
+		"sched", "pipe", "mem", "host", "P(DUE|hidden)"}}
+	for _, name := range suiteOrder(ds) {
+		h, ok := ds.StaticHidden[name]
+		if !ok {
+			continue
+		}
+		t.add(name,
+			fmt.Sprintf("%.3f", h.FetchExposure),
+			fmt.Sprintf("%.3f", h.DivergenceDepth),
+			fmt.Sprintf("%.3f", h.LoadPressure),
+			fmt.Sprintf("%.3f", h.SchedulerShare),
+			fmt.Sprintf("%.3f", h.InstrPipeShare),
+			fmt.Sprintf("%.3f", h.MemPathShare),
+			fmt.Sprintf("%.3f", h.HostIfaceShare),
+			fmt.Sprintf("%.3f", h.DUE))
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"Static hidden-resource DUE model on %s (proxies, strike shares, conditional DUE)", ds.Dev.Name))
 }
 
 // Full renders every artifact of a device study.
@@ -273,6 +347,10 @@ func Full(ds *core.DeviceStudy, csv bool) string {
 	b.WriteString(Figure5(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(Figure6(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(HiddenDUE(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(DUEGapTable(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(DUETable(ds, csv))
 	return b.String()
@@ -334,4 +412,26 @@ func CrossValidation(cvs []*faultinj.CrossValidation, csv bool) string {
 	}
 	return finish(t, csv, fmt.Sprintf(
 		"Static vs injection AVF (tolerance ±%.2f)", faultinj.CrossValTolerance))
+}
+
+// HiddenCrossValidation renders the static-versus-beam hidden-resource
+// DUE comparison: the model's P(DUE | hidden strike) against the beam
+// campaign's measured hidden DUE fraction, per workload.
+func HiddenCrossValidation(cvs []*faultinj.HiddenCrossValidation, csv bool) string {
+	t := &table{header: []string{"code", "device", "static P(DUE|h)", "beam P(DUE|h)",
+		"delta", "within tol", "hidden strikes"}}
+	for _, cv := range cvs {
+		agree := "yes"
+		if !cv.Agrees() {
+			agree = "NO"
+		}
+		t.add(cv.Name, cv.Device,
+			fmt.Sprintf("%.3f", cv.StaticDUEGivenStrike()),
+			fmt.Sprintf("%.3f", cv.BeamDUEGivenStrike()),
+			fmt.Sprintf("%+.3f", cv.Delta()),
+			agree,
+			fmt.Sprintf("%d", cv.Beam.HiddenStrikes()))
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"Static vs beam hidden-resource DUE (tolerance ±%.2f)", faultinj.HiddenCrossValTolerance))
 }

@@ -1,21 +1,53 @@
 #!/bin/sh
 # Repository check tiers.
 #
-#   scripts/check.sh         tier 1: build + tests (the gate every change must pass)
-#   scripts/check.sh full    tier 2: tier 1 + go vet + lint gate + race detector
-#   scripts/check.sh bench   substrate benchmarks (one iteration each; smoke, not timing)
+#   scripts/check.sh            tier 1: build + tests (the gate every change must pass)
+#   scripts/check.sh full       tier 2: tier 1 + gofmt + go vet + lint gate + race detector
+#   scripts/check.sh bench      substrate benchmarks (one iteration each; smoke, not timing)
+#   scripts/check.sh artifacts  golden-artifact drift gate: regenerate out/ and byte-diff
 #
 # The race run executes the whole test suite a second time under
 # -race instrumentation; expect it to take several times longer than
 # the plain run. It uses -short so the heaviest campaign tests (already
 # exercised un-instrumented by tier 1) do not push packages past the
 # per-package timeout under the ~10x race slowdown.
+#
+# The artifacts tier reruns the full two-device study with the canonical
+# flags (see EXPERIMENTS.md) into a temp directory and byte-compares it
+# against the committed out/. The study is deterministic, so any diff is
+# either an intentional model change (regenerate and commit out/) or
+# silent drift — both are worth failing CI over.
 set -eu
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "bench" ]; then
-    echo "== go test -run=^\$ -bench=BenchmarkSim -benchtime=1x"
-    go test -run='^$' -bench=BenchmarkSim -benchtime=1x .
+    echo "== go test -run=^\$ -bench=BenchmarkSim -benchtime=1x ./..."
+    go test -run='^$' -bench=BenchmarkSim -benchtime=1x ./...
+    echo "checks passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "artifacts" ]; then
+    # Keep these flags in sync with EXPERIMENTS.md ("canonical artifact
+    # regeneration"); a different trial count or seed produces different
+    # (equally valid) numbers and a guaranteed diff.
+    regen_cmd="go run ./cmd/gpurel-repro -trials 450 -faults 640 -seed 1"
+    tmp="$(mktemp -d)"
+    drift="$(mktemp)"
+    trap 'rm -rf "$tmp" "$drift"' EXIT
+    echo "== $regen_cmd -out <tempdir> -quiet"
+    $regen_cmd -out "$tmp" -quiet
+    echo "== diff -r out <tempdir>"
+    if ! diff -r out "$tmp" >"$drift" 2>&1; then
+        echo "ARTIFACT DRIFT: regenerated artifacts differ from the committed out/:"
+        grep -E '^(diff|Only in|Binary files)' "$drift" | sed "s|$tmp|<regenerated>|g" || true
+        echo "-- first differing hunks --"
+        sed "s|$tmp|<regenerated>|g" "$drift" | head -40
+        echo ""
+        echo "If the change is intentional, regenerate and commit:"
+        echo "    $regen_cmd -out out"
+        exit 1
+    fi
     echo "checks passed"
     exit 0
 fi
@@ -26,6 +58,13 @@ echo "== go test ./..."
 go test ./...
 
 if [ "${1:-}" = "full" ]; then
+    echo "== gofmt -l"
+    unformatted="$(gofmt -l .)"
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:"
+        echo "$unformatted"
+        exit 1
+    fi
     echo "== go vet ./..."
     go vet ./...
     echo "== gpurel-lint (selftest + built-in kernels and micros)"
