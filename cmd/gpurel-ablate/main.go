@@ -88,7 +88,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "micro %s done\n", m.Name)
 	}
-	units, err := fit.FromMicroResults(dev.Name, micro, nil, phi, rfBytes)
+	units, err := fit.FromMicroResults(dev.Name, micro, nil, phi, nil, rfBytes)
 	if err != nil {
 		fail(err)
 	}

@@ -65,6 +65,7 @@ func main() {
 	beamTrials := flag.Int("beam-trials", 2000, "beam trials per workload for the hidden-DUE table of -cross-validate")
 	seed := flag.Uint64("seed", 7, "campaign seed for -cross-validate")
 	csv := flag.Bool("csv", false, "emit the -cross-validate tables as CSV")
+	measuredGate := flag.Bool("measured-gate", false, "with -cross-validate: exit 1 unless every measured-residency hidden estimate agrees with the beam within the tighter tolerance")
 	flag.Parse()
 
 	if *selftest {
@@ -81,7 +82,7 @@ func main() {
 	}
 
 	if *crossVal {
-		os.Exit(runCrossValidate(devs, *code, *faults, *beamTrials, *seed, *csv))
+		os.Exit(runCrossValidate(devs, *code, *faults, *beamTrials, *seed, *csv, *measuredGate))
 	}
 
 	var reports []progReport
@@ -231,7 +232,7 @@ func runSelftest() int {
 	return 0
 }
 
-func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int, seed uint64, csv bool) int {
+func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int, seed uint64, csv, measuredGate bool) int {
 	var cvs []*faultinj.CrossValidation
 	var hcvs []*faultinj.HiddenCrossValidation
 	for _, dev := range devs {
@@ -295,6 +296,15 @@ func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int
 	fmt.Print(report.CrossValidation(cvs, csv))
 	fmt.Println()
 	fmt.Print(report.HiddenCrossValidation(hcvs, csv))
+	if measuredGate {
+		for _, hcv := range hcvs {
+			if !hcv.MeasuredAgrees() {
+				fmt.Fprintf(os.Stderr, "measured-gate: %s on %s outside ±%.2f (delta %+.3f)\n",
+					hcv.Name, hcv.Device, faultinj.MeasuredCrossValTolerance, hcv.MeasuredDelta())
+				return 1
+			}
+		}
+	}
 	return 0
 }
 

@@ -2,11 +2,14 @@
 // simulated GPU the way nvprof / Nsight Compute characterize them on
 // real silicon: shared memory, registers per thread, issued IPC, and
 // achieved occupancy (Table I), plus the dynamic instruction-class mix
-// (Figure 1).
+// (Figure 1). With -residency it adds the golden-run residency
+// telemetry (execution-weighted hidden-structure occupancies and the
+// measured strike shares they imply); with -timeline CODE it dumps one
+// workload's per-launch bucket timelines.
 //
 // Usage:
 //
-//	gpurel-profile [-device kepler|volta] [-csv]
+//	gpurel-profile [-device kepler|volta] [-csv] [-residency] [-timeline CODE]
 package main
 
 import (
@@ -14,9 +17,11 @@ import (
 	"fmt"
 	"os"
 
+	"gpurel/internal/analysis"
 	"gpurel/internal/asm"
 	"gpurel/internal/core"
 	"gpurel/internal/device"
+	"gpurel/internal/faultinj"
 	"gpurel/internal/kernels"
 	"gpurel/internal/profiler"
 	"gpurel/internal/report"
@@ -26,6 +31,8 @@ import (
 func main() {
 	devName := flag.String("device", "kepler", "device to profile: kepler or volta")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	residency := flag.Bool("residency", false, "also render the measured residency telemetry table")
+	timeline := flag.String("timeline", "", "dump the per-launch residency timelines of one workload and exit")
 	flag.Parse()
 
 	dev, err := pickDevice(*devName)
@@ -33,7 +40,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ds := &core.DeviceStudy{Dev: dev, Profiles: map[string]*profiler.CodeProfile{}}
+	if *timeline != "" {
+		os.Exit(dumpTimeline(dev, *timeline))
+	}
+	ds := &core.DeviceStudy{
+		Dev:            dev,
+		Profiles:       map[string]*profiler.CodeProfile{},
+		MeasuredHidden: map[string]*analysis.HiddenEstimate{},
+	}
 	for _, e := range suite.ForDevice(dev) {
 		r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
 		if err != nil {
@@ -46,10 +60,47 @@ func main() {
 			os.Exit(1)
 		}
 		ds.Profiles[e.Name] = cp
+		if *residency {
+			ds.MeasuredHidden[e.Name] = faultinj.MeasuredHidden(r)
+		}
 	}
 	fmt.Print(report.TableI(ds, *csv))
 	fmt.Println()
 	fmt.Print(report.Figure1(ds, *csv))
+	if *residency {
+		fmt.Println()
+		fmt.Print(report.ResidencyTable(ds, *csv))
+	}
+}
+
+// dumpTimeline prints every launch's bucket series for one workload:
+// the raw telemetry the residency aggregates are computed from.
+func dumpTimeline(dev *device.Device, code string) int {
+	e, err := suite.Find(suite.ForDevice(dev), code)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	r, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for li, p := range r.GoldenProfiles() {
+		tl := p.Timeline
+		fmt.Printf("launch %d: %d cycles, bucket width %d\n", li, p.Cycles, tl.BucketWidth)
+		fmt.Printf("  %6s  %8s  %10s  %12s  %10s  %8s  %10s  %10s\n",
+			"bucket", "cycles", "SM cycles", "warp cycles", "issued", "ctrl", "load res", "div res")
+		for bi, b := range tl.Buckets {
+			if b.Cycles == 0 {
+				continue
+			}
+			fmt.Printf("  %6d  %8d  %10d  %12d  %10d  %8d  %10d  %10d\n",
+				bi, b.Cycles, b.SMCycles, b.ActiveWarpCycles, b.Issued,
+				b.CtrlOps, b.LoadResidency, b.DivResidency)
+		}
+	}
+	return 0
 }
 
 func pickDevice(name string) (*device.Device, error) {

@@ -105,6 +105,7 @@ func writeAll(outDir string, study *core.Study) {
 		{"fig5", report.Figure5},
 		{"fig6", report.Figure6},
 		{"hidden", report.HiddenDUE},
+		{"residency", report.ResidencyTable},
 		{"due_gap", report.DUEGapTable},
 		{"due", report.DUETable},
 	}

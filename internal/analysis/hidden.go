@@ -73,12 +73,17 @@ const NominalHiddenDUE = hiddenBaseScheduler*hiddenDUEScheduler +
 	hiddenBaseMemPath*hiddenDUEMemPath +
 	hiddenBaseHostIface*hiddenDUEHostIface
 
-// HiddenEstimate is the static hidden-resource DUE model of one kernel
-// (or, via CombineHidden, one multi-launch workload).
+// HiddenEstimate is the hidden-resource DUE model of one kernel (or,
+// via CombineHidden, one multi-launch workload). The static path fills
+// the three proxies from code structure; the measured path
+// (WithResidency) replaces them with runtime occupancies from the
+// simulator's residency telemetry and additionally yields an absolute
+// exposure the fit layer can calibrate against.
 type HiddenEstimate struct {
 	Name string
 
-	// The three raw proxies.
+	// The three proxies: structural on the static path, measured
+	// occupancies on the WithResidency path.
 	FetchExposure   float64 // fetch discontinuities per executed instruction
 	DivergenceDepth float64 // mean SSY nesting depth over executed instructions
 	LoadPressure    float64 // outstanding-load mass per executed instruction
@@ -90,12 +95,26 @@ type HiddenEstimate struct {
 	MemPathShare   float64
 	HostIfaceShare float64
 
-	// DUE is the combined static P(DUE | hidden strike): the share-
-	// weighted conditional DUE probability. This is the static DUE AVF
-	// of the hidden-resource population, the counterpart of Estimate.DUE
-	// for the architectural one.
+	// DUE is the combined P(DUE | hidden strike): the share-weighted
+	// conditional DUE probability. This is the DUE AVF of the
+	// hidden-resource population, the counterpart of Estimate.DUE for
+	// the architectural one.
 	DUE float64
+
+	// Measured marks an estimate produced by WithResidency; Exposure is
+	// then the modeled hidden strike surface per device cycle (model
+	// a.u., normalized to the scheduler's per-warp-cycle sensitivity).
+	// Static estimates leave both at their zero values: the static path
+	// has no absolute scale, only the Phi-relative one.
+	Measured bool
+	Exposure float64
 }
+
+// DUEExposure is the DUE-weighted hidden exposure per device cycle of a
+// measured estimate: the model's expected hidden DUE surface, the
+// quantity fit.ApplyMeasuredDUE calibrates across workloads. Zero for
+// static estimates.
+func (h *HiddenEstimate) DUEExposure() float64 { return h.Exposure * h.DUE }
 
 // hiddenShareWeight applies one proxy's modulation to its base share.
 func hiddenShareWeight(base, gain, proxy float64) float64 {
@@ -117,12 +136,6 @@ func (h *HiddenEstimate) finishHidden() {
 		h.InstrPipeShare*hiddenDUEInstrPipe +
 		h.MemPathShare*hiddenDUEMemPath +
 		h.HostIfaceShare*hiddenDUEHostIface
-}
-
-// isLoadOp reports whether the opcode allocates outstanding-load state
-// in the LDST/MMU path while its result is in flight.
-func isLoadOp(op isa.Op) bool {
-	return op == isa.OpLDG || op == isa.OpLDS
 }
 
 // HiddenEstimate computes the hidden-resource DUE model over one
@@ -209,7 +222,7 @@ func (r *Result) HiddenEstimate(weights []float64) *HiddenEstimate {
 	// plus the prefix of the next.
 	var load float64
 	for i := 0; i < n; i++ {
-		if !isLoadOp(r.Prog.Instrs[i].Op) || w(i) <= 0 {
+		if !r.Prog.Instrs[i].Op.IsLoad() || w(i) <= 0 {
 			continue
 		}
 		span := 0
@@ -265,4 +278,84 @@ func CombineHidden(name string, ests []*HiddenEstimate, weights []float64) *Hidd
 	}
 	h.finishHidden()
 	return h
+}
+
+// Measured-residency hidden model. The static path above guesses how
+// full the hidden structures run from code shape; the measured path
+// reads the occupancies straight from the simulator's residency
+// telemetry (sim.Residency). Per-warp hidden state (scheduler slots,
+// reconvergence stacks, per-warp i-buffer entries) scales with resident
+// warps per SM-cycle; per-SM structures (dispatch logic, i-cache, MMU
+// front end, host interface) are exposed whenever the SM is powered.
+// The per-resource sensitivities below encode that split, normalized to
+// the scheduler's per-warp term, and are calibrated against the NSREC
+// 2021 beam attribution the exposure priors came from.
+const (
+	residWarpScheduler = 1.0
+	residWarpInstrPipe = 0.8
+	residWarpMemPath   = 0.5
+	residWarpHostIface = 0.0
+
+	residSMScheduler = 2.4
+	residSMInstrPipe = 2.0
+	residSMMemPath   = 1.6
+	residSMHostIface = 1.0
+
+	// Modulation gains for the measured proxies. They are deliberately
+	// small: with the occupancies measured, the proxies only fine-tune
+	// how busy each structure is per resident warp, they no longer carry
+	// the whole estimate as on the static path.
+	measGainDivergence = 0.15 // scheduler: live reconvergence entries per issue
+	measGainFetch      = 0.15 // instr-pipe: fetch redirects per issue
+	measGainLoad       = 0.15 // mem-path: saturated LDST-queue depth per warp
+)
+
+// MeasuredResidency carries the runtime hidden-structure occupancies
+// measured by the simulator (see sim.Residency; kept as plain floats so
+// analysis does not depend on the simulator package).
+type MeasuredResidency struct {
+	WarpsPerSMCycle  float64 // resident warps per active SM-cycle
+	SMCyclesPerCycle float64 // active SMs per device cycle
+	SchedUtil        float64 // issued warp-instructions per scheduler slot
+	FetchRate        float64 // fetch redirects per issued warp-instruction
+	DivDepth         float64 // live divergence entries per issued warp-instruction
+	LoadDepth        float64 // outstanding loads per active warp-cycle
+}
+
+// WithResidency returns a copy of the estimate with the three static
+// proxies replaced by their measured counterparts and the strike shares
+// rebuilt from the measured occupancies. The static receiver is kept as
+// the fallback: callers that lack telemetry keep using the structural
+// estimate unchanged.
+func (h *HiddenEstimate) WithResidency(m MeasuredResidency) *HiddenEstimate {
+	out := *h
+	out.Measured = true
+	out.FetchExposure = m.FetchRate
+	out.DivergenceDepth = m.DivDepth
+	// Outstanding loads per warp are unbounded in principle; saturate so
+	// the proxy stays a [0,1) occupancy like the other two.
+	out.LoadPressure = m.LoadDepth / (1 + m.LoadDepth)
+
+	w := m.WarpsPerSMCycle
+	ws := (residWarpScheduler*w + residSMScheduler) * (1 + measGainDivergence*out.DivergenceDepth)
+	wi := (residWarpInstrPipe*w + residSMInstrPipe) * (1 + measGainFetch*out.FetchExposure)
+	wm := (residWarpMemPath*w + residSMMemPath) * (1 + measGainLoad*out.LoadPressure)
+	wh := residWarpHostIface*w + residSMHostIface
+	total := ws + wi + wm + wh
+	out.SchedulerShare = ws / total
+	out.InstrPipeShare = wi / total
+	out.MemPathShare = wm / total
+	out.HostIfaceShare = wh / total
+	out.DUE = out.SchedulerShare*hiddenDUEScheduler +
+		out.InstrPipeShare*hiddenDUEInstrPipe +
+		out.MemPathShare*hiddenDUEMemPath +
+		out.HostIfaceShare*hiddenDUEHostIface
+	out.Exposure = total * m.SMCyclesPerCycle
+	return &out
+}
+
+// MeasuredHiddenEstimate builds a measured estimate directly from a
+// residency measurement, without a static baseline.
+func MeasuredHiddenEstimate(name string, m MeasuredResidency) *HiddenEstimate {
+	return (&HiddenEstimate{Name: name}).WithResidency(m)
 }

@@ -200,3 +200,72 @@ func TestCombineHidden(t *testing.T) {
 		t.Errorf("zero-weight combine DUE = %.6f, want neutral %.6f", z.DUE, NominalHiddenDUE)
 	}
 }
+
+// TestWithResidencyShares pins the measured-model arithmetic on a hand
+// computation: warps=10, no modulating activity, so the weights are the
+// raw sensitivity lines and the shares follow directly.
+func TestWithResidencyShares(t *testing.T) {
+	m := MeasuredResidency{WarpsPerSMCycle: 10, SMCyclesPerCycle: 2}
+	h := MeasuredHiddenEstimate("flat", m)
+	if !h.Measured {
+		t.Fatal("WithResidency must mark the estimate as measured")
+	}
+	// ws=1.0*10+2.4=12.4, wi=0.8*10+2.0=10, wm=0.5*10+1.6=6.6, wh=1.0.
+	total := 12.4 + 10.0 + 6.6 + 1.0
+	if !near(h.SchedulerShare, 12.4/total) || !near(h.InstrPipeShare, 10.0/total) ||
+		!near(h.MemPathShare, 6.6/total) || !near(h.HostIfaceShare, 1.0/total) {
+		t.Errorf("shares = (%.6f, %.6f, %.6f, %.6f), want raw sensitivity ratios",
+			h.SchedulerShare, h.InstrPipeShare, h.MemPathShare, h.HostIfaceShare)
+	}
+	if !near(h.Exposure, total*2) {
+		t.Errorf("exposure = %.6f, want total weight x SM residency = %.6f", h.Exposure, total*2)
+	}
+	if !near(h.DUEExposure(), h.Exposure*h.DUE) {
+		t.Errorf("DUEExposure = %.6f, want Exposure*DUE", h.DUEExposure())
+	}
+	checkShares(t, h)
+}
+
+// TestWithResidencyModulation pins the proxy fine-tuning: divergence
+// raises the scheduler share, load depth saturates into [0,1) and
+// raises the mem path, and the static receiver is left untouched.
+func TestWithResidencyModulation(t *testing.T) {
+	static := &HiddenEstimate{Name: "s", FetchExposure: 0.3, DivergenceDepth: 0.1, LoadPressure: 0.2}
+	static.finishHidden()
+	staticDUE := static.DUE
+
+	flat := static.WithResidency(MeasuredResidency{WarpsPerSMCycle: 4, SMCyclesPerCycle: 1})
+	div := static.WithResidency(MeasuredResidency{WarpsPerSMCycle: 4, SMCyclesPerCycle: 1, DivDepth: 2})
+	if div.SchedulerShare <= flat.SchedulerShare {
+		t.Errorf("divergence residency did not raise the scheduler share: %.6f vs %.6f",
+			div.SchedulerShare, flat.SchedulerShare)
+	}
+	load := static.WithResidency(MeasuredResidency{WarpsPerSMCycle: 4, SMCyclesPerCycle: 1, LoadDepth: 3})
+	if !near(load.LoadPressure, 3.0/4.0) {
+		t.Errorf("load depth 3 must saturate to 0.75, got %.6f", load.LoadPressure)
+	}
+	if load.MemPathShare <= flat.MemPathShare {
+		t.Errorf("load residency did not raise the mem-path share: %.6f vs %.6f",
+			load.MemPathShare, flat.MemPathShare)
+	}
+	if static.Measured || !near(static.DUE, staticDUE) {
+		t.Fatal("WithResidency mutated its static receiver")
+	}
+	checkShares(t, flat)
+	checkShares(t, div)
+	checkShares(t, load)
+}
+
+// TestWithResidencyZeroIsFinite pins that an all-zero measurement (a
+// workload whose telemetry never sampled) still yields finite shares:
+// the per-SM sensitivity floor keeps the total weight positive.
+func TestWithResidencyZeroIsFinite(t *testing.T) {
+	h := MeasuredHiddenEstimate("zero", MeasuredResidency{})
+	checkShares(t, h)
+	if h.Exposure != 0 {
+		t.Errorf("zero SM residency must zero the exposure, got %.6f", h.Exposure)
+	}
+	if math.IsNaN(h.DUE) || math.IsInf(h.DUE, 0) {
+		t.Fatalf("DUE = %v", h.DUE)
+	}
+}

@@ -1,35 +1,44 @@
 package beam
 
 import (
+	"reflect"
 	"testing"
 
 	"gpurel/internal/asm"
 	"gpurel/internal/device"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
 )
 
 // TestBeamDeterministicAcrossWorkers locks in the split-RNG scheme: each
 // trial draws from its own RNG split off the master by trial index, so
 // the campaign result must be bit-identical whether trials run on one
-// worker or eight.
+// worker or eight. The golden residency timelines must come out
+// identical too: a campaign must neither perturb them nor depend on the
+// worker count.
 func TestBeamDeterministicAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs two full campaigns")
 	}
 	dev := device.K40c()
-	r, err := kernels.NewRunner("FHOTSPOT", kernels.HotspotBuilder(isa.F32), dev, asm.O2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	run := func(workers int) *Result {
+	run := func(workers int) (*Result, []sim.Timeline) {
+		r, err := kernels.NewRunner("FHOTSPOT", kernels.HotspotBuilder(isa.F32), dev, asm.O2)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := Run(Config{ECC: false, Trials: 80, Workers: workers, Seed: 31337}, r)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res
+		var tls []sim.Timeline
+		for _, p := range r.GoldenProfiles() {
+			tls = append(tls, p.Timeline)
+		}
+		return res, tls
 	}
-	a, b := run(1), run(8)
+	a, atl := run(1)
+	b, btl := run(8)
 	if a.SDC != b.SDC || a.DUE != b.DUE {
 		t.Fatalf("workers=1 gave SDC/DUE %d/%d, workers=8 gave %d/%d",
 			a.SDC, a.DUE, b.SDC, b.DUE)
@@ -41,5 +50,11 @@ func TestBeamDeterministicAcrossWorkers(t *testing.T) {
 	if a.SDCFIT.Rate != b.SDCFIT.Rate || a.DUEFIT.Rate != b.DUEFIT.Rate {
 		t.Fatalf("FIT rates differ across worker counts: %v/%v vs %v/%v",
 			a.SDCFIT.Rate, a.DUEFIT.Rate, b.SDCFIT.Rate, b.DUEFIT.Rate)
+	}
+	if len(atl) == 0 || len(atl[0].Buckets) == 0 {
+		t.Fatal("golden profiles must carry residency timelines")
+	}
+	if !reflect.DeepEqual(atl, btl) {
+		t.Fatal("golden residency timelines differ across worker counts")
 	}
 }

@@ -33,17 +33,19 @@ type predEntryJSON struct {
 }
 
 type deviceStudyJSON struct {
-	Device       string
-	MicroBeam    map[string]*beam.Result
-	Units        *fit.UnitFITs
-	Profiles     map[string]*profiler.CodeProfile
-	AVF          map[string]map[string]*faultinj.Result
-	Beam         []beamEntryJSON
-	Predictions  []predEntryJSON
-	Comparisons  []fit.Comparison
-	StaticHidden map[string]*analysis.HiddenEstimate
-	DUE          map[string]float64
-	DUECorrected map[string]float64
+	Device         string
+	MicroBeam      map[string]*beam.Result
+	Units          *fit.UnitFITs
+	Profiles       map[string]*profiler.CodeProfile
+	AVF            map[string]map[string]*faultinj.Result
+	Beam           []beamEntryJSON
+	Predictions    []predEntryJSON
+	Comparisons    []fit.Comparison
+	StaticHidden   map[string]*analysis.HiddenEstimate
+	MeasuredHidden map[string]*analysis.HiddenEstimate
+	DUE            map[string]float64
+	DUECorrected   map[string]float64
+	DUEMeasured    map[string]float64
 }
 
 func toolByName(name string) (faultinj.Tool, error) {
@@ -60,14 +62,16 @@ func toolByName(name string) (faultinj.Tool, error) {
 // SaveJSON writes the study to path.
 func (ds *DeviceStudy) SaveJSON(path string) error {
 	out := deviceStudyJSON{
-		Device:       ds.Dev.Name,
-		MicroBeam:    ds.MicroBeam,
-		Units:        ds.Units,
-		Profiles:     ds.Profiles,
-		AVF:          map[string]map[string]*faultinj.Result{},
-		StaticHidden: ds.StaticHidden,
-		DUE:          map[string]float64{},
-		DUECorrected: map[string]float64{},
+		Device:         ds.Dev.Name,
+		MicroBeam:      ds.MicroBeam,
+		Units:          ds.Units,
+		Profiles:       ds.Profiles,
+		AVF:            map[string]map[string]*faultinj.Result{},
+		StaticHidden:   ds.StaticHidden,
+		MeasuredHidden: ds.MeasuredHidden,
+		DUE:            map[string]float64{},
+		DUECorrected:   map[string]float64{},
+		DUEMeasured:    map[string]float64{},
 	}
 	for tool, byCode := range ds.AVF {
 		out.AVF[tool.String()] = byCode
@@ -112,6 +116,9 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 	for ecc, v := range ds.DUECorrectedUnderestimate {
 		out.DUECorrected[eccKey(ecc)] = v
 	}
+	for ecc, v := range ds.DUEMeasuredUnderestimate {
+		out.DUEMeasured[eccKey(ecc)] = v
+	}
 	data, err := json.MarshalIndent(out, "", " ")
 	if err != nil {
 		return fmt.Errorf("core: marshaling study: %w", err)
@@ -150,11 +157,16 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 		Predictions:               map[PredKey]fit.Prediction{},
 		Comparisons:               in.Comparisons,
 		StaticHidden:              in.StaticHidden,
+		MeasuredHidden:            in.MeasuredHidden,
 		DUEUnderestimate:          map[bool]float64{},
 		DUECorrectedUnderestimate: map[bool]float64{},
+		DUEMeasuredUnderestimate:  map[bool]float64{},
 	}
 	if ds.StaticHidden == nil {
 		ds.StaticHidden = map[string]*analysis.HiddenEstimate{}
+	}
+	if ds.MeasuredHidden == nil {
+		ds.MeasuredHidden = map[string]*analysis.HiddenEstimate{}
 	}
 	for toolName, byCode := range in.AVF {
 		tool, err := toolByName(toolName)
@@ -178,6 +190,9 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 	}
 	for k, v := range in.DUECorrected {
 		ds.DUECorrectedUnderestimate[k == "on"] = v
+	}
+	for k, v := range in.DUEMeasured {
+		ds.DUEMeasuredUnderestimate[k == "on"] = v
 	}
 	return ds, nil
 }

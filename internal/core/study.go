@@ -213,8 +213,10 @@ type DeviceStudy struct {
 
 	// StaticHidden is the per-code static hidden-resource DUE estimate
 	// (internal/analysis), the correction term the injectors cannot
-	// supply.
-	StaticHidden map[string]*analysis.HiddenEstimate
+	// supply. MeasuredHidden is its measured-residency counterpart,
+	// built from the golden run's telemetry (internal/sim timelines).
+	StaticHidden   map[string]*analysis.HiddenEstimate
+	MeasuredHidden map[string]*analysis.HiddenEstimate
 
 	// DUEUnderestimate is the average beam/predicted DUE ratio per ECC
 	// state (§VII-B: 120x / 629x on K40c, 60x / 46,700x on V100).
@@ -222,8 +224,10 @@ type DeviceStudy struct {
 
 	// DUECorrectedUnderestimate is the same ratio after the static
 	// hidden-resource correction: how much of the §VII-B gap the static
-	// proxies close.
+	// proxies close. DUEMeasuredUnderestimate is the ratio after the
+	// measured-residency correction instead.
 	DUECorrectedUnderestimate map[bool]float64
+	DUEMeasuredUnderestimate  map[bool]float64
 }
 
 // Study is the full two-device reproduction.
@@ -272,8 +276,10 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		Beam:                      make(map[BeamKey]*beam.Result),
 		Predictions:               make(map[PredKey]fit.Prediction),
 		StaticHidden:              make(map[string]*analysis.HiddenEstimate),
+		MeasuredHidden:            make(map[string]*analysis.HiddenEstimate),
 		DUEUnderestimate:          make(map[bool]float64),
 		DUECorrectedUnderestimate: make(map[bool]float64),
+		DUEMeasuredUnderestimate:  make(map[bool]float64),
 	}
 
 	cache := newRunnerCache(dev)
@@ -285,6 +291,7 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 	// does not change any number.
 	microAVF := make(map[string]float64)
 	microPhi := make(map[string]float64)
+	microHidden := make(map[string]float64)
 	var rfExposedBytes int
 	micros := microbench.Catalog(dev)
 	outer, innerW := splitWorkers(opts.Workers, len(micros))
@@ -299,6 +306,12 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 			microPhi[m.Name] = mp.Phi()
 			mu.Unlock()
 		}
+		// The micro's own measured hidden exposure calibrates the
+		// measured DUE correction (fit.MeasuredHiddenDUEBase).
+		mh := faultinj.MeasuredHidden(r)
+		mu.Lock()
+		microHidden[m.Name] = mh.DUEExposure()
+		mu.Unlock()
 		ecc := m.Name != "RF"
 		res, err := beam.Run(beam.Config{
 			ECC: ecc, Trials: opts.MicroTrials, Workers: innerW,
@@ -345,7 +358,7 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	units, err := fit.FromMicroResults(dev.Name, ds.MicroBeam, microAVF, microPhi, rfExposedBytes)
+	units, err := fit.FromMicroResults(dev.Name, ds.MicroBeam, microAVF, microPhi, microHidden, rfExposedBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -365,12 +378,14 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 			return err
 		}
 		hid := faultinj.StaticHidden(r)
+		mhid := faultinj.MeasuredHidden(r)
 		mu.Lock()
 		ds.Profiles[e.Name] = cp
 		ds.StaticHidden[e.Name] = hid
+		ds.MeasuredHidden[e.Name] = mhid
 		mu.Unlock()
-		opts.Progress("profile %-10s: IPC %.2f occ %.2f regs %d shared %dB hiddenDUE %.3f",
-			e.Name, cp.IPC, cp.Occupancy, cp.RegsPerThread, cp.SharedBytes, hid.DUE)
+		opts.Progress("profile %-10s: IPC %.2f occ %.2f regs %d shared %dB hiddenDUE %.3f/%.3f (static/measured)",
+			e.Name, cp.IPC, cp.Occupancy, cp.RegsPerThread, cp.SharedBytes, hid.DUE, mhid.DUE)
 		return nil
 	})
 	if err != nil {
@@ -532,9 +547,12 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 				continue
 			}
 			pred := fit.Predict(cp, avf, ds.Units, key.ECC)
-			// Fold in the static hidden-resource DUE term (§VII-B): the
-			// part of the DUE rate the injector-fed AVFs cannot see.
+			// Fold in the hidden-resource DUE term (§VII-B) — the part
+			// of the DUE rate the injector-fed AVFs cannot see — in both
+			// views: static (structural proxies) and measured (golden-run
+			// residency telemetry).
 			pred = pred.ApplyStaticDUE(ds.Units, ds.StaticHidden[key.Code])
+			pred = pred.ApplyMeasuredDUE(ds.Units, ds.MeasuredHidden[key.Code])
 			pk := PredKey{Code: key.Code, ECC: key.ECC, Tool: tool}
 			ds.Predictions[pk] = pred
 			ds.Comparisons = append(ds.Comparisons,
@@ -545,7 +563,7 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 	// NVBitFI-based predictions — uncorrected (the paper's headline
 	// number) and after the static hidden-resource correction.
 	for _, ecc := range []bool{false, true} {
-		var ratios, corrected []float64
+		var ratios, corrected, measured []float64
 		for _, key := range beamKeys {
 			beamRes := ds.Beam[key]
 			if key.ECC != ecc {
@@ -562,12 +580,18 @@ func (ds *DeviceStudy) Finalize(voltaAVF map[string]*faultinj.Result) error {
 			if pred.DUEFITCorrected > 0 {
 				corrected = append(corrected, beamRes.DUEFIT.Rate/pred.DUEFITCorrected)
 			}
+			if pred.DUEFITCorrectedMeasured > 0 {
+				measured = append(measured, beamRes.DUEFIT.Rate/pred.DUEFITCorrectedMeasured)
+			}
 		}
 		if len(ratios) > 0 {
 			ds.DUEUnderestimate[ecc] = stats.GeomMeanAbsSigned(ratios)
 		}
 		if len(corrected) > 0 {
 			ds.DUECorrectedUnderestimate[ecc] = stats.GeomMeanAbsSigned(corrected)
+		}
+		if len(measured) > 0 {
+			ds.DUEMeasuredUnderestimate[ecc] = stats.GeomMeanAbsSigned(measured)
 		}
 	}
 	return nil

@@ -4,9 +4,11 @@ import (
 	"reflect"
 	"testing"
 
+	"gpurel/internal/asm"
 	"gpurel/internal/device"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
 )
 
 // TestCampaignDeterministicAcrossWorkers locks in the split-RNG scheme:
@@ -62,5 +64,31 @@ func TestNVBitFIDeterministicAcrossWorkers(t *testing.T) {
 	if a.SDC != b.SDC || a.DUE != b.DUE || a.Masked != b.Masked || a.Injected != b.Injected {
 		t.Fatalf("workers=1 gave SDC/DUE/Masked %d/%d/%d of %d, workers=8 gave %d/%d/%d of %d",
 			a.SDC, a.DUE, a.Masked, a.Injected, b.SDC, b.DUE, b.Masked, b.Injected)
+	}
+}
+
+// TestGoldenTimelinesRepeatable pins the other half of the telemetry
+// determinism contract: two independently built runners produce byte-
+// identical golden residency timelines (the golden run is serial and
+// samples without consuming campaign RNG).
+func TestGoldenTimelinesRepeatable(t *testing.T) {
+	dev := device.V100()
+	build := func() []sim.Timeline {
+		r, err := kernels.NewRunner("FHOTSPOT", kernels.HotspotBuilder(isa.F32), dev, asm.O2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tls []sim.Timeline
+		for _, p := range r.GoldenProfiles() {
+			tls = append(tls, p.Timeline)
+		}
+		return tls
+	}
+	a, b := build(), build()
+	if len(a) == 0 || len(a[0].Buckets) == 0 {
+		t.Fatal("golden profiles must carry residency timelines")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("golden residency timelines differ across repeated builds")
 	}
 }

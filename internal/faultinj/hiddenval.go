@@ -5,6 +5,7 @@ import (
 	"gpurel/internal/beam"
 	"gpurel/internal/device"
 	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
 )
 
 // Cross-validation of the static hidden-resource DUE model
@@ -24,6 +25,14 @@ import (
 // (a few hundred at the validated trial counts). Measured deltas across
 // the pinned kernels sit well inside +/- 0.15.
 const HiddenCrossValTolerance = 0.15
+
+// MeasuredCrossValTolerance is the agreement bound for the measured-
+// residency hidden model (MeasuredHidden). With the occupancies read
+// from the golden run's residency telemetry instead of guessed from
+// code shape, the model error shrinks to the modulation terms and the
+// beam side's binomial noise, so the bound tightens from the static
+// ±0.15 to ±0.10 over the same pinned kernel list.
+const MeasuredCrossValTolerance = 0.10
 
 // HiddenCrossValKernels lists the built-in workloads over which
 // HiddenCrossValTolerance is validated (see TestHiddenCrossValAgreement).
@@ -56,12 +65,33 @@ func StaticHidden(r *kernels.Runner) *analysis.HiddenEstimate {
 	return analysis.CombineHidden(r.Name, ests, weights)
 }
 
-// HiddenCrossValidation pairs the two hidden-DUE views of one workload.
+// MeasuredHidden computes the workload's measured-residency hidden DUE
+// estimate: the golden run's residency telemetry, aggregated over all
+// launches (counters summed, so launches weigh in by their execution
+// share), replaces the static proxies via analysis.WithResidency. The
+// static estimate remains available as the fallback for consumers
+// without telemetry.
+func MeasuredHidden(r *kernels.Runner) *analysis.HiddenEstimate {
+	agg := sim.Aggregate(r.GoldenProfiles())
+	res := agg.Residency(r.Dev)
+	return StaticHidden(r).WithResidency(analysis.MeasuredResidency{
+		WarpsPerSMCycle:  res.WarpsPerSMCycle,
+		SMCyclesPerCycle: res.SMCyclesPerCycle,
+		SchedUtil:        res.SchedUtil,
+		FetchRate:        res.FetchRate,
+		DivDepth:         res.DivDepth,
+		LoadDepth:        res.LoadDepth,
+	})
+}
+
+// HiddenCrossValidation pairs the hidden-DUE views of one workload:
+// the static model, the measured-residency model, and the beam ledger.
 type HiddenCrossValidation struct {
-	Name   string
-	Device string
-	Static *analysis.HiddenEstimate
-	Beam   *beam.Result
+	Name     string
+	Device   string
+	Static   *analysis.HiddenEstimate
+	Measured *analysis.HiddenEstimate
+	Beam     *beam.Result
 }
 
 // StaticDUEGivenStrike is the model's P(DUE | hidden strike).
@@ -84,10 +114,24 @@ func (c *HiddenCrossValidation) StaticShare(h device.HiddenResource) float64 {
 	}
 }
 
+// MeasuredDUEGivenStrike is the measured-residency model's P(DUE |
+// hidden strike), or 0 when the validation ran without telemetry.
+func (c *HiddenCrossValidation) MeasuredDUEGivenStrike() float64 {
+	if c.Measured == nil {
+		return 0
+	}
+	return c.Measured.DUE
+}
+
 // Delta is static minus beam P(DUE | hidden strike); |Delta| within
 // HiddenCrossValTolerance counts as agreement.
 func (c *HiddenCrossValidation) Delta() float64 {
 	return c.StaticDUEGivenStrike() - c.BeamDUEGivenStrike()
+}
+
+// MeasuredDelta is measured minus beam P(DUE | hidden strike).
+func (c *HiddenCrossValidation) MeasuredDelta() float64 {
+	return c.MeasuredDUEGivenStrike() - c.BeamDUEGivenStrike()
 }
 
 // Agrees reports whether the two views agree within the tolerance. A
@@ -104,8 +148,24 @@ func (c *HiddenCrossValidation) Agrees() bool {
 	return d <= HiddenCrossValTolerance
 }
 
-// CrossValidateHidden runs a beam campaign and the static hidden-DUE
-// model over one already-built runner and pairs the results.
+// MeasuredAgrees reports whether the measured-residency model agrees
+// with the beam within the tighter MeasuredCrossValTolerance. Like
+// Agrees, a strike-free campaign is void, not validated; so is a
+// validation that carries no measured estimate.
+func (c *HiddenCrossValidation) MeasuredAgrees() bool {
+	if c.Measured == nil || c.Beam.HiddenStrikes() == 0 {
+		return false
+	}
+	d := c.MeasuredDelta()
+	if d < 0 {
+		d = -d
+	}
+	return d <= MeasuredCrossValTolerance
+}
+
+// CrossValidateHidden runs a beam campaign and both hidden-DUE models
+// (static and measured-residency) over one already-built runner and
+// pairs the results.
 func CrossValidateHidden(cfg beam.Config, r *kernels.Runner) (*HiddenCrossValidation, error) {
 	b, err := beam.Run(cfg, r)
 	if err != nil {
@@ -113,6 +173,6 @@ func CrossValidateHidden(cfg beam.Config, r *kernels.Runner) (*HiddenCrossValida
 	}
 	return &HiddenCrossValidation{
 		Name: r.Name, Device: r.Dev.Name,
-		Static: StaticHidden(r), Beam: b,
+		Static: StaticHidden(r), Measured: MeasuredHidden(r), Beam: b,
 	}, nil
 }

@@ -40,6 +40,12 @@ func TestHiddenCrossValAgreement(t *testing.T) {
 			t.Errorf("%s: static P(DUE|hidden) %.3f vs beam %.3f (delta %+.3f) outside tolerance %.2f",
 				name, cv.StaticDUEGivenStrike(), cv.BeamDUEGivenStrike(), cv.Delta(), HiddenCrossValTolerance)
 		}
+		if !cv.MeasuredAgrees() {
+			t.Errorf("%s: measured P(DUE|hidden) %.3f vs beam %.3f (delta %+.3f) outside tolerance %.2f",
+				name, cv.MeasuredDUEGivenStrike(), cv.BeamDUEGivenStrike(), cv.MeasuredDelta(), MeasuredCrossValTolerance)
+		}
+		t.Logf("%s: static %+.3f measured %+.3f (beam %.3f, %d hidden strikes)",
+			name, cv.Delta(), cv.MeasuredDelta(), cv.BeamDUEGivenStrike(), cv.Beam.HiddenStrikes())
 		if got := cv.Beam.HiddenStrikes(); got < 30 {
 			t.Errorf("%s: only %d hidden strikes; the pinned list promises a usable sample", name, got)
 		}

@@ -40,6 +40,13 @@ type UnitFITs struct {
 	// MicroPhi, the predictor normalizes by it before applying the
 	// application's phi (Eq. 4).
 	MicroPhi map[string]float64
+	// MicroHiddenExposure is each micro-benchmark's DUE-weighted hidden
+	// exposure from the measured-residency model (analysis.HiddenEstimate
+	// .DUEExposure over the micro's golden telemetry). It is the
+	// denominator MeasuredHiddenDUEBase calibrates the device's hidden
+	// DUE rate against; absent (nil) when the study ran without
+	// telemetry, in which case only the static correction is available.
+	MicroHiddenExposure map[string]float64
 	// RFPerByteSDC / RFPerByteDUE are the register-file storage FIT per
 	// byte, derived from the RF micro-benchmark (reported per MB in
 	// Figure 3); they are the FIT(MEM) term of Equation 3.
@@ -50,13 +57,19 @@ type UnitFITs struct {
 // FromMicroResults assembles UnitFITs from beam results over the §V
 // micro-benchmark catalog. rfExposedBytes is the register-file storage
 // the RF micro-benchmark exposed (threads x registers x 4).
-func FromMicroResults(device string, results map[string]*beam.Result, microAVF, microPhi map[string]float64, rfExposedBytes int) (*UnitFITs, error) {
+// microHidden optionally carries each micro's measured hidden DUE
+// exposure (analysis.HiddenEstimate.DUEExposure); nil disables the
+// measured DUE correction.
+func FromMicroResults(device string, results map[string]*beam.Result, microAVF, microPhi, microHidden map[string]float64, rfExposedBytes int) (*UnitFITs, error) {
 	u := &UnitFITs{
 		Device:   device,
 		SDC:      make(map[string]float64),
 		DUE:      make(map[string]float64),
 		MicroAVF: make(map[string]float64),
 		MicroPhi: make(map[string]float64),
+	}
+	if microHidden != nil {
+		u.MicroHiddenExposure = make(map[string]float64)
 	}
 	for name, r := range results {
 		u.SDC[name] = r.SDCFIT.Rate
@@ -74,6 +87,11 @@ func FromMicroResults(device string, results map[string]*beam.Result, microAVF, 
 			phi = 1
 		}
 		u.MicroPhi[name] = phi
+		if u.MicroHiddenExposure != nil {
+			if e := microHidden[name]; e > 0 {
+				u.MicroHiddenExposure[name] = e
+			}
+		}
 	}
 	rf, ok := results["RF"]
 	if !ok {
@@ -111,6 +129,13 @@ type Prediction struct {
 	StaticHiddenDUE float64 // static P(DUE | hidden strike) of the workload
 	DUECorrection   float64 // additive hidden-resource DUE FIT (a.u.)
 	DUEFITCorrected float64 // DUEFIT + DUECorrection
+
+	// Measured-residency DUE correction, filled by ApplyMeasuredDUE from
+	// the golden run's residency telemetry; zero when no telemetry-based
+	// correction was applied.
+	MeasuredHiddenDUE       float64 // measured P(DUE | hidden strike)
+	DUECorrectionMeasured   float64 // additive hidden-resource DUE FIT (a.u.)
+	DUEFITCorrectedMeasured float64 // DUEFIT + DUECorrectionMeasured
 
 	// PerUnit attributes the instruction-term SDC FIT to units.
 	PerUnit map[string]float64

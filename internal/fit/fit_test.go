@@ -147,7 +147,7 @@ func TestFromMicroResults(t *testing.T) {
 		"RF":   mk(80, 4),
 	}
 	u, err := FromMicroResults("dev", results, map[string]float64{"FADD": 0.9},
-		map[string]float64{"FADD": 0.8}, 1<<20)
+		map[string]float64{"FADD": 0.8}, map[string]float64{"FADD": 12.5}, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,10 @@ func TestFromMicroResults(t *testing.T) {
 	if u.RFPerByteSDC <= 0 {
 		t.Fatal("RF per-byte rate must be positive")
 	}
-	if _, err := FromMicroResults("dev", map[string]*beam.Result{"FADD": mk(1, 1)}, nil, nil, 100); err == nil {
+	if u.MicroHiddenExposure["FADD"] != 12.5 {
+		t.Fatalf("micro hidden exposure lost, got %g", u.MicroHiddenExposure["FADD"])
+	}
+	if _, err := FromMicroResults("dev", map[string]*beam.Result{"FADD": mk(1, 1)}, nil, nil, nil, 100); err == nil {
 		t.Fatal("missing RF micro must error")
 	}
 }

@@ -67,3 +67,56 @@ func (p Prediction) ApplyStaticDUE(units *UnitFITs, hid *analysis.HiddenEstimate
 	p.DUEFITCorrected = p.DUEFIT + p.DUECorrection
 	return p
 }
+
+// MeasuredHiddenDUEBase extracts the device's hidden DUE FIT per unit
+// of measured hidden exposure: the minimum, over the ECC-on micros, of
+// the measured DUE rate divided by the micro's own DUE-weighted hidden
+// exposure (from its golden-run residency telemetry). Where
+// HiddenDUEBase normalizes by phi — a proxy that conflates functional-
+// unit utilization with hidden-structure residency — this normalizes by
+// the same exposure functional the correction multiplies back in, so
+// the calibration cancels exactly for a workload whose telemetry
+// matches a micro's. Returns 0 when no micro carries telemetry.
+func (u *UnitFITs) MeasuredHiddenDUEBase() float64 {
+	if u.MicroHiddenExposure == nil {
+		return 0
+	}
+	names := make([]string, 0, len(u.DUE))
+	for name := range u.DUE {
+		if name == "RF" {
+			continue // measured with ECC off; storage DUEs pollute the rate
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	base := math.Inf(1)
+	for _, name := range names {
+		exp := u.MicroHiddenExposure[name]
+		if exp <= 0 {
+			continue
+		}
+		if rate := u.DUE[name] / exp; rate > 0 && rate < base {
+			base = rate
+		}
+	}
+	if math.IsInf(base, 1) {
+		return 0
+	}
+	return base
+}
+
+// ApplyMeasuredDUE is the measured-residency sibling of ApplyStaticDUE:
+// the hidden DUE floor calibrated per unit of measured exposure, times
+// the workload's own DUE-weighted exposure from the golden telemetry.
+// Both corrections coexist on the prediction so the static-vs-measured
+// gap stays reportable side by side. A nil or non-measured estimate is
+// a no-op: the static path remains the fallback.
+func (p Prediction) ApplyMeasuredDUE(units *UnitFITs, hid *analysis.HiddenEstimate) Prediction {
+	if units == nil || hid == nil || !hid.Measured {
+		return p
+	}
+	p.MeasuredHiddenDUE = hid.DUE
+	p.DUECorrectionMeasured = units.MeasuredHiddenDUEBase() * hid.DUEExposure()
+	p.DUEFITCorrectedMeasured = p.DUEFIT + p.DUECorrectionMeasured
+	return p
+}

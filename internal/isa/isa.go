@@ -285,6 +285,13 @@ func (o Op) IsMemory() bool {
 	return false
 }
 
+// IsLoad reports whether the opcode allocates outstanding-load state in
+// the LDST/MMU path while its result is in flight (the population the
+// load-pressure proxies and the LDST-queue residency telemetry track).
+func (o Op) IsLoad() bool {
+	return o == OpLDG || o == OpLDS
+}
+
 // IsControl reports whether the opcode affects control flow.
 func (o Op) IsControl() bool {
 	switch o {

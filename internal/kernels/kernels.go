@@ -102,6 +102,9 @@ func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel)
 		res, err := sim.Run(sim.Config{
 			Device: dev, Program: l.Prog,
 			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
+			// The golden run is where residency telemetry comes from;
+			// faulted replays skip the sampling (resumeWithFault).
+			SampleTimeline: true,
 		}, inst.Global)
 		if err != nil {
 			return nil, fmt.Errorf("kernels: golden run of %s launch %d: %w", name, i, err)

@@ -38,10 +38,26 @@ type CodeProfile struct {
 	// terms derive from it.
 	PerOpLane map[isa.Op]uint64
 
+	// Residency is the execution-weighted mean hidden-structure
+	// occupancy over all launches (counters summed before dividing, so
+	// long launches dominate exactly by their execution share). The
+	// per-launch residency timelines stay on Launches; see Timelines.
+	Residency sim.Residency
+
 	// Launch-level totals.
 	TotalLaneOps uint64
 	TotalCycles  int64
 	Launches     []sim.Profile
+}
+
+// Timelines returns the per-launch residency timelines recorded by the
+// golden run, in launch order.
+func (cp *CodeProfile) Timelines() []sim.Timeline {
+	out := make([]sim.Timeline, len(cp.Launches))
+	for i := range cp.Launches {
+		out[i] = cp.Launches[i].Timeline
+	}
+	return out
 }
 
 // Profile characterizes a workload from its golden runner and the
@@ -49,9 +65,8 @@ type CodeProfile struct {
 func Profile(r *kernels.Runner) (*CodeProfile, error) {
 	inst := r.Instance()
 	cp := &CodeProfile{
-		Name:      r.Name,
-		Mix:       make(map[isa.Class]float64),
-		PerOpLane: make(map[isa.Op]uint64),
+		Name: r.Name,
+		Mix:  make(map[isa.Class]float64),
 	}
 	maxOnChip := 0
 	for _, l := range inst.Launches {
@@ -69,27 +84,24 @@ func Profile(r *kernels.Runner) (*CodeProfile, error) {
 	}
 	cp.MemoryBytes = maxOnChip + inst.Global.AllocatedBytes()
 
-	var warpInstrs, smCycles, awc uint64
-	for _, p := range r.GoldenProfiles() {
-		cp.Launches = append(cp.Launches, p)
-		cp.TotalCycles += p.Cycles
-		cp.TotalLaneOps += p.LaneOps
-		warpInstrs += p.WarpInstrs
-		smCycles += p.SMCycles
-		awc += p.ActiveWarpCycles
-		for op, n := range p.PerOpLane {
-			cp.PerOpLane[op] += n
+	// Workload metrics come from the summed launch counters through the
+	// same sim.Profile accessors a single launch uses — one formula,
+	// zero-guarded there, instead of a re-derivation here.
+	cp.Launches = append(cp.Launches, r.GoldenProfiles()...)
+	agg := sim.Aggregate(cp.Launches)
+	cp.TotalCycles = agg.Cycles
+	cp.TotalLaneOps = agg.LaneOps
+	cp.PerOpLane = agg.PerOpLane
+	cp.IPC = agg.IPC()
+	cp.Occupancy = agg.AchievedOccupancy(r.Dev)
+	cp.Residency = agg.Residency(r.Dev)
+	if cp.TotalLaneOps > 0 {
+		for op, n := range cp.PerOpLane {
+			cp.Mix[op.ClassOf()] += float64(n)
 		}
-	}
-	if smCycles > 0 {
-		cp.IPC = float64(warpInstrs) / float64(smCycles)
-		cp.Occupancy = float64(awc) / float64(smCycles) / float64(r.Dev.MaxWarpsPerSM)
-	}
-	for op, n := range cp.PerOpLane {
-		cp.Mix[op.ClassOf()] += float64(n)
-	}
-	for c := range cp.Mix {
-		cp.Mix[c] /= float64(cp.TotalLaneOps)
+		for c := range cp.Mix {
+			cp.Mix[c] /= float64(cp.TotalLaneOps)
+		}
 	}
 	return cp, nil
 }

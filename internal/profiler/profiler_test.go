@@ -95,6 +95,51 @@ func TestMemoryFootprintPositive(t *testing.T) {
 	}
 }
 
+func TestResidencyAndTimelines(t *testing.T) {
+	cp := profileOf(t, "QUICKSORT", kernels.QuicksortBuilder(), device.K40c())
+	r := cp.Residency
+	if r.SchedUtil <= 0 || r.SchedUtil > 1 {
+		t.Fatalf("scheduler utilization %.3f outside (0,1]", r.SchedUtil)
+	}
+	if r.WarpsPerSMCycle <= 0 || r.SMCyclesPerCycle <= 0 {
+		t.Fatalf("occupancy residencies must be positive: %.3f warps, %.3f SMs",
+			r.WarpsPerSMCycle, r.SMCyclesPerCycle)
+	}
+	if r.DivDepth <= 0 {
+		t.Fatal("quicksort diverges; divergence-stack residency must be positive")
+	}
+	tls := cp.Timelines()
+	if len(tls) != len(cp.Launches) {
+		t.Fatalf("%d timelines for %d launches", len(tls), len(cp.Launches))
+	}
+	for i, tl := range tls {
+		if len(tl.Buckets) == 0 || tl.BucketWidth <= 0 {
+			t.Fatalf("launch %d: golden profile carries no timeline", i)
+		}
+	}
+}
+
+// TestAggregatesFiniteAcrossSuite pins the zero-cycle guard at the
+// profiler layer: every aggregate a consumer reads must be finite even
+// if some launch contributed empty counters.
+func TestAggregatesFiniteAcrossSuite(t *testing.T) {
+	cp := profileOf(t, "NW", kernels.NWBuilder(), device.K40c())
+	for name, v := range map[string]float64{
+		"IPC":       cp.IPC,
+		"occupancy": cp.Occupancy,
+		"sched":     cp.Residency.SchedUtil,
+		"fetch":     cp.Residency.FetchRate,
+		"div":       cp.Residency.DivDepth,
+		"load":      cp.Residency.LoadDepth,
+		"warps":     cp.Residency.WarpsPerSMCycle,
+		"sms":       cp.Residency.SMCyclesPerCycle,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is %v", name, v)
+		}
+	}
+}
+
 func TestProfileSuite(t *testing.T) {
 	out, err := ProfileSuite(device.K40c(), asm.O2, []NamedBuilder{
 		{Name: "CCL", Build: kernels.CCLBuilder()},

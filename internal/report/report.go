@@ -248,10 +248,11 @@ func aliasComparisons(ds *core.DeviceStudy) []ComparisonAlias {
 }
 
 // DUETable renders the §VII-B DUE underestimation analysis: the
-// uncorrected Eq. 1-4 factor next to the factor after the static
-// hidden-resource correction.
+// uncorrected Eq. 1-4 factor next to the factors after the static and
+// the measured-residency hidden-resource corrections.
 func DUETable(ds *core.DeviceStudy, csv bool) string {
-	t := &table{header: []string{"device", "ECC", "beam DUE / predicted DUE", "after static correction"}}
+	t := &table{header: []string{"device", "ECC", "beam DUE / predicted DUE",
+		"after static correction", "after measured correction"}}
 	for _, ecc := range []bool{false, true} {
 		v, ok := ds.DUEUnderestimate[ecc]
 		if !ok {
@@ -261,21 +262,26 @@ func DUETable(ds *core.DeviceStudy, csv bool) string {
 		if c, ok := ds.DUECorrectedUnderestimate[ecc]; ok {
 			corr = fmt.Sprintf("%.1fx", c)
 		}
-		t.add(ds.Dev.Name, eccLabel(ecc), fmt.Sprintf("%.0fx", v), corr)
+		meas := "n/a"
+		if m, ok := ds.DUEMeasuredUnderestimate[ecc]; ok {
+			meas = fmt.Sprintf("%.1fx", m)
+		}
+		t.add(ds.Dev.Name, eccLabel(ecc), fmt.Sprintf("%.0fx", v), corr, meas)
 	}
 	return finish(t, csv,
 		"§VII-B — beam DUE rate vs prediction (faults in hidden resources dominate DUEs)")
 }
 
 // DUEGapTable renders the per-code DUE channel: beam measurement,
-// uncorrected Eq. 1-4 prediction, static-DUE-corrected prediction, and
-// the underestimation factor under each. The corrected factor being
-// consistently smaller is the tentpole claim of the hidden-resource
-// model; rows where no hidden estimate exists show the uncorrected
-// numbers only.
+// uncorrected Eq. 1-4 prediction, static- and measured-residency-
+// corrected predictions, and the underestimation factor under each.
+// The corrected factors being consistently smaller is the tentpole
+// claim of the hidden-resource model; rows where no hidden estimate
+// exists show the uncorrected numbers only.
 func DUEGapTable(ds *core.DeviceStudy, csv bool) string {
-	t := &table{header: []string{"code", "ECC", "beam DUE", "predicted", "corrected",
-		"under (pred)", "under (corr)"}}
+	t := &table{header: []string{"code", "ECC", "beam DUE", "predicted",
+		"corrected", "corrected (meas)",
+		"under (pred)", "under (corr)", "under (meas)"}}
 	for _, ecc := range []bool{false, true} {
 		for _, name := range suiteOrder(ds) {
 			beamRes, ok := ds.Beam[core.BeamKey{Code: name, ECC: ecc}]
@@ -296,15 +302,57 @@ func DUEGapTable(ds *core.DeviceStudy, csv bool) string {
 			if pred.DUEFITCorrected > 0 {
 				corrected = fmt.Sprintf("%.4f", pred.DUEFITCorrected)
 			}
+			measured := "n/a"
+			if pred.DUEFITCorrectedMeasured > 0 {
+				measured = fmt.Sprintf("%.4f", pred.DUEFITCorrectedMeasured)
+			}
 			t.add(name, eccLabel(ecc),
 				fmt.Sprintf("%.4f", beamRes.DUEFIT.Rate),
 				fmt.Sprintf("%.4f", pred.DUEFIT),
-				corrected,
-				under(pred.DUEFIT), under(pred.DUEFITCorrected))
+				corrected, measured,
+				under(pred.DUEFIT), under(pred.DUEFITCorrected),
+				under(pred.DUEFITCorrectedMeasured))
 		}
 	}
 	return finish(t, csv, fmt.Sprintf(
-		"§VII-B per code — DUE underestimation before/after the static hidden-resource correction (%s, NVBitFI)",
+		"§VII-B per code — DUE underestimation before/after the hidden-resource corrections (%s, NVBitFI)",
+		ds.Dev.Name))
+}
+
+// ResidencyTable renders the measured-residency telemetry per code: the
+// golden run's execution-weighted occupancy signals next to the strike
+// shares and conditional DUE the measured hidden-resource model derives
+// from them.
+func ResidencyTable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "sched util", "fetch", "div depth",
+		"load depth", "warps/SMcyc", "SMcyc/cyc",
+		"sched", "pipe", "mem", "host", "P(DUE|hidden)", "exposure"}}
+	for _, name := range suiteOrder(ds) {
+		cp, ok := ds.Profiles[name]
+		if !ok {
+			continue
+		}
+		h, ok := ds.MeasuredHidden[name]
+		if !ok {
+			continue
+		}
+		r := cp.Residency
+		t.add(name,
+			fmt.Sprintf("%.3f", r.SchedUtil),
+			fmt.Sprintf("%.3f", r.FetchRate),
+			fmt.Sprintf("%.3f", r.DivDepth),
+			fmt.Sprintf("%.3f", r.LoadDepth),
+			fmt.Sprintf("%.2f", r.WarpsPerSMCycle),
+			fmt.Sprintf("%.3f", r.SMCyclesPerCycle),
+			fmt.Sprintf("%.3f", h.SchedulerShare),
+			fmt.Sprintf("%.3f", h.InstrPipeShare),
+			fmt.Sprintf("%.3f", h.MemPathShare),
+			fmt.Sprintf("%.3f", h.HostIfaceShare),
+			fmt.Sprintf("%.3f", h.DUE),
+			fmt.Sprintf("%.2f", h.Exposure))
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"Measured residency telemetry on %s (golden-run occupancies, measured strike shares, conditional DUE)",
 		ds.Dev.Name))
 }
 
@@ -349,6 +397,8 @@ func Full(ds *core.DeviceStudy, csv bool) string {
 	b.WriteString(Figure6(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(HiddenDUE(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(ResidencyTable(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(DUEGapTable(ds, csv))
 	b.WriteString("\n")
@@ -414,24 +464,28 @@ func CrossValidation(cvs []*faultinj.CrossValidation, csv bool) string {
 		"Static vs injection AVF (tolerance ±%.2f)", faultinj.CrossValTolerance))
 }
 
-// HiddenCrossValidation renders the static-versus-beam hidden-resource
-// DUE comparison: the model's P(DUE | hidden strike) against the beam
-// campaign's measured hidden DUE fraction, per workload.
+// HiddenCrossValidation renders the static- and measured-versus-beam
+// hidden-resource DUE comparison: each model's P(DUE | hidden strike)
+// against the beam campaign's measured hidden DUE fraction, per
+// workload. The measured model is held to the tighter tolerance.
 func HiddenCrossValidation(cvs []*faultinj.HiddenCrossValidation, csv bool) string {
-	t := &table{header: []string{"code", "device", "static P(DUE|h)", "beam P(DUE|h)",
-		"delta", "within tol", "hidden strikes"}}
+	t := &table{header: []string{"code", "device", "static P(DUE|h)", "meas P(DUE|h)",
+		"beam P(DUE|h)", "delta (static)", "delta (meas)", "within tol", "hidden strikes"}}
 	for _, cv := range cvs {
 		agree := "yes"
-		if !cv.Agrees() {
+		if !cv.Agrees() || !cv.MeasuredAgrees() {
 			agree = "NO"
 		}
 		t.add(cv.Name, cv.Device,
 			fmt.Sprintf("%.3f", cv.StaticDUEGivenStrike()),
+			fmt.Sprintf("%.3f", cv.MeasuredDUEGivenStrike()),
 			fmt.Sprintf("%.3f", cv.BeamDUEGivenStrike()),
 			fmt.Sprintf("%+.3f", cv.Delta()),
+			fmt.Sprintf("%+.3f", cv.MeasuredDelta()),
 			agree,
 			fmt.Sprintf("%d", cv.Beam.HiddenStrikes()))
 	}
 	return finish(t, csv, fmt.Sprintf(
-		"Static vs beam hidden-resource DUE (tolerance ±%.2f)", faultinj.HiddenCrossValTolerance))
+		"Static/measured vs beam hidden-resource DUE (tolerance ±%.2f static, ±%.2f measured)",
+		faultinj.HiddenCrossValTolerance, faultinj.MeasuredCrossValTolerance))
 }

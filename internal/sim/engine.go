@@ -105,6 +105,21 @@ type engine struct {
 	smCycles         uint64
 	smsUsed          int
 
+	// Residency counters (Profile.CtrlOps / LoadResidency /
+	// DivResidency); recorded unconditionally — they are a handful of
+	// integer adds on the issue path.
+	ctrlOps       uint64
+	loadResidency uint64
+	divResidency  uint64
+
+	// Timeline sampling state, nil unless Config.SampleTimeline. tl is
+	// the fixed bucket array; bucket width is 1<<tlShift cycles and
+	// doubles (folding adjacent pairs) when the launch outruns it. tlCur
+	// caches the current cycle's bucket for the issue path.
+	tl      []TimelineBucket
+	tlShift uint
+	tlCur   *TimelineBucket
+
 	// Fast-forward bookkeeping: when a whole cycle issues nothing, the
 	// engine jumps to the earliest scoreboard-ready time instead of
 	// spinning through memory-latency stalls cycle by cycle.
@@ -148,6 +163,9 @@ func newEngine(cfg Config, global *mem.Global) (*engine, error) {
 	}
 	if e.maxCycles == 0 {
 		e.maxCycles = defaultMaxCycles
+	}
+	if cfg.SampleTimeline {
+		e.tl = make([]TimelineBucket, TimelineBuckets)
 	}
 	e.decode()
 	for i := range e.dec {
@@ -295,6 +313,10 @@ func (e *engine) run() *Result {
 		}
 		e.issuedThisCycle = 0
 		e.nextReady = int64(1) << 62
+		if e.tl != nil {
+			e.tlCur = e.bucketFor(e.cycle)
+			e.tlCur.Cycles++
+		}
 		for s := range e.sms {
 			sm := &e.sms[s]
 			if sm.liveWarps == 0 {
@@ -302,6 +324,10 @@ func (e *engine) run() *Result {
 			}
 			e.smCycles++
 			e.activeWarpCycles += uint64(sm.liveWarps)
+			if e.tlCur != nil {
+				e.tlCur.SMCycles++
+				e.tlCur.ActiveWarpCycles += uint64(sm.liveWarps)
+			}
 			for u := range slots {
 				slots[u] = e.dev.IssueSlots(device.Unit(u))
 			}
@@ -331,11 +357,18 @@ func (e *engine) run() *Result {
 				if e.cycle+skip > e.maxCycles {
 					skip = e.maxCycles - e.cycle
 				}
+				var liveSMs int
+				var liveW uint64
 				for s := range e.sms {
 					if lw := e.sms[s].liveWarps; lw > 0 {
 						e.smCycles += uint64(skip)
 						e.activeWarpCycles += uint64(skip) * uint64(lw)
+						liveSMs++
+						liveW += uint64(lw)
 					}
+				}
+				if e.tl != nil {
+					e.tlAddSpan(e.cycle+1, e.cycle+skip, liveSMs, liveW)
 				}
 				e.cycle += skip
 			}
@@ -351,7 +384,16 @@ func (e *engine) run() *Result {
 			ActiveWarpCycles: e.activeWarpCycles,
 			SMCycles:         e.smCycles,
 			SMsUsed:          e.smsUsed,
+			CtrlOps:          e.ctrlOps,
+			LoadResidency:    e.loadResidency,
+			DivResidency:     e.divResidency,
 		},
+	}
+	if e.tl != nil {
+		res.Profile.Timeline = Timeline{
+			BucketWidth: int64(1) << e.tlShift,
+			Buckets:     e.tl,
+		}
 	}
 	for op, n := range e.perOpLane {
 		if n > 0 {
@@ -471,6 +513,21 @@ func (e *engine) issue(sm *smState, w *warpState, top *simtEntry, slots []int) b
 	slots[d.unit]--
 	e.warpInstrs++
 	e.issuedThisCycle++
+	// Residency accounting: every entry above the warp's base stack
+	// frame is live divergence state held while this instruction issues;
+	// an issued load holds an LDST-queue/MSHR entry for its latency.
+	div := uint64(len(w.stack) - 1)
+	e.divResidency += div
+	var load uint64
+	if in.Op.IsLoad() {
+		load = uint64(d.latency)
+		e.loadResidency += load
+	}
+	if e.tlCur != nil {
+		e.tlCur.Issued++
+		e.tlCur.DivResidency += div
+		e.tlCur.LoadResidency += load
+	}
 	if e.cfg.Trace != nil {
 		fmt.Fprintf(e.cfg.Trace, "%8d cta%03d w%02d /*%04d*/ %s\n",
 			e.cycle, w.block.cta, w.widx, pc, in.String())
@@ -611,6 +668,24 @@ func (e *engine) findResident(cta int) *blockState {
 func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Instr, active, predMask uint32) bool {
 	e.perOpLane[in.Op] += uint64(bits.OnesCount32(active))
 	e.laneOps += uint64(bits.OnesCount32(active))
+	// Fetch-redirect accounting: a taken BRA and a SYNC jump move the
+	// warp's fetch stream to a non-sequential PC; SSY/BAR/EXIT fall
+	// through. This is the measured counterpart of the static model's
+	// fetch-exposure proxy.
+	switch in.Op {
+	case isa.OpBRA:
+		if predMask != 0 {
+			e.ctrlOps++
+			if e.tlCur != nil {
+				e.tlCur.CtrlOps++
+			}
+		}
+	case isa.OpSYNC:
+		e.ctrlOps++
+		if e.tlCur != nil {
+			e.tlCur.CtrlOps++
+		}
+	}
 	pc := top.pc
 	switch in.Op {
 	case isa.OpSSY:
@@ -664,4 +739,56 @@ func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Inst
 		e.due = fmt.Sprintf("unhandled control op %s", in.Op)
 	}
 	return true
+}
+
+// bucketFor returns the timeline bucket covering the cycle, folding the
+// array (doubling the bucket width) as often as needed to keep the
+// index inside the fixed bucket count.
+func (e *engine) bucketFor(cycle int64) *TimelineBucket {
+	idx := (cycle - 1) >> e.tlShift
+	for idx >= TimelineBuckets {
+		e.foldTimeline()
+		idx = (cycle - 1) >> e.tlShift
+	}
+	return &e.tl[idx]
+}
+
+// foldTimeline merges adjacent bucket pairs into the front half of the
+// array and doubles the bucket width, keeping memory O(1) per launch.
+func (e *engine) foldTimeline() {
+	for i := 0; i < TimelineBuckets/2; i++ {
+		a, b := &e.tl[2*i], &e.tl[2*i+1]
+		e.tl[i] = TimelineBucket{
+			Cycles:           a.Cycles + b.Cycles,
+			SMCycles:         a.SMCycles + b.SMCycles,
+			ActiveWarpCycles: a.ActiveWarpCycles + b.ActiveWarpCycles,
+			Issued:           a.Issued + b.Issued,
+			CtrlOps:          a.CtrlOps + b.CtrlOps,
+			LoadResidency:    a.LoadResidency + b.LoadResidency,
+			DivResidency:     a.DivResidency + b.DivResidency,
+		}
+	}
+	for i := TimelineBuckets / 2; i < TimelineBuckets; i++ {
+		e.tl[i] = TimelineBucket{}
+	}
+	e.tlShift++
+}
+
+// tlAddSpan credits a fast-forwarded cycle span [from, to] to the
+// timeline, walking whole buckets instead of individual cycles so a
+// long memory stall costs O(buckets touched), not O(cycles skipped).
+func (e *engine) tlAddSpan(from, to int64, liveSMs int, liveWarps uint64) {
+	for c := from; c <= to; {
+		b := e.bucketFor(c)
+		width := int64(1) << e.tlShift
+		bucketEnd := ((c-1)/width + 1) * width // last cycle this bucket covers
+		n := to - c + 1
+		if span := bucketEnd - c + 1; span < n {
+			n = span
+		}
+		b.Cycles += n
+		b.SMCycles += uint64(n) * uint64(liveSMs)
+		b.ActiveWarpCycles += uint64(n) * liveWarps
+		c += n
+	}
 }

@@ -40,6 +40,13 @@ type Config struct {
 	// Fault optionally perturbs the run (nil for golden runs).
 	Fault *FaultPlan
 
+	// SampleTimeline asks the engine to record the per-launch residency
+	// Timeline (scheduler slots, outstanding loads, divergence depth,
+	// fetch activity per cycle bucket). Golden runs turn it on; fault
+	// campaigns leave it off to keep the hot loop untouched. The
+	// aggregate residency counters on Profile are recorded either way.
+	SampleTimeline bool
+
 	// Trace, when non-nil, receives one line per issued warp-instruction
 	// ("cycle sm warp pc disassembly"), the dynamic analogue of
 	// Program.Disassemble. Tracing slows simulation considerably; use it
@@ -90,6 +97,19 @@ type Profile struct {
 
 	// SMsUsed is the number of SMs that received at least one block.
 	SMsUsed int
+
+	// Residency counters (see Residency for the derived rates): CtrlOps
+	// counts issued fetch-redirecting instructions, LoadResidency
+	// integrates outstanding-load latency over issued loads, and
+	// DivResidency integrates live divergence-stack entries over issued
+	// warp-instructions.
+	CtrlOps       uint64
+	LoadResidency uint64
+	DivResidency  uint64
+
+	// Timeline is the per-launch residency sample series, recorded only
+	// when Config.SampleTimeline was set (empty otherwise).
+	Timeline Timeline
 }
 
 // IPC returns issued warp-instructions per SM-cycle, the metric NVIDIA

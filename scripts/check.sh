@@ -21,6 +21,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "bench" ]; then
+    # BenchmarkSimProfileTimeline pairs a sampled and a bare golden run:
+    # residency-telemetry overhead is expected to stay under ~10% on the
+    # sampled run, and the BenchmarkSimPerFault* baselines must not move
+    # at all (fault replays never sample).
     echo "== go test -run=^\$ -bench=BenchmarkSim -benchtime=1x ./..."
     go test -run='^$' -bench=BenchmarkSim -benchtime=1x ./...
     echo "checks passed"
@@ -30,7 +34,12 @@ fi
 if [ "${1:-}" = "artifacts" ]; then
     # Keep these flags in sync with EXPERIMENTS.md ("canonical artifact
     # regeneration"); a different trial count or seed produces different
-    # (equally valid) numbers and a guaranteed diff.
+    # (equally valid) numbers and a guaranteed diff. The byte-diff covers
+    # every committed artifact, including the residency_* telemetry
+    # tables and the due_gap_*/due_* static-vs-measured columns.
+    #
+    # On drift, the sanitized diff summary is left at out-drift-summary.txt
+    # (stable path; gitignored) so CI can upload it as a workflow artifact.
     regen_cmd="go run ./cmd/gpurel-repro -trials 450 -faults 640 -seed 1"
     tmp="$(mktemp -d)"
     drift="$(mktemp)"
@@ -39,15 +48,18 @@ if [ "${1:-}" = "artifacts" ]; then
     $regen_cmd -out "$tmp" -quiet
     echo "== diff -r out <tempdir>"
     if ! diff -r out "$tmp" >"$drift" 2>&1; then
+        sed "s|$tmp|<regenerated>|g" "$drift" >out-drift-summary.txt
         echo "ARTIFACT DRIFT: regenerated artifacts differ from the committed out/:"
-        grep -E '^(diff|Only in|Binary files)' "$drift" | sed "s|$tmp|<regenerated>|g" || true
+        grep -E '^(diff|Only in|Binary files)' out-drift-summary.txt || true
         echo "-- first differing hunks --"
-        sed "s|$tmp|<regenerated>|g" "$drift" | head -40
+        head -40 out-drift-summary.txt
         echo ""
+        echo "Full diff summary written to out-drift-summary.txt"
         echo "If the change is intentional, regenerate and commit:"
         echo "    $regen_cmd -out out"
         exit 1
     fi
+    rm -f out-drift-summary.txt
     echo "checks passed"
     exit 0
 fi
