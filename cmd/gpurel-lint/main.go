@@ -9,6 +9,9 @@
 //	gpurel-lint -json                           machine-readable report
 //	gpurel-lint -selftest                       prove the detectors fire
 //	gpurel-lint -device kepler -cross-validate  static vs injection AVF table
+//	gpurel-lint -cross-validate -beam-trials 0 -crossval-gate
+//	                                            agreement gate (CI): exit 1 on
+//	                                            any out-of-tolerance workload
 //
 // Exit status is 1 when any Error-severity finding exists (warnings do
 // not gate), 2 on usage or build failures.
@@ -62,10 +65,11 @@ func main() {
 	selftest := flag.Bool("selftest", false, "run the detectors on seeded-defect fixtures and exit")
 	crossVal := flag.Bool("cross-validate", false, "compare static AVF against an NVBitFI campaign, and the static hidden-DUE model against a beam campaign, per workload")
 	faults := flag.Int("faults", 400, "campaign size for -cross-validate")
-	beamTrials := flag.Int("beam-trials", 2000, "beam trials per workload for the hidden-DUE table of -cross-validate")
+	beamTrials := flag.Int("beam-trials", 2000, "beam trials per workload for the hidden-DUE table of -cross-validate (0 skips the hidden table)")
 	seed := flag.Uint64("seed", 7, "campaign seed for -cross-validate")
 	csv := flag.Bool("csv", false, "emit the -cross-validate tables as CSV")
 	measuredGate := flag.Bool("measured-gate", false, "with -cross-validate: exit 1 unless every measured-residency hidden estimate agrees with the beam within the tighter tolerance")
+	crossvalGate := flag.Bool("crossval-gate", false, "with -cross-validate: exit 1 unless every workload's bit-resolved static AVF agrees with injection within the tolerance")
 	flag.Parse()
 
 	if *selftest {
@@ -82,7 +86,7 @@ func main() {
 	}
 
 	if *crossVal {
-		os.Exit(runCrossValidate(devs, *code, *faults, *beamTrials, *seed, *csv, *measuredGate))
+		os.Exit(runCrossValidate(devs, *code, *faults, *beamTrials, *seed, *csv, *measuredGate, *crossvalGate))
 	}
 
 	var reports []progReport
@@ -232,7 +236,7 @@ func runSelftest() int {
 	return 0
 }
 
-func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int, seed uint64, csv, measuredGate bool) int {
+func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int, seed uint64, csv, measuredGate, crossvalGate bool) int {
 	var cvs []*faultinj.CrossValidation
 	var hcvs []*faultinj.HiddenCrossValidation
 	for _, dev := range devs {
@@ -267,6 +271,9 @@ func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int
 		// Hidden-resource DUE: static model vs a beam campaign's hidden
 		// strike ledger. ECC stays on so storage strikes short-circuit
 		// and the campaign cost is dominated by the strikes of interest.
+		if beamTrials <= 0 {
+			continue
+		}
 		var hiddenEntries []suite.Entry
 		if code != "" {
 			hiddenEntries = entries
@@ -295,7 +302,20 @@ func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int
 	}
 	fmt.Print(report.CrossValidation(cvs, csv))
 	fmt.Println()
-	fmt.Print(report.HiddenCrossValidation(hcvs, csv))
+	fmt.Print(report.BitBandTable(cvs, csv))
+	if beamTrials > 0 {
+		fmt.Println()
+		fmt.Print(report.HiddenCrossValidation(hcvs, csv))
+	}
+	if crossvalGate {
+		for _, cv := range cvs {
+			if !cv.Agrees() {
+				fmt.Fprintf(os.Stderr, "crossval-gate: %s on %s outside ±%.2f (delta %+.3f)\n",
+					cv.Name, cv.Device, faultinj.CrossValTolerance, cv.Delta())
+				return 1
+			}
+		}
+	}
 	if measuredGate {
 		for _, hcv := range hcvs {
 			if !hcv.MeasuredAgrees() {

@@ -108,6 +108,8 @@ func writeAll(outDir string, study *core.Study) {
 		{"residency", report.ResidencyTable},
 		{"due_gap", report.DUEGapTable},
 		{"due", report.DUETable},
+		{"crossval", report.CrossValTable},
+		{"bitband", report.StudyBitBand},
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -5,6 +5,7 @@
 //
 //	gpurel-sassdump -device kepler -code FMXM
 //	gpurel-sassdump -device volta -code HGEMM-MMA -opt O2
+//	gpurel-sassdump -device kepler -code BFS -bits   annotate widths + known bits
 package main
 
 import (
@@ -12,8 +13,10 @@ import (
 	"fmt"
 	"os"
 
+	"gpurel/internal/analysis"
 	"gpurel/internal/asm"
 	"gpurel/internal/device"
+	"gpurel/internal/kernels"
 	"gpurel/internal/suite"
 )
 
@@ -21,6 +24,7 @@ func main() {
 	devName := flag.String("device", "kepler", "device: kepler or volta")
 	code := flag.String("code", "FMXM", "workload to disassemble")
 	optName := flag.String("opt", "both", "compiler pipeline: O1, O2, or both")
+	bits := flag.Bool("bits", false, "annotate each instruction with destination/operand widths and the known-bits/range facts the analyzer derives")
 	flag.Parse()
 
 	var dev *device.Device
@@ -64,9 +68,51 @@ func main() {
 			fmt.Printf("// kernel %s: %d instructions, %d regs/thread, %dB shared, grid %dx%d x %d threads\n",
 				l.Prog.Name, len(l.Prog.Instrs), l.Prog.NumRegs, l.Prog.SharedMem,
 				l.GridX, l.GridY, l.BlockThreads)
-			fmt.Print(l.Prog.Disassemble())
+			if *bits {
+				dumpBits(l)
+			} else {
+				fmt.Print(l.Prog.Disassemble())
+			}
 			fmt.Println()
 		}
+	}
+}
+
+// dumpBits prints the disassembly with each value-producing instruction
+// annotated by its destination width, any architecturally-narrow source
+// reads, the known-bits and range facts the forward pass derives under
+// this launch's geometry, and the mean bit-resolved ACE fractions.
+func dumpBits(l kernels.Launch) {
+	p := l.Prog
+	r := analysis.AnalyzeLaunch(p, &analysis.Bounds{
+		GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
+	})
+	fmt.Printf("\t.text.%s:\n", p.Name)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		fmt.Printf("  /*%04d*/  %s\n", i, in.String())
+		if in.DstRegs() == 0 {
+			continue
+		}
+		v := &r.ACEVec[i]
+		ann := fmt.Sprintf("dst %db", in.DstBits())
+		for slot := 0; slot < 3; slot++ {
+			if w := in.SrcValueBits(slot); w != 32 {
+				ann += fmt.Sprintf("  src%d %db", slot, w)
+			}
+		}
+		f := r.Facts[i]
+		if f.KB.KnownCount() > 0 {
+			ann += "  kb " + f.KB.String()
+		}
+		if !f.R.IsFull() {
+			ann += "  r " + f.R.String()
+		}
+		ann += fmt.Sprintf("  sdc %.3f due %.3f", v.MeanSDC(), v.MeanDUE())
+		if v.Dead() {
+			ann += "  dead"
+		}
+		fmt.Printf("            // %s\n", ann)
 	}
 }
 

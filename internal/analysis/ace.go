@@ -38,25 +38,18 @@ func (a InstrACE) Unmasked() float64 { return a.SDC + a.DUE }
 func (a InstrACE) Dead() bool { return a.SDC+a.DUE < 1e-12 }
 
 // Terminal sink weights (sdc, due): where a corrupted value meets
-// architectural output directly.
+// architectural output directly. The weights live in tuning.go.
 func sinkWeights(kind EdgeKind, useOp isa.Op) (float64, float64, bool) {
 	switch kind {
 	case EdgeStoreVal:
 		if useOp == isa.OpSTS {
-			// Shared memory round-trips back through LDS before it can
-			// reach output; memory is not tracked, so attenuate.
-			return 0.8, 0, true
+			return SinkSharedStoreSDC, 0, true
 		}
-		return 1.0, 0, true // STG/RED write architectural output
+		return SinkStoreSDC, 0, true // STG/RED write architectural output
 	case EdgeAddr:
-		// A flipped address bit reads/writes the wrong location: wrong
-		// data (SDC) or out-of-bounds (DUE), cf. the simulator's
-		// address-fault semantics.
-		return 0.45, 0.45, true
+		return SinkAddrSDC, SinkAddrDUE, true
 	case EdgeBranchGuard:
-		// A flipped branch guard takes the wrong path: wrong-output SDC
-		// or livelock/fetch-overrun DUE in comparable measure.
-		return 0.4, 0.4, true
+		return SinkBranchSDC, SinkBranchDUE, true
 	}
 	return 0, 0, false
 }
@@ -64,53 +57,51 @@ func sinkWeights(kind EdgeKind, useOp isa.Op) (float64, float64, bool) {
 // passFactor returns the attenuation applied when a value flows through
 // the consuming instruction into that instruction's own destination:
 // the fraction of input-bit flips expected to survive into the result.
+// The per-opcode factors live in tuning.go; bitflow.go uses the same
+// table as its fallback for unproven operands.
 func passFactor(in *isa.Instr, kind EdgeKind) float64 {
 	switch kind {
 	case EdgeCmp:
-		// A single input bit rarely crosses the comparison threshold:
-		// strong logical masking before the predicate.
-		return 0.3
+		return PassCmp
 	case EdgeGuard:
-		// Flipping the guard toggles whether the consumer writes at
-		// all: its (stale or spurious) result is wrong where used.
-		return 0.8
+		return PassGuard
 	case EdgeSelCond:
-		return 0.5 // SEL picks the other input: wrong half the time
+		return PassSelCond
 	}
 	switch in.Op {
 	case isa.OpMOV, isa.OpMOV32I:
-		return 1.0
+		return PassMove
 	case isa.OpSEL:
-		return 0.5 // each input is selected about half the time
+		return PassSel
 	case isa.OpIADD:
-		return 1.0
+		return PassIAdd
 	case isa.OpLOP:
 		if in.Logic == isa.LopXOR {
-			return 1.0
+			return PassXor
 		}
-		return 0.5 // AND/OR mask roughly half the input bits
+		return PassAndOr
 	case isa.OpSHF:
-		return 0.7 // bits shifted out are lost
+		return PassShift
 	case isa.OpIMNMX:
-		return 0.5 // only the selected operand survives
+		return PassMinMax
 	case isa.OpIMUL, isa.OpIMAD:
-		return 0.8
+		return PassIMul
 	case isa.OpFADD, isa.OpDADD, isa.OpFFMA, isa.OpDFMA:
-		return 0.75 // alignment/rounding mask low-order bits
+		return PassFAdd
 	case isa.OpFMUL, isa.OpDMUL:
-		return 0.7
+		return PassFMul
 	case isa.OpHADD, isa.OpHFMA:
-		return 0.375 // FP16 reads 16 of 32 register bits, then rounds
+		return PassHAdd
 	case isa.OpHMUL:
-		return 0.35
+		return PassHMul
 	case isa.OpHMMA, isa.OpFMMA:
-		return 0.8 // wide dot-products propagate most input faults
+		return PassMMA
 	case isa.OpMUFU:
-		return 0.5 // transcendentals compress their domain
+		return PassMufu
 	case isa.OpF2F, isa.OpF2I, isa.OpI2F:
-		return 0.6 // width conversion truncates or renormalizes
+		return PassCvt
 	default:
-		return 0.8
+		return PassDefault
 	}
 }
 
@@ -129,11 +120,33 @@ func propagateACE(p *isa.Program, du *DefUse) []InstrACE {
 	n := len(p.Instrs)
 	ace := make([]InstrACE, n)
 	const eps = 1e-9
+	// The def-use edges are bit-resolved (one per operand slot and
+	// register offset, for bitflow.go); the scalar model works at
+	// whole-value granularity, so collapse them back to one edge per
+	// (consumer, role) to keep the estimate independent of operand
+	// arity and span width.
+	type coarseKey struct {
+		use  int
+		kind EdgeKind
+	}
+	coarse := make([][]UseEdge, n)
+	seen := make(map[coarseKey]bool)
+	for i := range du.Out {
+		clear(seen)
+		for _, e := range du.Out[i] {
+			k := coarseKey{e.Use, e.Kind}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			coarse[i] = append(coarse[i], e)
+		}
+	}
 	for iter := 0; iter < 1000; iter++ {
 		changed := false
 		for i := n - 1; i >= 0; i-- {
 			var missSDC, missDUE float64 = 1, 1
-			for _, e := range du.Out[i] {
+			for _, e := range coarse[i] {
 				useIn := &p.Instrs[e.Use]
 				if s, d, terminal := sinkWeights(e.Kind, useIn.Op); terminal {
 					missSDC *= 1 - s

@@ -40,24 +40,50 @@ type Result struct {
 	LiveOut     []RegSet
 	PredLiveOut []PredSet
 
-	// ACE holds the per-instruction ACE fractions (see ace.go).
+	// ACE holds the scalar per-instruction ACE fractions (see ace.go),
+	// kept as the legacy/fallback estimator the bit-resolved model is
+	// compared against.
 	ACE []InstrACE
+
+	// ACEVec holds the bit-resolved ACE vectors (see bitflow.go).
+	ACEVec []ACEVector
+
+	// Facts / PredFacts are the forward known-bits/range facts per
+	// definition and the proven SETP outcomes.
+	Facts     []ValueFact
+	PredFacts []PredFact
+
+	// Bounds is the launch geometry the forward pass was seeded with
+	// (nil when analyzed without one).
+	Bounds *Bounds
 
 	// DefUse holds the def-use edges the ACE propagation walked.
 	DefUse *DefUse
 
 	// Findings is the lint report, in instruction order.
 	Findings []Finding
+
+	bf *bitflow
 }
 
 // Analyze runs the full pipeline — CFG, liveness, reaching definitions,
-// ACE propagation, lint — over one program.
-func Analyze(p *isa.Program) *Result {
-	r := &Result{Prog: p}
+// known-bits/range abstract interpretation, scalar and bit-resolved ACE
+// propagation, lint — over one program, without launch-geometry seeding.
+func Analyze(p *isa.Program) *Result { return AnalyzeLaunch(p, nil) }
+
+// AnalyzeLaunch is Analyze with the forward pass seeded from a launch
+// geometry: thread-index special registers get the bounds the geometry
+// implies, which tightens the ranges behind guard compares and masks.
+func AnalyzeLaunch(p *isa.Program, bounds *Bounds) *Result {
+	r := &Result{Prog: p, Bounds: bounds}
 	r.CFG = BuildCFG(p)
 	r.LiveOut, r.PredLiveOut = liveness(p, r.CFG)
 	r.DefUse = buildDefUse(p, r.CFG)
 	r.ACE = propagateACE(p, r.DefUse)
+	r.bf = newBitflow(p, r.DefUse, bounds)
+	r.bf.forward()
+	r.Facts, r.PredFacts = r.bf.facts, r.bf.preds
+	r.ACEVec = r.bf.propagateVec()
 	r.Findings = lint(r)
 	return r
 }

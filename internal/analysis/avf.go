@@ -20,31 +20,71 @@ type ClassEstimate struct {
 // Unmasked returns the class's total propagation probability.
 func (c *ClassEstimate) Unmasked() float64 { return c.SDC + c.DUE }
 
+// BandEstimate aggregates one bit band (see BandOf): the weighted-mean
+// per-bit ACE over every (site, bit) pair whose bit position falls in
+// the band, with Weight the accumulated population share.
+type BandEstimate struct {
+	SDC    float64
+	DUE    float64
+	Weight float64
+}
+
+// Unmasked returns the band's total propagation probability.
+func (b *BandEstimate) Unmasked() float64 { return b.SDC + b.DUE }
+
 // Estimate is a whole-program static AVF.
 type Estimate struct {
 	Name  string
 	Sites int
 	// SDC / DUE are the weighted-mean ACE fractions over the site
 	// population: the static counterparts of the injectors' SDC and DUE
-	// AVFs.
+	// AVFs. The bit-resolved estimator averages each site's per-bit
+	// vector over its destination width, matching an injector that
+	// flips a uniformly random destination bit.
 	SDC float64
 	DUE float64
 	// DeadFraction is the weight share of sites whose result is
 	// architecturally dead (ACE = 0): faults there are always masked.
 	DeadFraction float64
-	PerClass     map[isa.Class]*ClassEstimate
+	// BitSDC/BitDUE/BitWeight are the bit-position AVF profiles of the
+	// bit-resolved estimator: per bit position, the weighted-mean ACE
+	// over the sites whose destination window covers that bit, with
+	// BitWeight the covering population weight. Zero for Scalar
+	// estimates.
+	BitSDC    [64]float64
+	BitDUE    [64]float64
+	BitWeight [64]float64
+	// Band buckets the same profile into width-relative bands, the
+	// granularity the injection cross-validation compares at.
+	Band [BandCount]BandEstimate
+	// Scalar marks an estimate produced by the legacy scalar model
+	// (Result.ScalarEstimate) rather than the ACE vectors.
+	Scalar   bool
+	PerClass map[isa.Class]*ClassEstimate
 }
 
 // Unmasked returns the whole-program propagation probability.
 func (e *Estimate) Unmasked() float64 { return e.SDC + e.DUE }
 
-// Estimate aggregates the analysis into a static AVF over the sites
-// matching filter (nil: every GPR-writing opcode, the NVBitFI-style
-// injection population). weights gives per-instruction site weights
-// (nil: uniform static weighting); use OpWeights to weight by a dynamic
-// profile.
+// Estimate aggregates the analysis into a bit-resolved static AVF over
+// the sites matching filter (nil: every GPR-writing opcode, the
+// NVBitFI-style injection population). weights gives per-instruction
+// site weights (nil: uniform static weighting); use OpWeights to weight
+// by a dynamic profile.
 func (r *Result) Estimate(weights []float64, filter func(isa.Op) bool) *Estimate {
-	est := &Estimate{Name: r.Prog.Name, PerClass: make(map[isa.Class]*ClassEstimate)}
+	return r.estimate(weights, filter, false)
+}
+
+// ScalarEstimate aggregates the legacy scalar ACE fractions instead of
+// the bit vectors — the PR-1 estimator, kept for comparison so the
+// bit-resolved model's residual against injection can be asserted to
+// tighten (see faultinj's cross-validation).
+func (r *Result) ScalarEstimate(weights []float64, filter func(isa.Op) bool) *Estimate {
+	return r.estimate(weights, filter, true)
+}
+
+func (r *Result) estimate(weights []float64, filter func(isa.Op) bool, scalar bool) *Estimate {
+	est := &Estimate{Name: r.Prog.Name, Scalar: scalar, PerClass: make(map[isa.Class]*ClassEstimate)}
 	var totalW, sdcW, dueW, deadW float64
 	for i := range r.Prog.Instrs {
 		in := &r.Prog.Instrs[i]
@@ -63,11 +103,31 @@ func (r *Result) Estimate(weights []float64, filter func(isa.Op) bool) *Estimate
 			continue
 		}
 		est.Sites++
-		a := r.ACE[i]
 		totalW += w
-		sdcW += w * a.SDC
-		dueW += w * a.DUE
-		if a.Dead() {
+		var siteSDC, siteDUE float64
+		var dead bool
+		if scalar {
+			a := r.ACE[i]
+			siteSDC, siteDUE, dead = a.SDC, a.DUE, a.Dead()
+		} else {
+			v := &r.ACEVec[i]
+			siteSDC, siteDUE, dead = v.MeanSDC(), v.MeanDUE(), v.Dead()
+			if width := v.Width; width > 0 {
+				bw := w / float64(width)
+				for b := 0; b < width; b++ {
+					est.BitSDC[b] += w * v.SDC[b]
+					est.BitDUE[b] += w * v.DUE[b]
+					est.BitWeight[b] += w
+					band := &est.Band[BandOf(b, width)]
+					band.SDC += bw * v.SDC[b]
+					band.DUE += bw * v.DUE[b]
+					band.Weight += bw
+				}
+			}
+		}
+		sdcW += w * siteSDC
+		dueW += w * siteDUE
+		if dead {
 			deadW += w
 		}
 		ce := est.PerClass[in.Op.ClassOf()]
@@ -77,13 +137,25 @@ func (r *Result) Estimate(weights []float64, filter func(isa.Op) bool) *Estimate
 		}
 		ce.Sites++
 		ce.Weight += w
-		ce.SDC += w * a.SDC
-		ce.DUE += w * a.DUE
+		ce.SDC += w * siteSDC
+		ce.DUE += w * siteDUE
 	}
 	if totalW > 0 {
 		est.SDC = sdcW / totalW
 		est.DUE = dueW / totalW
 		est.DeadFraction = deadW / totalW
+	}
+	for b := 0; b < 64; b++ {
+		if est.BitWeight[b] > 0 {
+			est.BitSDC[b] /= est.BitWeight[b]
+			est.BitDUE[b] /= est.BitWeight[b]
+		}
+	}
+	for k := range est.Band {
+		if est.Band[k].Weight > 0 {
+			est.Band[k].SDC /= est.Band[k].Weight
+			est.Band[k].DUE /= est.Band[k].Weight
+		}
 	}
 	for _, ce := range est.PerClass {
 		if ce.Weight > 0 {

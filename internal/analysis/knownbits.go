@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// KnownBits is a three-valued abstraction of a value window of up to 64
+// bits: every bit is proven-zero, proven-one, or unknown. Zeros and
+// Ones are disjoint masks over the low Width bits; a bit set in neither
+// is unknown. The lattice top (no knowledge) has both masks empty; meet
+// intersects knowledge, and the transfer functions in bitflow.go only
+// ever derive facts that hold on every execution, so any fixpoint —
+// including an iteration cap — is sound.
+type KnownBits struct {
+	Zeros uint64
+	Ones  uint64
+	Width int
+}
+
+// kbWindowMask returns the valid-bit mask for a window width.
+func kbWindowMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// kbTop is the no-knowledge element.
+func kbTop(w int) KnownBits { return KnownBits{Width: w} }
+
+// kbConst is the all-known element for a concrete value.
+func kbConst(v uint64, w int) KnownBits {
+	m := kbWindowMask(w)
+	return KnownBits{Zeros: ^v & m, Ones: v & m, Width: w}
+}
+
+// Known returns the mask of bits with a proven value.
+func (k KnownBits) Known() uint64 { return k.Zeros | k.Ones }
+
+// IsConst reports whether every bit in the window is proven.
+func (k KnownBits) IsConst() bool { return k.Known() == kbWindowMask(k.Width) }
+
+// Const returns the proven value; meaningful when IsConst.
+func (k KnownBits) Const() uint64 { return k.Ones }
+
+// ZeroAt reports whether bit b is proven zero.
+func (k KnownBits) ZeroAt(b int) bool { return b < 64 && k.Zeros>>uint(b)&1 == 1 }
+
+// OneAt reports whether bit b is proven one.
+func (k KnownBits) OneAt(b int) bool { return b < 64 && k.Ones>>uint(b)&1 == 1 }
+
+// KnownCount returns how many bits of the window are proven.
+func (k KnownBits) KnownCount() int { return bits.OnesCount64(k.Known()) }
+
+// String renders the window MSB-first: '0'/'1' for proven bits, '?' for
+// unknown, with a '_' separator every 8 bits for readability.
+func (k KnownBits) String() string {
+	var b strings.Builder
+	for i := k.Width - 1; i >= 0; i-- {
+		switch {
+		case k.ZeroAt(i):
+			b.WriteByte('0')
+		case k.OneAt(i):
+			b.WriteByte('1')
+		default:
+			b.WriteByte('?')
+		}
+		if i > 0 && i%8 == 0 {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// kbMeet intersects knowledge from two facts for the same value (e.g.
+// two definitions reaching one use).
+func kbMeet(a, b KnownBits) KnownBits {
+	return KnownBits{Zeros: a.Zeros & b.Zeros, Ones: a.Ones & b.Ones, Width: a.Width}
+}
+
+// kbAnd/kbOr/kbXor are the bitwise transfers.
+func kbAnd(a, b KnownBits) KnownBits {
+	return KnownBits{
+		Zeros: (a.Zeros | b.Zeros) & kbWindowMask(a.Width),
+		Ones:  a.Ones & b.Ones,
+		Width: a.Width,
+	}
+}
+
+func kbOr(a, b KnownBits) KnownBits {
+	return KnownBits{
+		Zeros: a.Zeros & b.Zeros,
+		Ones:  (a.Ones | b.Ones) & kbWindowMask(a.Width),
+		Width: a.Width,
+	}
+}
+
+func kbXor(a, b KnownBits) KnownBits {
+	known := a.Known() & b.Known()
+	v := (a.Ones ^ b.Ones) & known
+	return KnownBits{Zeros: known &^ v, Ones: v, Width: a.Width}
+}
+
+// kbShl/kbShr shift by a known constant amount; vacated bits are proven
+// zero (shifts are logical in the IR).
+func kbShl(a KnownBits, n int) KnownBits {
+	m := kbWindowMask(a.Width)
+	fill := (uint64(1) << uint(n)) - 1
+	return KnownBits{
+		Zeros: (a.Zeros<<uint(n) | fill) & m,
+		Ones:  a.Ones << uint(n) & m,
+		Width: a.Width,
+	}
+}
+
+func kbShr(a KnownBits, n int) KnownBits {
+	m := kbWindowMask(a.Width)
+	fill := ^(m >> uint(n)) & m
+	return KnownBits{
+		Zeros: (a.Zeros&m)>>uint(n) | fill,
+		Ones:  (a.Ones & m) >> uint(n),
+		Width: a.Width,
+	}
+}
+
+// kbAdd propagates the low-order run of bits where both operands and
+// the incoming carry are proven; the first unknown bit poisons every
+// higher position through the carry chain.
+func kbAdd(a, b KnownBits) KnownBits {
+	out := kbTop(a.Width)
+	carry := uint64(0)
+	for i := 0; i < a.Width && i < 64; i++ {
+		if a.Known()>>uint(i)&1 == 0 || b.Known()>>uint(i)&1 == 0 {
+			break
+		}
+		av := a.Ones >> uint(i) & 1
+		bv := b.Ones >> uint(i) & 1
+		s := av + bv + carry
+		if s&1 == 1 {
+			out.Ones |= 1 << uint(i)
+		} else {
+			out.Zeros |= 1 << uint(i)
+		}
+		carry = s >> 1
+	}
+	return out
+}
+
+// kbNeg is two's-complement negation: exact for constants, otherwise
+// unknown (negation flips an unbounded prefix of bits).
+func kbNeg(a KnownBits) KnownBits {
+	if a.IsConst() {
+		return kbConst(-a.Const(), a.Width)
+	}
+	return kbTop(a.Width)
+}
+
+// kbMul folds constants and otherwise keeps the provable trailing-zero
+// run (the product has at least tz(a)+tz(b) trailing zeros).
+func kbMul(a, b KnownBits) KnownBits {
+	if a.IsConst() && b.IsConst() {
+		return kbConst(a.Const()*b.Const(), a.Width)
+	}
+	if (a.IsConst() && a.Const() == 0) || (b.IsConst() && b.Const() == 0) {
+		return kbConst(0, a.Width)
+	}
+	tz := kbTrailingZeros(a) + kbTrailingZeros(b)
+	if tz > a.Width {
+		tz = a.Width
+	}
+	out := kbTop(a.Width)
+	out.Zeros = (uint64(1) << uint(tz)) - 1
+	return out
+}
+
+// kbTrailingZeros counts the proven-zero run at the bottom of the
+// window.
+func kbTrailingZeros(a KnownBits) int {
+	n := 0
+	for n < a.Width && a.ZeroAt(n) {
+		n++
+	}
+	return n
+}
+
+// kbExtract32 slices the 32-bit register `part` out of a wider window.
+func kbExtract32(a KnownBits, part int) KnownBits {
+	if a.Width <= 32 {
+		if part == 0 {
+			return a
+		}
+		return kbTop(32)
+	}
+	sh := uint(32 * part)
+	if sh >= 64 {
+		return kbTop(32)
+	}
+	return KnownBits{
+		Zeros: a.Zeros >> sh & 0xffffffff,
+		Ones:  a.Ones >> sh & 0xffffffff,
+		Width: 32,
+	}
+}
+
+// kbConcat64 assembles a 64-bit window from two 32-bit register facts.
+func kbConcat64(lo, hi KnownBits) KnownBits {
+	return KnownBits{
+		Zeros: lo.Zeros&0xffffffff | hi.Zeros<<32,
+		Ones:  lo.Ones&0xffffffff | hi.Ones<<32,
+		Width: 64,
+	}
+}

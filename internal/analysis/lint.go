@@ -37,6 +37,10 @@ const (
 	KindSSYPastEnd   = "ssy-target-past-end"
 	KindSyncNoRegion = "sync-outside-ssy-region"
 	KindPairSplitBra = "branch-splits-pair"
+	// Bit-level findings (see bitflow.go).
+	KindConstResult     = "constant-result"
+	KindDeadBitSpan     = "dead-bit-span"
+	KindRangeDeadBranch = "range-dead-branch"
 )
 
 // Finding is one lint diagnostic, anchored to an instruction index.
@@ -124,6 +128,79 @@ func lint(r *Result) []Finding {
 					Sev: SevWarn, Kind: KindDeadPred, Instr: i,
 					Msg: fmt.Sprintf("predicate %s is never read: %s", pr, in.String()),
 				})
+			}
+		}
+	}
+	out = append(out, bitFindings(r)...)
+	return out
+}
+
+// bitFindings reports what the bit-level analysis proved: instructions
+// computing provably-constant results, live results with long provably
+// dead bit spans, and conditional branches whose guard is provably
+// constant under the derived value ranges.
+func bitFindings(r *Result) []Finding {
+	if r.bf == nil {
+		return nil
+	}
+	p := r.Prog
+	var out []Finding
+	for _, b := range r.CFG.Blocks {
+		if !r.CFG.Reachable[b.ID] {
+			continue
+		}
+		for i := b.Start; i < b.End; i++ {
+			in := &p.Instrs[i]
+			v := &r.ACEVec[i]
+
+			// Constant results: every destination bit proven, on a
+			// value something actually consumes (dead ones are already
+			// dead-store findings) and an opcode that computes (moves
+			// and S2R reads are constant by construction, not by
+			// simplifiable dataflow). Folding a computation whose inputs
+			// are all constant is routine address setup, not a masking
+			// insight — the finding requires a non-constant input.
+			switch in.Op {
+			case isa.OpMOV, isa.OpMOV32I, isa.OpS2R:
+			default:
+				if in.DstRegs() > 0 && r.Facts[i].KB.IsConst() && !v.Dead() && !r.bf.allSrcConst(i) {
+					out = append(out, Finding{
+						Sev: SevWarn, Kind: KindConstResult, Instr: i,
+						Msg: fmt.Sprintf("result is provably constant 0x%x: %s",
+							r.Facts[i].KB.Const(), in.String()),
+					})
+				}
+			}
+
+			// Dead bit spans: a live destination with a long contiguous
+			// run of provably-masked bits. Half-precision producers are
+			// exempt — their architecturally-narrow high half is by
+			// design, not a finding.
+			if v.Width >= 32 && !v.Dead() && in.Op.TypeOf() != isa.F16 {
+				if start, length := v.LongestDeadSpan(); length >= DeadBitSpanMin {
+					out = append(out, Finding{
+						Sev: SevWarn, Kind: KindDeadBitSpan, Instr: i,
+						Msg: fmt.Sprintf("destination bits %d..%d (%d of %d) are provably masked: %s",
+							start, start+length-1, length, v.Width, in.String()),
+					})
+				}
+			}
+
+			// Range-dead branch arms: a conditional branch whose guard
+			// the forward pass proved constant through an actual range
+			// argument (a constant-vs-constant compare is just folding).
+			if in.Op == isa.OpBRA && !in.Unconditional() {
+				if taken, nontriv, known := r.bf.branchAlways(i); known && nontriv {
+					arm := "fall-through"
+					if !taken {
+						arm = "taken"
+					}
+					out = append(out, Finding{
+						Sev: SevWarn, Kind: KindRangeDeadBranch, Instr: i,
+						Msg: fmt.Sprintf("guard is provably %v under derived ranges; the %s arm is unreachable from here: %s",
+							taken, arm, in.String()),
+					})
+				}
 			}
 		}
 	}

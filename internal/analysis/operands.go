@@ -17,30 +17,33 @@ const (
 
 // SrcSpan is one source register span with its role. It mirrors
 // isa.Instr.SrcRegSpans — same spans, same order — so liveness and the
-// simulator agree on what an instruction reads.
+// simulator agree on what an instruction reads. Slot records which
+// Instr.Srcs operand the span came from, which the bit-level analysis
+// needs to pair a register with the other operands of its consumer.
 type SrcSpan struct {
 	Base isa.Reg
 	N    int
 	Kind UseKind
+	Slot int8
 }
 
 // srcSpans lists the instruction's source register spans with roles.
 func srcSpans(in *isa.Instr) []SrcSpan {
 	var spans []SrcSpan
-	add := func(r isa.Reg, n int, k UseKind) {
+	add := func(r isa.Reg, n int, k UseKind, slot int) {
 		if r != isa.RZ {
-			spans = append(spans, SrcSpan{Base: r, N: n, Kind: k})
+			spans = append(spans, SrcSpan{Base: r, N: n, Kind: k, Slot: int8(slot)})
 		}
 	}
 	switch in.Op {
 	case isa.OpHMMA:
-		add(in.Srcs[0].Reg, 4, UseData)
-		add(in.Srcs[1].Reg, 4, UseData)
-		add(in.Srcs[2].Reg, 8, UseData)
+		add(in.Srcs[0].Reg, 4, UseData, 0)
+		add(in.Srcs[1].Reg, 4, UseData, 1)
+		add(in.Srcs[2].Reg, 8, UseData, 2)
 	case isa.OpFMMA:
-		add(in.Srcs[0].Reg, 8, UseData)
-		add(in.Srcs[1].Reg, 8, UseData)
-		add(in.Srcs[2].Reg, 8, UseData)
+		add(in.Srcs[0].Reg, 8, UseData, 0)
+		add(in.Srcs[1].Reg, 8, UseData, 1)
+		add(in.Srcs[2].Reg, 8, UseData, 2)
 	case isa.OpDADD, isa.OpDMUL, isa.OpDFMA, isa.OpDSETP:
 		kind := UseData
 		if in.Op == isa.OpDSETP {
@@ -48,20 +51,20 @@ func srcSpans(in *isa.Instr) []SrcSpan {
 		}
 		for i, s := range in.Srcs {
 			if !s.IsImm && (i < 2 || in.Op == isa.OpDFMA) {
-				add(s.Reg, 2, kind)
+				add(s.Reg, 2, kind, i)
 			}
 		}
 	case isa.OpSTG, isa.OpSTS:
-		add(in.Srcs[0].Reg, 1, UseAddr)
+		add(in.Srcs[0].Reg, 1, UseAddr, 0)
 		n := 1
 		if in.Wide {
 			n = 2
 		}
-		add(in.Srcs[2].Reg, n, UseStoreVal)
+		add(in.Srcs[2].Reg, n, UseStoreVal, 2)
 	case isa.OpLDG, isa.OpLDS, isa.OpRED:
-		add(in.Srcs[0].Reg, 1, UseAddr)
+		add(in.Srcs[0].Reg, 1, UseAddr, 0)
 		if in.Op == isa.OpRED {
-			add(in.Srcs[2].Reg, 1, UseStoreVal)
+			add(in.Srcs[2].Reg, 1, UseStoreVal, 2)
 		}
 	case isa.OpF2F:
 		n := 1
@@ -69,7 +72,7 @@ func srcSpans(in *isa.Instr) []SrcSpan {
 			n = 2
 		}
 		if !in.Srcs[0].IsImm {
-			add(in.Srcs[0].Reg, n, UseData)
+			add(in.Srcs[0].Reg, n, UseData, 0)
 		}
 	default:
 		kind := UseData
@@ -79,7 +82,7 @@ func srcSpans(in *isa.Instr) []SrcSpan {
 		}
 		for i := 0; i < isa.NumSrcs(in.Op); i++ {
 			if !in.Srcs[i].IsImm {
-				add(in.Srcs[i].Reg, 1, kind)
+				add(in.Srcs[i].Reg, 1, kind, i)
 			}
 		}
 	}

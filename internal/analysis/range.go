@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"gpurel/internal/isa"
+)
+
+// ValueRange is a conservative signed interval for the 32-bit integer
+// interpretation of a value: on every execution the value, read as
+// int32, lies in [Lo, Hi]. Operations that may wrap the int32 domain
+// widen to the full range rather than model modular arithmetic — the
+// interval is only ever used to prove comparisons and address shapes,
+// so "full" is always a sound answer. 64-bit windows (F64 bit patterns,
+// register pairs) carry the full range.
+type ValueRange struct {
+	Lo, Hi int64
+}
+
+// rFull is the no-knowledge interval.
+func rFull() ValueRange { return ValueRange{math.MinInt32, math.MaxInt32} }
+
+// rConst is the singleton interval.
+func rConst(v int64) ValueRange { return ValueRange{v, v} }
+
+// rBound clamps an interval into the int32 domain, widening to full on
+// inversion (callers construct Lo<=Hi, so inversion means overflow).
+func rBound(lo, hi int64) ValueRange {
+	if lo > hi || lo < math.MinInt32 || hi > math.MaxInt32 {
+		return rFull()
+	}
+	return ValueRange{lo, hi}
+}
+
+// IsFull reports the no-knowledge interval.
+func (r ValueRange) IsFull() bool {
+	return r.Lo <= math.MinInt32 && r.Hi >= math.MaxInt32
+}
+
+// Const returns the singleton value, if the interval is one point.
+func (r ValueRange) Const() (int64, bool) { return r.Lo, r.Lo == r.Hi }
+
+// String renders the interval compactly.
+func (r ValueRange) String() string {
+	if r.IsFull() {
+		return "[*]"
+	}
+	return fmt.Sprintf("[%d,%d]", r.Lo, r.Hi)
+}
+
+// rUnion is the interval hull (meet over reaching definitions).
+func rUnion(a, b ValueRange) ValueRange {
+	return ValueRange{Lo: min(a.Lo, b.Lo), Hi: max(a.Hi, b.Hi)}
+}
+
+// rIntersect tightens one interval with another known-sound bound.
+func rIntersect(a, b ValueRange) ValueRange {
+	lo, hi := max(a.Lo, b.Lo), min(a.Hi, b.Hi)
+	if lo > hi {
+		// Contradictory facts can only arise on dead paths; keep the
+		// tighter of the two rather than inventing an empty interval.
+		return a
+	}
+	return ValueRange{lo, hi}
+}
+
+// rAdd/rNeg/rMul/rMin/rMax are the arithmetic transfers, widening to
+// full whenever the int32 domain may wrap.
+func rAdd(a, b ValueRange) ValueRange { return rBound(a.Lo+b.Lo, a.Hi+b.Hi) }
+
+func rNeg(a ValueRange) ValueRange { return rBound(-a.Hi, -a.Lo) }
+
+func rMul(a, b ValueRange) ValueRange {
+	if a.IsFull() || b.IsFull() {
+		return rFull()
+	}
+	p := [4]int64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
+	lo, hi := p[0], p[0]
+	for _, v := range p[1:] {
+		lo, hi = min(lo, v), max(hi, v)
+	}
+	return rBound(lo, hi)
+}
+
+func rMin(a, b ValueRange) ValueRange {
+	return ValueRange{Lo: min(a.Lo, b.Lo), Hi: min(a.Hi, b.Hi)}
+}
+
+func rMax(a, b ValueRange) ValueRange {
+	return ValueRange{Lo: max(a.Lo, b.Lo), Hi: max(a.Hi, b.Hi)}
+}
+
+// rShl multiplies by a power of two; rShr is the logical right shift
+// (non-negative intervals shift exactly; a possibly-negative value
+// reinterpreted as uint32 lands in [0, 2^(32-n))).
+func rShl(a ValueRange, n int) ValueRange {
+	if a.IsFull() || n >= 31 {
+		return rFull()
+	}
+	return rBound(a.Lo<<uint(n), a.Hi<<uint(n))
+}
+
+func rShr(a ValueRange, n int) ValueRange {
+	if n == 0 {
+		return a
+	}
+	if a.Lo >= 0 && !a.IsFull() {
+		return ValueRange{a.Lo >> uint(n), a.Hi >> uint(n)}
+	}
+	return ValueRange{0, int64(1)<<uint(32-n) - 1}
+}
+
+// rExpand widens an interval by ±delta: the hull of a value and that
+// value with one bit of weight delta flipped.
+func rExpand(a ValueRange, delta int64) ValueRange {
+	return ValueRange{Lo: max(a.Lo-delta, math.MinInt32-1<<31), Hi: min(a.Hi+delta, math.MaxInt32+1<<31)}
+}
+
+// rFromKB converts a 32-bit known-bits fact to an interval: with the
+// sign bit proven zero, the value is non-negative and bounded by the
+// proven masks.
+func rFromKB(k KnownBits) ValueRange {
+	if k.Width != 32 || !k.ZeroAt(31) {
+		return rFull()
+	}
+	return ValueRange{Lo: int64(k.Ones), Hi: int64(^k.Zeros & 0xffffffff)}
+}
+
+// kbFromRange converts a non-negative interval to proven high zeros:
+// every bit at or above the bit-length of Hi is zero.
+func kbFromRange(r ValueRange, w int) KnownBits {
+	if w != 32 || r.Lo < 0 || r.Hi > math.MaxInt32 {
+		return kbTop(w)
+	}
+	n := bits.Len64(uint64(r.Hi))
+	out := kbTop(32)
+	out.Zeros = ^(uint64(1)<<uint(n) - 1) & 0xffffffff
+	return out
+}
+
+// cmpAlways evaluates a comparison over two intervals: (outcome, true)
+// when the result is the same for every pair of values, else (_, false).
+func cmpAlways(cmp isa.CmpOp, a, b ValueRange) (bool, bool) {
+	switch cmp {
+	case isa.CmpLT:
+		if a.Hi < b.Lo {
+			return true, true
+		}
+		if a.Lo >= b.Hi {
+			return false, true
+		}
+	case isa.CmpLE:
+		if a.Hi <= b.Lo {
+			return true, true
+		}
+		if a.Lo > b.Hi {
+			return false, true
+		}
+	case isa.CmpGT:
+		if a.Lo > b.Hi {
+			return true, true
+		}
+		if a.Hi <= b.Lo {
+			return false, true
+		}
+	case isa.CmpGE:
+		if a.Lo >= b.Hi {
+			return true, true
+		}
+		if a.Hi < b.Lo {
+			return false, true
+		}
+	case isa.CmpEQ:
+		if av, ok := a.Const(); ok {
+			if bv, ok2 := b.Const(); ok2 && av == bv {
+				return true, true
+			}
+		}
+		if a.Hi < b.Lo || a.Lo > b.Hi {
+			return false, true
+		}
+	case isa.CmpNE:
+		if a.Hi < b.Lo || a.Lo > b.Hi {
+			return true, true
+		}
+		if av, ok := a.Const(); ok {
+			if bv, ok2 := b.Const(); ok2 && av == bv {
+				return false, true
+			}
+		}
+	}
+	return false, false
+}

@@ -22,10 +22,18 @@ const (
 	EdgeSelCond                     // predicate selecting a SEL input
 )
 
-// UseEdge is one consumer of a definition.
+// UseEdge is one consumer of a definition, resolved to 32-bit register
+// granularity: which operand slot of the consumer reads the value, and
+// which register of the definition's destination span lands in which
+// register of the consumer's source span. The scalar ACE propagation
+// collapses edges back to (Use, Kind); the bit-level analysis needs the
+// full resolution to map destination bits onto operand bits.
 type UseEdge struct {
-	Use  int // consuming instruction index
-	Kind EdgeKind
+	Use    int // consuming instruction index
+	Kind   EdgeKind
+	Slot   int8 // consumer operand index (Instr.Srcs), -1 for predicates
+	DefReg int8 // register offset within the definition's dest span
+	UseReg int8 // register offset within the consumer's source span
 }
 
 // UninitUse records a register read that the entry pseudo-definition may
@@ -192,18 +200,23 @@ func buildDefUse(p *isa.Program, cfg *CFG) *DefUse {
 
 	// Edge collection over reachable blocks.
 	type edgeKey struct {
-		def  int32
-		use  int
-		kind EdgeKind
+		def    int32
+		use    int
+		kind   EdgeKind
+		slot   int8
+		defReg int8
+		useReg int8
 	}
 	seen := make(map[edgeKey]bool)
-	addEdge := func(def int32, use int, kind EdgeKind) {
-		k := edgeKey{def, use, kind}
+	addEdge := func(def int32, use int, kind EdgeKind, slot, defReg, useReg int8) {
+		k := edgeKey{def, use, kind, slot, defReg, useReg}
 		if seen[k] {
 			return
 		}
 		seen[k] = true
-		du.Out[def] = append(du.Out[def], UseEdge{Use: use, Kind: kind})
+		du.Out[def] = append(du.Out[def], UseEdge{
+			Use: use, Kind: kind, Slot: slot, DefReg: defReg, UseReg: useReg,
+		})
 	}
 	uninitSeen := make(map[edgeKey]bool)
 	for _, b := range cfg.Blocks {
@@ -229,10 +242,11 @@ func buildDefUse(p *isa.Program, cfg *CFG) *DefUse {
 						continue
 					}
 					for _, d := range st.g[r] {
-						addEdge(d, i, kind)
+						defReg := int8(r - p.Instrs[d].Dst)
+						addEdge(d, i, kind, span.Slot, defReg, int8(k))
 					}
 					if st.uninitG.Has(r) {
-						uk := edgeKey{int32(r), i, 0}
+						uk := edgeKey{def: int32(r), use: i, kind: 0}
 						if !uninitSeen[uk] {
 							uninitSeen[uk] = true
 							du.Uninit = append(du.Uninit, UninitUse{Instr: i, Reg: r})
@@ -248,10 +262,10 @@ func buildDefUse(p *isa.Program, cfg *CFG) *DefUse {
 					kind = EdgeBranchGuard
 				}
 				for _, d := range st.p[pr] {
-					addEdge(d, i, kind)
+					addEdge(d, i, kind, -1, 0, 0)
 				}
 				if st.uninitP.Has(pr) {
-					uk := edgeKey{int32(pr), i, 1}
+					uk := edgeKey{def: int32(pr), use: i, kind: 1}
 					if !uninitSeen[uk] {
 						uninitSeen[uk] = true
 						du.Uninit = append(du.Uninit, UninitUse{Instr: i, IsPred: true, Pred: pr})

@@ -1,0 +1,174 @@
+package analysis
+
+// Central tuning table for the ACE transfer model. Every masking weight
+// the analyzer uses lives here — the scalar (legacy) pass factors that
+// ace.go applies per opcode, the terminal sink weights shared by both
+// estimators, and the bit-resolved knobs bitflow.go applies when a
+// per-bit fact cannot be *proven* from the known-bits/range lattices.
+//
+// The scalar factors are calibrated against the paper's §VI injection
+// campaigns (see faultinj.CrossValTolerance); the bit-resolved tables
+// are shaped so their width-mean stays close to the scalar factor for
+// the same opcode, which keeps the two estimators comparable while the
+// per-bit structure redistributes vulnerability across bit positions.
+
+// Terminal sink weights: where a corrupted value meets architectural
+// output directly. SDC/DUE pairs; per channel, probability the flip is
+// architecturally visible there.
+const (
+	// SinkStoreSDC: a value stored to global memory (STG/RED) is
+	// architectural output.
+	SinkStoreSDC = 1.0
+	// SinkSharedStoreSDC: shared memory round-trips back through LDS
+	// before it can reach output; memory is not tracked, so attenuate.
+	SinkSharedStoreSDC = 0.8
+	// SinkAddrSDC/DUE: a flipped address bit reads/writes the wrong
+	// location: wrong data (SDC) or out-of-bounds (DUE), cf. the
+	// simulator's address-fault semantics.
+	SinkAddrSDC = 0.45
+	SinkAddrDUE = 0.45
+	// SinkBranchSDC/DUE: a flipped branch guard takes the wrong path:
+	// wrong-output SDC or livelock/fetch-overrun DUE in comparable
+	// measure.
+	SinkBranchSDC = 0.4
+	SinkBranchDUE = 0.4
+)
+
+// Scalar pass factors: the attenuation applied when a value flows
+// through a consuming instruction into that instruction's own
+// destination — the fraction of input-bit flips expected to survive
+// into the result. ace.go applies these per opcode; bitflow.go falls
+// back to them (or to the bit tables below) for unproven operands.
+const (
+	// PassCmp: a single input bit rarely crosses the comparison
+	// threshold — strong logical masking before the predicate.
+	PassCmp = 0.3
+	// PassGuard: flipping the guard toggles whether the consumer writes
+	// at all; its (stale or spurious) result is wrong where used.
+	PassGuard = 0.8
+	// PassSelCond: SEL picks the other input — wrong half the time.
+	PassSelCond = 0.5
+	PassMove    = 1.0
+	// PassSel: each SEL input is selected about half the time.
+	PassSel  = 0.5
+	PassIAdd = 1.0
+	PassXor  = 1.0
+	// PassAndOr: AND/OR mask roughly half the input bits (scalar guess;
+	// bitflow proves the exact mask when the other operand is known).
+	PassAndOr = 0.5
+	// PassShift: bits shifted out are lost (bitflow proves which when
+	// the shift amount is a known constant).
+	PassShift = 0.7
+	// PassMinMax: only the selected operand survives.
+	PassMinMax = 0.5
+	PassIMul   = 0.8
+	// PassFAdd: alignment/rounding mask low-order FP bits.
+	PassFAdd = 0.75
+	PassFMul = 0.7
+	// PassHAdd/HMul: FP16 reads 16 of 32 register bits, then rounds.
+	// bitflow derives the same 0.375 = 0.5 (structural low half) x 0.75
+	// (rounding) from isa.SrcValueBits plus the 16-bit FP profile.
+	PassHAdd = 0.375
+	PassHMul = 0.35
+	// PassMMA: wide dot-products propagate most input faults.
+	PassMMA = 0.8
+	// PassMufu: transcendentals compress their domain.
+	PassMufu = 0.5
+	// PassCvt: width conversion truncates or renormalizes.
+	PassCvt     = 0.6
+	PassDefault = 0.8
+)
+
+// Bit-resolved address-sink split. Low-order address bits move an
+// access within its (page-aligned) allocation — wrong data, SDC-leaning
+// — while high-order bits throw it out of bounds — DUE-leaning. The
+// width-mean of the split stays near the scalar SinkAddr pair.
+const (
+	// AddrPageBits: address bits below this index stay inside a
+	// 4 KiB-page-sized region around the intended location.
+	AddrPageBits = 12
+	AddrLowSDC   = 0.55
+	AddrLowDUE   = 0.35
+	AddrHighSDC  = 0.35
+	AddrHighDUE  = 0.55
+)
+
+// Floating-point per-bit propagation profile, by region of the IEEE
+// layout: low mantissa bits are absorbed by alignment/rounding, high
+// mantissa bits mostly survive, exponent bits rescale the whole value,
+// and the sign bit flips it outright. fpBitFactor maps a bit position
+// to its region for 16/32/64-bit formats; the profile width-means sit
+// near PassFAdd so the scalar and bit estimators stay comparable.
+const (
+	FPMantLowFactor  = 0.55
+	FPMantHighFactor = 0.8
+	FPExpFactor      = 0.95
+	FPSignFactor     = 0.9
+	// FPMulScale derates multiplies relative to adds, matching the
+	// PassFMul / PassFAdd ratio.
+	FPMulScale = 0.93
+)
+
+// fpBitFactor returns the per-bit FP propagation base factor for a
+// value of the given IEEE width (16, 32, or 64). Bits outside the
+// format fall back to the low-mantissa factor.
+func fpBitFactor(width, bit int) float64 {
+	var mantLow, exp, sign int
+	switch width {
+	case 16:
+		mantLow, exp, sign = 5, 10, 15 // 1-5-10
+	case 64:
+		mantLow, exp, sign = 29, 52, 63 // 1-11-52
+	default:
+		mantLow, exp, sign = 12, 23, 31 // 1-8-23
+	}
+	switch {
+	case bit == sign:
+		return FPSignFactor
+	case bit >= exp:
+		return FPExpFactor
+	case bit >= mantLow:
+		return FPMantHighFactor
+	case bit >= 0:
+		return FPMantLowFactor
+	}
+	return FPMantLowFactor
+}
+
+// Integer per-bit propagation profile. Value-bit injections into the
+// low-order bits of integer data are disproportionately masked
+// downstream — a flipped sub-word bit of an address still lands in the
+// same element after scaling and bounds clamping, and low key bits
+// rarely change a compare outcome — so integer ALU consumers (add,
+// multiply-add, min/max, select) attenuate the lowest IntLowBits of the
+// value they read. Copies, logic ops, and stores stay exact: a copied
+// or stored bit propagates architecturally bit-for-bit. This is the
+// integer analogue of the FP mantissa profile, and the principal place
+// the bit-resolved estimator departs from the scalar one on
+// integer-dominated kernels (the departure the injection
+// cross-validation checks is in the measured direction).
+const (
+	IntLowBits      = 8
+	IntLowBitFactor = 0.85
+)
+
+// intBitFactor returns the per-bit integer attenuation for a flipped
+// bit at the given position of the consumed value window.
+func intBitFactor(bit int) float64 {
+	if bit < IntLowBits {
+		return IntLowBitFactor
+	}
+	return 1
+}
+
+// Narrowing-conversion bit factors: input bits the conversion drops are
+// mostly absorbed by rounding; surviving bits carry through strongly.
+const (
+	CvtDropFactor = 0.2
+	CvtKeepFactor = 0.85
+)
+
+// DeadBitSpanMin is the smallest contiguous run of provably-masked
+// destination bits the dead-bit-span lint reports. Shorter runs are
+// routine (rounding slack, small masks) and would drown the report.
+const DeadBitSpanMin = 12

@@ -38,6 +38,8 @@ type deviceStudyJSON struct {
 	Units          *fit.UnitFITs
 	Profiles       map[string]*profiler.CodeProfile
 	AVF            map[string]map[string]*faultinj.Result
+	StaticAVF      map[string]*analysis.Estimate
+	ScalarAVF      map[string]*analysis.Estimate
 	Beam           []beamEntryJSON
 	Predictions    []predEntryJSON
 	Comparisons    []fit.Comparison
@@ -67,6 +69,8 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 		Units:          ds.Units,
 		Profiles:       ds.Profiles,
 		AVF:            map[string]map[string]*faultinj.Result{},
+		StaticAVF:      ds.StaticAVF,
+		ScalarAVF:      ds.ScalarAVF,
 		StaticHidden:   ds.StaticHidden,
 		MeasuredHidden: ds.MeasuredHidden,
 		DUE:            map[string]float64{},
@@ -153,6 +157,8 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 		Units:                     in.Units,
 		Profiles:                  in.Profiles,
 		AVF:                       map[faultinj.Tool]map[string]*faultinj.Result{},
+		StaticAVF:                 in.StaticAVF,
+		ScalarAVF:                 in.ScalarAVF,
 		Beam:                      map[BeamKey]*beam.Result{},
 		Predictions:               map[PredKey]fit.Prediction{},
 		Comparisons:               in.Comparisons,
@@ -161,6 +167,12 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 		DUEUnderestimate:          map[bool]float64{},
 		DUECorrectedUnderestimate: map[bool]float64{},
 		DUEMeasuredUnderestimate:  map[bool]float64{},
+	}
+	if ds.StaticAVF == nil {
+		ds.StaticAVF = map[string]*analysis.Estimate{}
+	}
+	if ds.ScalarAVF == nil {
+		ds.ScalarAVF = map[string]*analysis.Estimate{}
 	}
 	if ds.StaticHidden == nil {
 		ds.StaticHidden = map[string]*analysis.HiddenEstimate{}

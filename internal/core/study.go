@@ -211,6 +211,14 @@ type DeviceStudy struct {
 	Predictions map[PredKey]fit.Prediction
 	Comparisons []fit.Comparison
 
+	// StaticAVF / ScalarAVF are the per-code injection-free static AVF
+	// estimates over the NVBitFI site population: the bit-resolved
+	// estimator (launch-geometry-seeded known-bits/range analysis) and
+	// the legacy scalar one. The cross-validation artifacts compare
+	// both against AVF[NVBitFI].
+	StaticAVF map[string]*analysis.Estimate
+	ScalarAVF map[string]*analysis.Estimate
+
 	// StaticHidden is the per-code static hidden-resource DUE estimate
 	// (internal/analysis), the correction term the injectors cannot
 	// supply. MeasuredHidden is its measured-residency counterpart,
@@ -273,6 +281,8 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		MicroBeam:                 make(map[string]*beam.Result),
 		Profiles:                  make(map[string]*profiler.CodeProfile),
 		AVF:                       make(map[faultinj.Tool]map[string]*faultinj.Result),
+		StaticAVF:                 make(map[string]*analysis.Estimate),
+		ScalarAVF:                 make(map[string]*analysis.Estimate),
 		Beam:                      make(map[BeamKey]*beam.Result),
 		Predictions:               make(map[PredKey]fit.Prediction),
 		StaticHidden:              make(map[string]*analysis.HiddenEstimate),
@@ -426,8 +436,24 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		if err != nil {
 			return fmt.Errorf("core: %s on %s: %w", j.tool, j.e.Name, err)
 		}
+		// The static counterparts of the NVBitFI campaign: deterministic,
+		// injection-free, and the other side of the cross-validation
+		// artifacts. Computed here because the runner is already built.
+		var st, sc *analysis.Estimate
+		if j.tool == faultinj.NVBitFI {
+			if st, err = faultinj.StaticEstimate(r, j.tool); err != nil {
+				return fmt.Errorf("core: static estimate %s: %w", j.e.Name, err)
+			}
+			if sc, err = faultinj.StaticEstimateScalar(r, j.tool); err != nil {
+				return fmt.Errorf("core: scalar estimate %s: %w", j.e.Name, err)
+			}
+		}
 		mu.Lock()
 		ds.AVF[j.tool][j.e.Name] = res
+		if st != nil {
+			ds.StaticAVF[j.e.Name] = st
+			ds.ScalarAVF[j.e.Name] = sc
+		}
 		mu.Unlock()
 		opts.Progress("%s %-10s: AVF SDC %.3f DUE %.3f (n=%d)",
 			j.tool, j.e.Name, res.SDCAVF.P, res.DUEAVF.P, res.Injected)

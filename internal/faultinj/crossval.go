@@ -51,9 +51,24 @@ func (r *Result) UnmaskedAVF() float64 {
 // StaticEstimate computes the injection-free static AVF over the site
 // population the tool would inject into, weighting each static site by
 // the golden dynamic profile (lane-ops of its opcode spread over the
-// opcode's static instances). Multi-launch workloads combine per-launch
-// estimates weighted by each launch's injectable lane-ops.
+// opcode's static instances). The estimator is the bit-resolved one:
+// each launch is analyzed with its own launch geometry as range-seeding
+// bounds, and the per-bit-position and per-band profiles are combined
+// across launches alongside the scalar aggregates. Multi-launch
+// workloads combine per-launch estimates weighted by each launch's
+// injectable lane-ops.
 func StaticEstimate(r *kernels.Runner, tool Tool) (*analysis.Estimate, error) {
+	return staticEstimate(r, tool, false)
+}
+
+// StaticEstimateScalar is StaticEstimate with the legacy scalar ACE
+// estimator, kept so the bit-resolved model's residual against
+// injection can be compared against the scalar baseline.
+func StaticEstimateScalar(r *kernels.Runner, tool Tool) (*analysis.Estimate, error) {
+	return staticEstimate(r, tool, true)
+}
+
+func staticEstimate(r *kernels.Runner, tool Tool, scalar bool) (*analysis.Estimate, error) {
 	filter := func(op isa.Op) bool { return opInjectable(tool, op) }
 	inst := r.Instance()
 	profiles := r.GoldenProfiles()
@@ -62,12 +77,19 @@ func StaticEstimate(r *kernels.Runner, tool Tool) (*analysis.Estimate, error) {
 			r.Name, len(profiles), len(inst.Launches))
 	}
 
-	combined := &analysis.Estimate{Name: r.Name, PerClass: make(map[isa.Class]*analysis.ClassEstimate)}
+	combined := &analysis.Estimate{Name: r.Name, Scalar: scalar, PerClass: make(map[isa.Class]*analysis.ClassEstimate)}
 	var tw, sdcW, dueW, deadW float64
 	for i, l := range inst.Launches {
-		a := analysis.Analyze(l.Prog)
+		a := analysis.AnalyzeLaunch(l.Prog, &analysis.Bounds{
+			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
+		})
 		w := a.OpWeights(profiles[i].PerOpLane)
-		e := a.Estimate(w, filter)
+		var e *analysis.Estimate
+		if scalar {
+			e = a.ScalarEstimate(w, filter)
+		} else {
+			e = a.Estimate(w, filter)
+		}
 		var lw float64
 		for _, ce := range e.PerClass {
 			lw += ce.Weight
@@ -80,6 +102,16 @@ func StaticEstimate(r *kernels.Runner, tool Tool) (*analysis.Estimate, error) {
 		sdcW += lw * e.SDC
 		dueW += lw * e.DUE
 		deadW += lw * e.DeadFraction
+		for b := 0; b < 64; b++ {
+			combined.BitSDC[b] += e.BitWeight[b] * e.BitSDC[b]
+			combined.BitDUE[b] += e.BitWeight[b] * e.BitDUE[b]
+			combined.BitWeight[b] += e.BitWeight[b]
+		}
+		for k := range combined.Band {
+			combined.Band[k].SDC += e.Band[k].Weight * e.Band[k].SDC
+			combined.Band[k].DUE += e.Band[k].Weight * e.Band[k].DUE
+			combined.Band[k].Weight += e.Band[k].Weight
+		}
 		for class, ce := range e.PerClass {
 			cc := combined.PerClass[class]
 			if cc == nil {
@@ -98,6 +130,18 @@ func StaticEstimate(r *kernels.Runner, tool Tool) (*analysis.Estimate, error) {
 	combined.SDC = sdcW / tw
 	combined.DUE = dueW / tw
 	combined.DeadFraction = deadW / tw
+	for b := 0; b < 64; b++ {
+		if combined.BitWeight[b] > 0 {
+			combined.BitSDC[b] /= combined.BitWeight[b]
+			combined.BitDUE[b] /= combined.BitWeight[b]
+		}
+	}
+	for k := range combined.Band {
+		if combined.Band[k].Weight > 0 {
+			combined.Band[k].SDC /= combined.Band[k].Weight
+			combined.Band[k].DUE /= combined.Band[k].Weight
+		}
+	}
 	for _, cc := range combined.PerClass {
 		if cc.Weight > 0 {
 			cc.SDC /= cc.Weight
@@ -107,13 +151,49 @@ func StaticEstimate(r *kernels.Runner, tool Tool) (*analysis.Estimate, error) {
 	return combined, nil
 }
 
-// CrossValidation pairs the two AVF views of one workload.
+// CrossValidation pairs the two AVF views of one workload, carrying
+// both static estimators (bit-resolved and legacy scalar) so their
+// residuals against the same campaign can be compared.
 type CrossValidation struct {
 	Name    string
 	Tool    Tool
 	Device  string
-	Static  *analysis.Estimate
+	Static  *analysis.Estimate // bit-resolved estimator
+	Scalar  *analysis.Estimate // legacy scalar estimator
 	Dynamic *Result
+}
+
+// BandAgreement is one row of the per-bit-band static-vs-injection
+// agreement table: the static unmasked estimate for the band against
+// the measured unmasked AVF of the fired trials whose flipped bit fell
+// in it.
+type BandAgreement struct {
+	Band     analysis.BitBand
+	Static   float64
+	Dynamic  float64
+	Injected int // fired value-bit trials attributed to the band
+}
+
+// Delta is static minus dynamic for the band.
+func (b *BandAgreement) Delta() float64 { return b.Static - b.Dynamic }
+
+// BandTable builds the per-band agreement table. Bands with no static
+// weight and no fired trials still appear, zero-valued, so the table
+// shape is stable.
+func (c *CrossValidation) BandTable() []BandAgreement {
+	out := make([]BandAgreement, analysis.BandCount)
+	for k := range out {
+		band := analysis.BitBand(k)
+		out[k].Band = band
+		out[k].Static = c.Static.Band[k].Unmasked()
+		if ba := c.Dynamic.ByBand[band]; ba != nil {
+			out[k].Injected = ba.Injected
+			if ba.Injected > 0 {
+				out[k].Dynamic = float64(ba.SDC+ba.DUE) / float64(ba.Injected)
+			}
+		}
+	}
+	return out
 }
 
 // StaticUnmasked is the static propagation estimate (SDC + DUE).
@@ -150,8 +230,12 @@ func CrossValidate(cfg Config, name string, build kernels.Builder, dev *device.D
 	if err != nil {
 		return nil, err
 	}
+	sc, err := StaticEstimateScalar(runner, cfg.Tool)
+	if err != nil {
+		return nil, err
+	}
 	return &CrossValidation{
 		Name: name, Tool: cfg.Tool, Device: dev.Name,
-		Static: st, Dynamic: dyn,
+		Static: st, Scalar: sc, Dynamic: dyn,
 	}, nil
 }

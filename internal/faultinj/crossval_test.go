@@ -8,18 +8,21 @@ import (
 	"gpurel/internal/suite"
 )
 
-// TestCrossValidateAgreement checks that the static ACE-based AVF
-// estimate and a dynamic NVBitFI campaign agree within the documented
-// tolerance on several kernels. The four kernels cover a compute-dense
-// matrix multiply, a dependency-chained DP kernel, a divergent graph
-// kernel, and an iterative label-propagation kernel.
+// TestCrossValidateAgreement checks, over every workload in
+// CrossValKernels, that the bit-resolved static AVF estimate and a
+// dynamic NVBitFI campaign agree within the documented tolerance, and
+// that the bit-resolved estimator's residual against injection is
+// strictly tighter than the legacy scalar estimator's on at least half
+// of the workloads — the acceptance bar for carrying per-bit ACE
+// vectors instead of scalars.
 func TestCrossValidateAgreement(t *testing.T) {
 	if testing.Short() {
-		t.Skip("four 400-fault campaigns; skipped in -short (the race tier)")
+		t.Skip("nine 400-fault campaigns; skipped in -short (the race tier)")
 	}
 	dev := device.K40c()
 	cfg := Config{Tool: NVBitFI, TotalFaults: 400, Seed: 7}
-	for _, name := range []string{"FMXM", "NW", "BFS", "CCL"} {
+	tightened, total := 0, 0
+	for _, name := range CrossValKernels {
 		e, err := suite.Find(suite.Kepler(), name)
 		if err != nil {
 			t.Fatal(err)
@@ -36,7 +39,38 @@ func TestCrossValidateAgreement(t *testing.T) {
 			t.Errorf("%s: degenerate cross-validation: %d static sites, %d injections",
 				name, cv.Static.Sites, cv.Dynamic.Injected)
 		}
+		if cv.Scalar == nil {
+			t.Fatalf("%s: no scalar estimate", name)
+		}
+		bitRes := abs(cv.Delta())
+		scalRes := abs(cv.Scalar.Unmasked() - cv.DynamicUnmasked())
+		total++
+		if bitRes < scalRes {
+			tightened++
+		}
+		t.Logf("%-10s dyn %.3f bit %.3f (res %.3f) scalar %.3f (res %.3f)",
+			name, cv.DynamicUnmasked(), cv.StaticUnmasked(), bitRes, cv.Scalar.Unmasked(), scalRes)
+
+		// The band table must attribute every fired value-bit trial.
+		fired := 0
+		for _, row := range cv.BandTable() {
+			fired += row.Injected
+		}
+		if fired == 0 {
+			t.Errorf("%s: no fired trials attributed to any bit band", name)
+		}
 	}
+	if 2*tightened < total {
+		t.Errorf("bit-resolved estimator tightened the injection residual on %d of %d workloads, want at least half",
+			tightened, total)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // TestStaticEstimateDeterministic pins that the static path has no

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 
+	"gpurel/internal/analysis"
 	"gpurel/internal/asm"
 	"gpurel/internal/device"
 	"gpurel/internal/isa"
@@ -98,6 +99,19 @@ type Config struct {
 	Seed uint64
 }
 
+// BandAVF is the per-bit-band outcome of the campaign's value-bit
+// injections. Each fired trial is attributed to the width-relative band
+// (analysis.BandOf) of the bit the simulator actually flipped — the
+// dynamic counterpart of the static estimator's Band profile. Trials
+// whose trigger was never reached carry no bit and are excluded.
+type BandAVF struct {
+	Injected int
+	SDC      int
+	DUE      int
+	SDCAVF   stats.Proportion
+	DUEAVF   stats.Proportion
+}
+
 // ClassAVF is the per-instruction-class outcome of a campaign: the
 // AVF(INST_i) terms of Equation 2.
 type ClassAVF struct {
@@ -128,6 +142,7 @@ type Result struct {
 	PerClass map[isa.Class]*ClassAVF
 	PerMode  map[Mode]int
 	ByMode   map[Mode]*ModeAVF
+	ByBand   map[analysis.BitBand]*BandAVF
 }
 
 // injectableClasses lists the classes SASSIFI campaigns stratify over.
@@ -200,6 +215,7 @@ func RunWithRunner(cfg Config, runner *kernels.Runner) (*Result, error) {
 		PerClass: make(map[isa.Class]*ClassAVF),
 		PerMode:  make(map[Mode]int),
 		ByMode:   make(map[Mode]*ModeAVF),
+		ByBand:   make(map[analysis.BitBand]*BandAVF),
 	}
 	outcomes, err := runPlans(cfg, runner, plans)
 	if err != nil {
@@ -220,19 +236,34 @@ func RunWithRunner(cfg Config, runner *kernels.Runner) (*Result, error) {
 			res.ByMode[p.mode] = ma
 		}
 		ma.Injected++
+		var ba *BandAVF
+		if p.fault.Kind == sim.FaultValueBit && p.fault.FiredWidth > 0 {
+			band := analysis.BandOf(p.fault.FiredBit, p.fault.FiredWidth)
+			ba = res.ByBand[band]
+			if ba == nil {
+				ba = &BandAVF{}
+				res.ByBand[band] = ba
+			}
+			ba.Injected++
+		}
 		switch outcomes[i] {
 		case kernels.SDC:
 			res.SDC++
 			ca.SDC++
 			ma.SDC++
+			if ba != nil {
+				ba.SDC++
+			}
 		case kernels.DUE:
 			res.DUE++
 			ca.DUE++
 			ma.DUE++
+			if ba != nil {
+				ba.DUE++
+			}
 		default:
 			res.Masked++
 			ca.Masked++
-			_ = ma
 		}
 	}
 	res.SDCAVF = stats.NewProportion(res.SDC, res.Injected)
@@ -244,6 +275,10 @@ func RunWithRunner(cfg Config, runner *kernels.Runner) (*Result, error) {
 	for _, ma := range res.ByMode {
 		ma.SDCAVF = stats.NewProportion(ma.SDC, ma.Injected)
 		ma.DUEAVF = stats.NewProportion(ma.DUE, ma.Injected)
+	}
+	for _, ba := range res.ByBand {
+		ba.SDCAVF = stats.NewProportion(ba.SDC, ba.Injected)
+		ba.DUEAVF = stats.NewProportion(ba.DUE, ba.Injected)
 	}
 	return res, nil
 }

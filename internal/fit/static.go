@@ -14,7 +14,12 @@ import (
 // analysis.Estimate into the faultinj.Result form Predict consumes, so
 // the two AVF sources are drop-in interchangeable and their predictions
 // directly comparable (the faultinj cross-validation quantifies how far
-// the sources themselves diverge).
+// the sources themselves diverge). An estimate from Result.Estimate or
+// faultinj.StaticEstimate is bit-resolved — its SDC/DUE are the
+// destination-width means of the per-bit ACE vectors, matching an
+// injector that flips a uniformly random destination bit — so the
+// prediction inherits the bit-level masking proofs with no change here;
+// pass a ScalarEstimate to predict from the legacy scalar model.
 
 // StaticAVFResult converts a static estimate into a synthetic campaign
 // result. The proportions carry only point estimates: no faults were

@@ -98,6 +98,30 @@ func (in *Instr) DstRegs() int {
 	}
 }
 
+// DstBits returns the architectural width in bits of the GPR span the
+// instruction writes (0 when it writes none). F16 results occupy a full
+// 32-bit register — the high half is forced to zero, not unwritten — so
+// half-precision producers still report 32.
+func (in *Instr) DstBits() int { return 32 * in.DstRegs() }
+
+// SrcValueBits returns how many low-order bits of each source register
+// the instruction reads as value input for the given operand slot: 16
+// for the packed-half family and F16-sourced conversions (the execution
+// units read only the low half of the register), 32 otherwise. Spans
+// wider than one register (F64 pairs, MMA fragments) read 32 bits of
+// every register in the span.
+func (in *Instr) SrcValueBits(slot int) int {
+	switch in.Op {
+	case OpHADD, OpHMUL, OpHFMA, OpHSETP:
+		return 16
+	case OpF2F:
+		if slot == 0 && in.CvtFrom == F16 {
+			return 16
+		}
+	}
+	return 32
+}
+
 // SrcRegSpans returns the (base, count) register spans the instruction
 // reads. It accounts for F64 pairs, wide stores, and MMA fragments.
 func (in *Instr) SrcRegSpans() [][2]Reg {

@@ -403,6 +403,10 @@ func Full(ds *core.DeviceStudy, csv bool) string {
 	b.WriteString(DUEGapTable(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(DUETable(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(CrossValTable(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(StudyBitBand(ds, csv))
 	return b.String()
 }
 
@@ -438,30 +442,93 @@ func Devices(s *core.Study) []*core.DeviceStudy {
 
 // CrossValidation renders the static-versus-injection AVF comparison
 // emitted by `gpurel-lint --cross-validate`: one row per workload with
-// both unmasked AVF views, the delta, and whether it sits inside the
-// documented tolerance.
+// both unmasked AVF views (bit-resolved and, when present, the legacy
+// scalar estimator), the deltas, and whether the bit-resolved view sits
+// inside the documented tolerance.
 func CrossValidation(cvs []*faultinj.CrossValidation, csv bool) string {
 	t := &table{header: []string{
 		"code", "tool", "static SDC", "static DUE", "static unmasked",
-		"dyn SDC", "dyn DUE", "dyn unmasked", "delta", "within tol", "faults"}}
+		"scalar unmasked", "dyn SDC", "dyn DUE", "dyn unmasked",
+		"delta", "scalar delta", "within tol", "faults"}}
 	for _, cv := range cvs {
 		agree := "yes"
 		if !cv.Agrees() {
 			agree = "NO"
 		}
+		scalarUn, scalarDelta := "-", "-"
+		if cv.Scalar != nil {
+			scalarUn = fmt.Sprintf("%.3f", cv.Scalar.Unmasked())
+			scalarDelta = fmt.Sprintf("%+.3f", cv.Scalar.Unmasked()-cv.DynamicUnmasked())
+		}
 		t.add(cv.Name, cv.Tool.String(),
 			fmt.Sprintf("%.3f", cv.Static.SDC),
 			fmt.Sprintf("%.3f", cv.Static.DUE),
 			fmt.Sprintf("%.3f", cv.StaticUnmasked()),
+			scalarUn,
 			fmt.Sprintf("%.3f", cv.Dynamic.SDCAVF.P),
 			fmt.Sprintf("%.3f", cv.Dynamic.DUEAVF.P),
 			fmt.Sprintf("%.3f", cv.DynamicUnmasked()),
 			fmt.Sprintf("%+.3f", cv.Delta()),
+			scalarDelta,
 			agree,
 			fmt.Sprintf("%d", cv.Dynamic.Injected))
 	}
 	return finish(t, csv, fmt.Sprintf(
 		"Static vs injection AVF (tolerance ±%.2f)", faultinj.CrossValTolerance))
+}
+
+// BitBandTable renders the per-bit-band agreement tables: for each
+// workload, the bit-resolved static unmasked estimate per width-
+// relative band against the measured unmasked AVF of the fired
+// value-bit trials landing in that band.
+func BitBandTable(cvs []*faultinj.CrossValidation, csv bool) string {
+	t := &table{header: []string{
+		"code", "tool", "band", "static unmasked", "dyn unmasked", "delta", "faults"}}
+	for _, cv := range cvs {
+		for _, row := range cv.BandTable() {
+			t.add(cv.Name, cv.Tool.String(), row.Band.String(),
+				fmt.Sprintf("%.3f", row.Static),
+				fmt.Sprintf("%.3f", row.Dynamic),
+				fmt.Sprintf("%+.3f", row.Delta()),
+				fmt.Sprintf("%d", row.Injected))
+		}
+	}
+	return finish(t, csv,
+		"Static vs injection AVF by bit band (low/mid/high thirds + sign of the destination window)")
+}
+
+// studyCrossVals pairs each NVBitFI campaign stored in a device study
+// with its persisted static estimates, in sorted code order so the
+// rendered artifact is byte-stable.
+func studyCrossVals(ds *core.DeviceStudy) []*faultinj.CrossValidation {
+	byCode := ds.AVF[faultinj.NVBitFI]
+	var names []string
+	for name := range byCode {
+		if ds.StaticAVF[name] != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	cvs := make([]*faultinj.CrossValidation, 0, len(names))
+	for _, name := range names {
+		cvs = append(cvs, &faultinj.CrossValidation{
+			Name: name, Tool: faultinj.NVBitFI, Device: ds.Dev.Name,
+			Static: ds.StaticAVF[name], Scalar: ds.ScalarAVF[name],
+			Dynamic: byCode[name],
+		})
+	}
+	return cvs
+}
+
+// CrossValTable renders the study's static-vs-injection table from the
+// estimates and campaigns the study already holds (no extra runs).
+func CrossValTable(ds *core.DeviceStudy, csv bool) string {
+	return CrossValidation(studyCrossVals(ds), csv)
+}
+
+// StudyBitBand renders the study's per-bit-band agreement table.
+func StudyBitBand(ds *core.DeviceStudy, csv bool) string {
+	return BitBandTable(studyCrossVals(ds), csv)
 }
 
 // HiddenCrossValidation renders the static- and measured-versus-beam

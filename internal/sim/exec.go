@@ -83,6 +83,7 @@ func (e *engine) writeReg(regs []uint32, dst isa.Reg, v uint32, faulted bool) {
 		switch e.fault.Kind {
 		case FaultValueBit:
 			v ^= 1 << (e.fault.Bit & 31)
+			e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
 		case FaultRegIndex:
 			// The result lands in a corrupted destination register.
 			alt := (int(dst) ^ (1 << (e.fault.Bit % 5))) % len(regs)
@@ -100,6 +101,7 @@ func (e *engine) writeReg(regs []uint32, dst isa.Reg, v uint32, faulted bool) {
 func (e *engine) writeReg64(regs []uint32, dst isa.Reg, v uint64, faulted bool) {
 	if faulted && e.fault != nil && e.fault.Kind == FaultValueBit {
 		v ^= 1 << (e.fault.Bit & 63)
+		e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&63, 64
 	}
 	regs[dst] = uint32(v)
 	regs[dst+1] = uint32(v >> 32)
@@ -411,6 +413,7 @@ func (e *engine) execMem(w *warpState, d *decoded, active uint32, faultLane int)
 			}
 			if faulted && e.fault.Kind == FaultValueBit {
 				sv ^= 1 << (e.fault.Bit & 31)
+				e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
 			}
 			if in.Wide {
 				err = e.glob.Store64(addr, sv, regs[v+1])
@@ -439,6 +442,7 @@ func (e *engine) execMem(w *warpState, d *decoded, active uint32, faultLane int)
 			}
 			if faulted && e.fault.Kind == FaultValueBit {
 				sv ^= 1 << (e.fault.Bit & 31)
+				e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
 			}
 			if in.Wide {
 				err = w.block.shared.Store64(addr, sv, regs[v+1])
@@ -509,6 +513,9 @@ func (e *engine) execMMA(w *warpState, d *decoded, active uint32, faultLane int)
 			if lane == faultLane && e.fault != nil && e.fault.Kind == FaultValueBit &&
 				slot == e.fault.Bit/32%8 {
 				out ^= 1 << (e.fault.Bit & 31)
+				// Bit is drawn from [0,64), so the flip lands in the
+				// first two fragment slots: a 64-bit window.
+				e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&63, 64
 			}
 			w.block.regs[base+lane][in.Dst+isa.Reg(slot)] = out
 		}

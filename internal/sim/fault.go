@@ -74,6 +74,15 @@ type FaultPlan struct {
 	// classifies it as Masked.
 	Fired bool
 
+	// FiredBit / FiredWidth record, for a fired FaultValueBit plan, the
+	// bit position actually flipped and the width of the destination
+	// window it landed in (32 for a single register or store value, 64
+	// for a register pair or the MMA fragment window). FiredWidth stays
+	// 0 until a flip is applied, letting campaigns attribute each trial
+	// to a bit position for per-band cross-validation.
+	FiredBit   int
+	FiredWidth int
+
 	// Landed reports, for storage faults, whether the flipped bit
 	// belonged to live (resident) state. A strike on a CTA that is not
 	// resident hits dead silicon and is masked by construction.

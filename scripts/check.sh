@@ -5,6 +5,7 @@
 #   scripts/check.sh full       tier 2: tier 1 + gofmt + go vet + lint gate + race detector
 #   scripts/check.sh bench      substrate benchmarks (one iteration each; smoke, not timing)
 #   scripts/check.sh artifacts  golden-artifact drift gate: regenerate out/ and byte-diff
+#   scripts/check.sh crossval   static-vs-injection agreement gate + table export
 #
 # The race run executes the whole test suite a second time under
 # -race instrumentation; expect it to take several times longer than
@@ -27,6 +28,24 @@ if [ "${1:-}" = "bench" ]; then
     # at all (fault replays never sample).
     echo "== go test -run=^\$ -bench=BenchmarkSim -benchtime=1x ./..."
     go test -run='^$' -bench=BenchmarkSim -benchtime=1x ./...
+    echo "checks passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "crossval" ]; then
+    # Rerun the static-vs-injection cross-validation (scalar + bit-band
+    # tables, beam campaigns skipped) on both devices and fail if any
+    # CrossValKernels workload sits outside faultinj.CrossValTolerance —
+    # i.e. if a model change regressed a previously-agreeing kernel. The
+    # rendered tables land at crossval-table.txt (stable path;
+    # gitignored) so CI can upload them as a build artifact either way.
+    echo "== gpurel-lint -cross-validate -beam-trials 0 -crossval-gate"
+    if ! go run ./cmd/gpurel-lint -cross-validate -beam-trials 0 -crossval-gate >crossval-table.txt; then
+        cat crossval-table.txt
+        echo "CROSSVAL GATE: a workload's static AVF left the injection tolerance band (see above)"
+        exit 1
+    fi
+    cat crossval-table.txt
     echo "checks passed"
     exit 0
 fi
