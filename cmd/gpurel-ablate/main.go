@@ -5,6 +5,13 @@
 // memory term.
 //
 //	gpurel-ablate -device kepler -code FMXM -ecc=false
+//
+// With -opt-matrix it instead ablates the compiler: the full
+// optimization matrix (O0/O1/O2 plus unroll, copy-propagation, and
+// spill knobs) is injected and statically explained for the chosen
+// workload, and the sweep table is printed.
+//
+//	gpurel-ablate -device kepler -code NW -opt-matrix
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"gpurel/internal/kernels"
 	"gpurel/internal/microbench"
 	"gpurel/internal/profiler"
+	"gpurel/internal/report"
 	"gpurel/internal/stats"
 	"gpurel/internal/suite"
 )
@@ -31,6 +39,8 @@ func main() {
 	trials := flag.Int("trials", 300, "beam trials")
 	faults := flag.Int("faults", 400, "injection faults")
 	seed := flag.Uint64("seed", 1, "seed")
+	optMatrix := flag.Bool("opt-matrix", false, "sweep the optimization matrix for the workload instead of ablating model terms")
+	csv := flag.Bool("csv", false, "with -opt-matrix: emit CSV instead of the aligned table")
 	flag.Parse()
 
 	var dev *device.Device
@@ -45,6 +55,21 @@ func main() {
 	e, err := suite.Find(suite.ForDevice(dev), *code)
 	if err != nil {
 		fail(err)
+	}
+
+	if *optMatrix {
+		m, err := faultinj.RunOptMatrix(faultinj.OptMatrixConfig{
+			Faults: *faults, Seed: *seed,
+		}, e.Name, e.Build, dev, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(report.OptMatrixSweep([]*faultinj.OptMatrix{m}, *csv))
+		if !m.OrderingAgrees() {
+			_, d := m.OrderingAgreement(faultinj.OptOrderingEps)
+			fail(fmt.Errorf("opt-matrix: static ordering contradicts injection on %s (%d discordant pairs)", e.Name, d))
+		}
+		return
 	}
 
 	// Gather the inputs: profile, AVF, micro-benchmark unit FITs, beam.

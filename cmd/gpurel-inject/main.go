@@ -16,6 +16,7 @@ import (
 	"gpurel/internal/core"
 	"gpurel/internal/device"
 	"gpurel/internal/faultinj"
+	"gpurel/internal/isa"
 	"gpurel/internal/report"
 	"gpurel/internal/suite"
 )
@@ -81,20 +82,18 @@ func main() {
 	// Per-class detail for single-code runs.
 	if *code != "" {
 		if res, ok := ds.AVF[tool][*code]; ok {
-			var classes []string
+			classes := make([]isa.Class, 0, len(res.PerClass))
 			for c := range res.PerClass {
-				classes = append(classes, c.String())
+				classes = append(classes, c)
 			}
-			sort.Strings(classes)
+			sort.Slice(classes, func(i, j int) bool {
+				return classes[i].String() < classes[j].String()
+			})
 			fmt.Println("\nper-class AVFs:")
-			for _, cn := range classes {
-				for c, ca := range res.PerClass {
-					if c.String() != cn {
-						continue
-					}
-					fmt.Printf("  %-7s n=%-5d SDC %.3f DUE %.3f\n",
-						cn, ca.Injected, ca.SDCAVF.P, ca.DUEAVF.P)
-				}
+			for _, c := range classes {
+				ca := res.PerClass[c]
+				fmt.Printf("  %-7s n=%-5d SDC %.3f DUE %.3f\n",
+					c.String(), ca.Injected, ca.SDCAVF.P, ca.DUEAVF.P)
 			}
 		}
 	}

@@ -12,6 +12,10 @@
 //	gpurel-lint -cross-validate -beam-trials 0 -crossval-gate
 //	                                            agreement gate (CI): exit 1 on
 //	                                            any out-of-tolerance workload
+//	gpurel-lint -opt-gate                       optimization-matrix ordering
+//	                                            gate (CI): exit 1 when static
+//	                                            and injection AVF orderings
+//	                                            disagree on any matrix
 //
 // Exit status is 1 when any Error-severity finding exists (warnings do
 // not gate), 2 on usage or build failures.
@@ -58,7 +62,7 @@ type progReport struct {
 
 func main() {
 	devName := flag.String("device", "all", "device: kepler, volta, or all")
-	optName := flag.String("opt", "both", "pipeline: 1 (legacy), 2 (modern), or both")
+	optName := flag.String("opt", "both", "configuration: an asm.ParseOptLevel string (O0, O1, O2, O2+u4, O2+spill, ...), \"both\" (O1+O2), or \"matrix\" (the full set)")
 	code := flag.String("code", "", "lint a single workload (default: all, plus micro-benchmarks)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	verbose := flag.Bool("v", false, "list warnings (errors are always listed)")
@@ -70,6 +74,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit the -cross-validate tables as CSV")
 	measuredGate := flag.Bool("measured-gate", false, "with -cross-validate: exit 1 unless every measured-residency hidden estimate agrees with the beam within the tighter tolerance")
 	crossvalGate := flag.Bool("crossval-gate", false, "with -cross-validate: exit 1 unless every workload's bit-resolved static AVF agrees with injection within the tolerance")
+	optGate := flag.Bool("opt-gate", false, "run the optimization-matrix sweep and exit 1 unless the static AVF ordering matches injection's on every matrix")
 	flag.Parse()
 
 	if *selftest {
@@ -83,6 +88,10 @@ func main() {
 	opts, err := pickOpts(*optName)
 	if err != nil {
 		fail(err)
+	}
+
+	if *optGate {
+		os.Exit(runOptGate(devs, *code, *faults, *seed, *csv))
 	}
 
 	if *crossVal {
@@ -111,7 +120,7 @@ func main() {
 						continue
 					}
 					seen[l.Prog.Name] = true
-					reports = append(reports, analyzeProg(dev.Name, e.Name, optLabel(opt), l.Prog))
+					reports = append(reports, analyzeProg(dev.Name, e.Name, opt.String(), l.Prog))
 				}
 			}
 			if *code == "" {
@@ -121,7 +130,7 @@ func main() {
 						fail(fmt.Errorf("building micro %s on %s: %w", m.Name, dev.Name, err))
 					}
 					for _, l := range inst.Launches {
-						reports = append(reports, analyzeProg(dev.Name, "micro:"+m.Name, optLabel(opt), l.Prog))
+						reports = append(reports, analyzeProg(dev.Name, "micro:"+m.Name, opt.String(), l.Prog))
 					}
 				}
 			}
@@ -168,7 +177,7 @@ func analyzeProg(dev, workload, opt string, p *isa.Program) progReport {
 func printText(reports []progReport, verbose bool) {
 	warnTotal, errTotal := 0, 0
 	for _, pr := range reports {
-		fmt.Printf("%-7s %-2s %-18s %-16s sites=%-3d sdc=%.3f due=%.3f dead=%.3f warn=%d err=%d\n",
+		fmt.Printf("%-7s %-8s %-18s %-16s sites=%-3d sdc=%.3f due=%.3f dead=%.3f warn=%d err=%d\n",
 			pr.Device, pr.Opt, pr.Workload, pr.Program,
 			pr.Sites, pr.SDC, pr.DUE, pr.Dead, len(pr.Warnings), len(pr.Errors))
 		for _, f := range pr.Errors {
@@ -328,13 +337,6 @@ func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int
 	return 0
 }
 
-func optLabel(opt asm.OptLevel) string {
-	if opt == asm.O1 {
-		return "O1"
-	}
-	return "O2"
-}
-
 func pickDevices(name string) ([]*device.Device, error) {
 	switch name {
 	case "kepler", "k40c":
@@ -348,17 +350,70 @@ func pickDevices(name string) ([]*device.Device, error) {
 	}
 }
 
+// pickOpts resolves the -opt flag: the legacy aliases, "matrix" for the
+// full configuration set, or any asm.ParseOptLevel configuration string
+// (O0, O2+u4, O2-cp+spill, ...).
 func pickOpts(name string) ([]asm.OptLevel, error) {
 	switch name {
-	case "1":
-		return []asm.OptLevel{asm.O1}, nil
-	case "2":
-		return []asm.OptLevel{asm.O2}, nil
 	case "both":
 		return []asm.OptLevel{asm.O1, asm.O2}, nil
-	default:
-		return nil, fmt.Errorf("unknown pipeline %q (want 1, 2, or both)", name)
+	case "matrix":
+		return asm.MatrixConfigs(), nil
 	}
+	opt, err := asm.ParseOptLevel(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown pipeline %q (want a configuration like O0/O2+u4/O2+spill, \"both\", or \"matrix\"): %w", name, err)
+	}
+	return []asm.OptLevel{opt}, nil
+}
+
+// runOptGate runs the optimization-matrix sweep over the cross-
+// validation workloads of each device and gates on ordering agreement:
+// the static per-configuration AVF ordering must not contradict the
+// injection campaign's on any matrix (no discordant pair at the
+// documented tie width, faultinj.OptOrderingEps).
+func runOptGate(devs []*device.Device, code string, faults int, seed uint64, csv bool) int {
+	var ms []*faultinj.OptMatrix
+	bad := 0
+	for _, dev := range devs {
+		all := suite.ForDevice(dev)
+		var entries []suite.Entry
+		if code != "" {
+			e, err := suite.Find(all, code)
+			if err != nil {
+				fail(err)
+			}
+			entries = []suite.Entry{e}
+		} else {
+			for _, name := range faultinj.CrossValKernels {
+				if e, err := suite.Find(all, name); err == nil {
+					entries = append(entries, e)
+				}
+			}
+		}
+		for _, e := range entries {
+			m, err := faultinj.RunOptMatrix(faultinj.OptMatrixConfig{
+				Faults: faults, Seed: seed,
+			}, e.Name, e.Build, dev, nil)
+			if err != nil {
+				fail(err)
+			}
+			ms = append(ms, m)
+			c, d := m.OrderingAgreement(faultinj.OptOrderingEps)
+			fmt.Fprintf(os.Stderr, "done %s on %s: %d concordant, %d discordant\n",
+				e.Name, dev.Name, c, d)
+			if !m.OrderingAgrees() {
+				fmt.Fprintf(os.Stderr, "opt-gate: %s on %s: static ordering contradicts injection (%d discordant pairs at eps %.2f)\n",
+					m.Name, m.Device, d, faultinj.OptOrderingEps)
+				bad++
+			}
+		}
+	}
+	fmt.Print(report.OptMatrixSweep(ms, csv))
+	if bad > 0 {
+		return 1
+	}
+	return 0
 }
 
 func fail(err error) {

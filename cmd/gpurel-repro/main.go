@@ -110,6 +110,8 @@ func writeAll(outDir string, study *core.Study) {
 		{"due", report.DUETable},
 		{"crossval", report.CrossValTable},
 		{"bitband", report.StudyBitBand},
+		{"opt", report.OptTable},
+		{"opt_pressure", report.OptPressureTable},
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)

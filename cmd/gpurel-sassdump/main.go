@@ -23,7 +23,7 @@ import (
 func main() {
 	devName := flag.String("device", "kepler", "device: kepler or volta")
 	code := flag.String("code", "FMXM", "workload to disassemble")
-	optName := flag.String("opt", "both", "compiler pipeline: O1, O2, or both")
+	optName := flag.String("opt", "both", "configuration: any asm.ParseOptLevel string (O0, O2+u4, O2+spill, ...), \"both\" (O1+O2), or \"matrix\" (the full set)")
 	bits := flag.Bool("bits", false, "annotate each instruction with destination/operand widths and the known-bits/range facts the analyzer derives")
 	flag.Parse()
 
@@ -45,12 +45,16 @@ func main() {
 
 	var opts []asm.OptLevel
 	switch *optName {
-	case "O1":
-		opts = []asm.OptLevel{asm.O1}
-	case "O2":
-		opts = []asm.OptLevel{asm.O2}
-	default:
+	case "both":
 		opts = []asm.OptLevel{asm.O1, asm.O2}
+	case "matrix":
+		opts = asm.MatrixConfigs()
+	default:
+		opt, err := asm.ParseOptLevel(*optName)
+		if err != nil {
+			fail(err)
+		}
+		opts = []asm.OptLevel{opt}
 	}
 	for _, opt := range opts {
 		inst, err := e.Build(dev, opt)

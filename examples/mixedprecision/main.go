@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"gpurel/internal/asm"
 	"gpurel/internal/beam"
@@ -43,7 +44,13 @@ func main() {
 		},
 	}
 
-	for fam, vs := range families {
+	fams := make([]string, 0, len(families))
+	for fam := range families {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		vs := families[fam]
 		fmt.Printf("%s on %s (ECC off, %d trials each):\n", fam, dev.Name, trials)
 		var prev float64
 		for _, v := range vs {

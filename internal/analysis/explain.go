@@ -1,0 +1,206 @@
+package analysis
+
+import "gpurel/internal/isa"
+
+// The optimization-matrix explainer: static per-configuration metrics
+// that account for *why* one compilation of a kernel is more or less
+// vulnerable than another. Each metric names a mechanism the paper's
+// §VI cross-section-vs-optimization discussion appeals to — register
+// residency time (live-range length), allocator pressure, spill-window
+// memory exposure, and raw ACE mass — so the opt_* artifact tables can
+// pair every measured AVF with the static quantity that explains its
+// movement across the matrix.
+
+// OptExplain summarizes one compiled program for the optimization
+// matrix. All weighted quantities use the same per-instruction weights
+// as Result.Estimate (nil: uniform static weighting).
+type OptExplain struct {
+	// Instrs / Regs are raw program size: instruction count and
+	// architectural register demand.
+	Instrs int `json:"instrs"`
+	Regs   int `json:"regs"`
+
+	// MeanLiveRange / MaxLiveRange measure register residency: the
+	// def-to-furthest-use distance (in instructions, loop-carried uses
+	// wrapping around the program) averaged / maximized over GPR
+	// definitions that have at least one consumer. Longer residency is
+	// a longer window in which a register-file upset lands on a live
+	// value.
+	MeanLiveRange float64 `json:"mean_live_range"`
+	MaxLiveRange  int     `json:"max_live_range"`
+
+	// MeanPressure / MaxPressure are the live-register counts after
+	// each reachable instruction: how much of the register file holds
+	// architecturally-live state at once.
+	MeanPressure float64 `json:"mean_pressure"`
+	MaxPressure  int     `json:"max_pressure"`
+
+	// SpillPairs counts STS→LDS round trips (same address register,
+	// same offset, value reloaded into the stored register) — the
+	// signature the register-pressure matrix variant emits.
+	// SpillExposure is the summed instruction distance of those
+	// windows: the cumulative time the spilled values sit in (ECC- or
+	// parity-protected, but addressably vulnerable) shared memory
+	// instead of the register file. MeanSpillGap = exposure / pairs.
+	SpillPairs    int     `json:"spill_pairs"`
+	SpillExposure int     `json:"spill_exposure"`
+	MeanSpillGap  float64 `json:"mean_spill_gap"`
+
+	// ACEMass is the weighted total of unmasked destination bits:
+	// Σ_site w(site) × Σ_bit (SDC+DUE). Unlike the AVF (a mean), the
+	// mass grows when unrolling replicates live computation — the
+	// static face of the paper's larger-code-larger-cross-section
+	// observation. DeadBitMass is the same sum over provably-dead bits.
+	ACEMass     float64 `json:"ace_mass"`
+	DeadBitMass float64 `json:"dead_bit_mass"`
+}
+
+// Explain computes the matrix explainer metrics for an analyzed
+// program. weights gives per-instruction site weights (nil: uniform),
+// matching Result.Estimate's convention.
+func (r *Result) Explain(weights []float64) *OptExplain {
+	e := &OptExplain{
+		Instrs: len(r.Prog.Instrs),
+		Regs:   r.Prog.NumRegs,
+	}
+
+	var spanSum, spanN int
+	for i := range r.Prog.Instrs {
+		if r.Prog.Instrs[i].DstRegs() == 0 || !r.reachable(i) {
+			continue
+		}
+		if s := r.liveSpan(i); s > 0 {
+			spanSum += s
+			spanN++
+			if s > e.MaxLiveRange {
+				e.MaxLiveRange = s
+			}
+		}
+	}
+	if spanN > 0 {
+		e.MeanLiveRange = float64(spanSum) / float64(spanN)
+	}
+
+	var pressSum, pressN int
+	for i := range r.Prog.Instrs {
+		if !r.reachable(i) {
+			continue
+		}
+		p := r.LiveOut[i].Count()
+		pressSum += p
+		pressN++
+		if p > e.MaxPressure {
+			e.MaxPressure = p
+		}
+	}
+	if pressN > 0 {
+		e.MeanPressure = float64(pressSum) / float64(pressN)
+	}
+
+	for _, sp := range spillPairs(r) {
+		e.SpillPairs++
+		e.SpillExposure += sp.load - sp.store
+	}
+	if e.SpillPairs > 0 {
+		e.MeanSpillGap = float64(e.SpillExposure) / float64(e.SpillPairs)
+	}
+
+	for i := range r.Prog.Instrs {
+		if r.Prog.Instrs[i].DstRegs() == 0 || !r.reachable(i) {
+			continue
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if w <= 0 {
+			continue
+		}
+		v := &r.ACEVec[i]
+		for b := 0; b < v.Width; b++ {
+			if u := v.Unmasked(b); u > aceEps {
+				e.ACEMass += w * u
+			} else {
+				e.DeadBitMass += w
+			}
+		}
+	}
+	return e
+}
+
+// reachable reports whether instruction i sits in a reachable block.
+func (r *Result) reachable(i int) bool {
+	b := r.CFG.BlockOf[i]
+	return b >= 0 && r.CFG.Reachable[b]
+}
+
+// liveSpan returns the distance from definition i to its furthest
+// consumer, in instructions. A use at a smaller index than the
+// definition is loop-carried: the value survives the back edge, so the
+// span wraps around the program end (len - i + use).
+func (r *Result) liveSpan(i int) int {
+	span := 0
+	n := len(r.Prog.Instrs)
+	for _, e := range r.DefUse.Out[i] {
+		d := e.Use - i
+		if d <= 0 {
+			d = n - i + e.Use
+		}
+		if d > span {
+			span = d
+		}
+	}
+	return span
+}
+
+// spillPair is one STS→LDS shared-memory round trip.
+type spillPair struct {
+	store, load int
+	reg         isa.Reg
+}
+
+// spillPairs finds shared-memory round trips: an STS whose stored value
+// is later reloaded by an LDS in the same block through the same
+// address register and offset, back into the stored register, with no
+// intervening rewrite of the address register. Cross-thread tile
+// exchanges (the legitimate use of shared memory) address the reload
+// differently and do not match.
+func spillPairs(r *Result) []spillPair {
+	p := r.Prog
+	var out []spillPair
+	for _, b := range r.CFG.Blocks {
+		if !r.CFG.Reachable[b.ID] {
+			continue
+		}
+		for i := b.Start; i < b.End; i++ {
+			st := &p.Instrs[i]
+			if st.Op != isa.OpSTS || st.Srcs[0].IsImm || !st.Srcs[1].IsImm {
+				continue
+			}
+			addr, off, val := st.Srcs[0].Reg, st.Srcs[1].Imm, st.Srcs[2].Reg
+			for j := i + 1; j < b.End; j++ {
+				ld := &p.Instrs[j]
+				if writesReg(&p.Instrs[j], addr) && ld.Op != isa.OpLDS {
+					break // address register rewritten: trail lost
+				}
+				if ld.Op == isa.OpSTS && !ld.Srcs[0].IsImm &&
+					ld.Srcs[0].Reg == addr && ld.Srcs[1].IsImm && ld.Srcs[1].Imm == off {
+					break // slot overwritten before any reload
+				}
+				if ld.Op == isa.OpLDS && !ld.Srcs[0].IsImm &&
+					ld.Srcs[0].Reg == addr && ld.Srcs[1].IsImm && ld.Srcs[1].Imm == off &&
+					ld.Dst == val {
+					out = append(out, spillPair{store: i, load: j, reg: val})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// writesReg reports whether the instruction writes the register.
+func writesReg(in *isa.Instr, r isa.Reg) bool {
+	n := isa.Reg(in.DstRegs())
+	return n > 0 && r >= in.Dst && r < in.Dst+n
+}

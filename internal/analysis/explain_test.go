@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"gpurel/internal/isa"
+)
+
+func sts(addr isa.Reg, off uint32, val isa.Reg) isa.Instr {
+	in := raw(isa.OpSTS, isa.RZ, addr)
+	in.Srcs[1] = isa.Imm(off)
+	in.Srcs[2] = isa.R(val)
+	return in
+}
+
+func lds(dst, addr isa.Reg, off uint32) isa.Instr {
+	in := raw(isa.OpLDS, dst, addr)
+	in.Srcs[1] = isa.Imm(off)
+	return in
+}
+
+func hasKind(fs []Finding, kind string) bool {
+	for _, f := range fs {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExplainStraightLine(t *testing.T) {
+	p := prog("explain",
+		movi(rr(0)),                        // 0: span 1 (used at 1)
+		wide(raw(isa.OpLDG, rr(2), rr(0))), // 1: R2,R3; span 1 (used at 2)
+		dadd(rr(4), rr(2), rr(2)),          // 2: R4,R5; span 2 (used at 4)
+		movi(rr(6)),                        // 3: span 1 (used at 4)
+		wide(stg(rr(6), rr(4))),            // 4
+		exit(),
+	)
+	r := Analyze(p)
+	if errs := r.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	e := r.Explain(nil)
+	if e.Instrs != 6 {
+		t.Errorf("Instrs = %d, want 6", e.Instrs)
+	}
+	if e.MaxLiveRange != 2 {
+		t.Errorf("MaxLiveRange = %d, want 2 (DADD def to wide store)", e.MaxLiveRange)
+	}
+	if want := 1.25; math.Abs(e.MeanLiveRange-want) > 1e-9 {
+		t.Errorf("MeanLiveRange = %g, want %g", e.MeanLiveRange, want)
+	}
+	// Peak pressure is after instruction 3: R4, R5, and the address R6.
+	if e.MaxPressure != 3 {
+		t.Errorf("MaxPressure = %d, want 3", e.MaxPressure)
+	}
+	if e.SpillPairs != 0 || e.SpillExposure != 0 {
+		t.Errorf("spill metrics nonzero on spill-free code: %+v", e)
+	}
+	if e.ACEMass <= 0 {
+		t.Errorf("ACEMass = %g, want > 0 (a stored value is unmasked)", e.ACEMass)
+	}
+}
+
+// A definition whose only consumer sits at a smaller index is
+// loop-carried: its residency spans the back edge, wrapping around the
+// program end.
+func TestLiveSpanWraparound(t *testing.T) {
+	p := prog("wrap",
+		movi(rr(2)),                 // 0: initial def (first-iteration use at 1)
+		iadd(rr(0), rr(2), rr(2)),   // 1: loop head, consumes R2
+		movi(rr(2)),                 // 2: loop def, reaches 1 via the back edge
+		isetp(pp(0), rr(0), isa.RZ), // 3
+		braIf(pp(0), false, 1),      // 4
+		movi(rr(1)),                 // 5: address
+		stg(rr(1), rr(0)),           // 6
+		exit(),                      // 7
+	)
+	r := Analyze(p)
+	if errs := r.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	// def at 2, use at 1: d = n - i + use = 8 - 2 + 1 = 7.
+	if got := r.liveSpan(2); got != 7 {
+		t.Errorf("loop-carried liveSpan = %d, want 7", got)
+	}
+	if got := r.liveSpan(0); got != 1 {
+		t.Errorf("straight-line liveSpan = %d, want 1", got)
+	}
+}
+
+func TestSpillPairDetection(t *testing.T) {
+	base := func(middle ...isa.Instr) *isa.Program {
+		instrs := []isa.Instr{
+			movi(rr(0)), // 0: shared address
+			movi(rr(1)), // 1: value
+			sts(rr(0), 0, rr(1)),
+		}
+		instrs = append(instrs, middle...)
+		instrs = append(instrs,
+			lds(rr(1), rr(0), 0),
+			movi(rr(2)), // global address
+			stg(rr(2), rr(1)),
+			exit(),
+		)
+		return prog("spill", instrs...)
+	}
+
+	r := Analyze(base(iadd(rr(3), rr(1), rr(1)), stg(rr(0), rr(3))))
+	pairs := spillPairs(r)
+	if len(pairs) != 1 {
+		t.Fatalf("got %d spill pairs, want 1", len(pairs))
+	}
+	if pairs[0].store != 2 || pairs[0].load != 5 || pairs[0].reg != rr(1) {
+		t.Errorf("pair = %+v, want store 2, load 5, R1", pairs[0])
+	}
+	e := r.Explain(nil)
+	if e.SpillPairs != 1 || e.SpillExposure != 3 || e.MeanSpillGap != 3 {
+		t.Errorf("spill metrics = %+v, want 1 pair, exposure 3, gap 3", e)
+	}
+
+	// Rewriting the address register between store and reload loses the
+	// trail: no pair.
+	if ps := spillPairs(Analyze(base(movi(rr(0))))); len(ps) != 0 {
+		t.Errorf("address rewrite still matched: %+v", ps)
+	}
+	// Overwriting the slot before the reload: no pair.
+	if ps := spillPairs(Analyze(base(sts(rr(0), 0, rr(2))))); len(ps) != 0 {
+		t.Errorf("overwritten slot still matched: %+v", ps)
+	}
+	// A reload at a different offset is a tile exchange, not a spill.
+	off := base()
+	off.Instrs[3] = lds(rr(1), rr(0), 4)
+	if ps := spillPairs(Analyze(off)); len(ps) != 0 {
+		t.Errorf("different offset still matched: %+v", ps)
+	}
+}
+
+func TestLongLiveRangeFinding(t *testing.T) {
+	build := func(fillers int) *isa.Program {
+		instrs := []isa.Instr{movi(rr(0)), movi(rr(1))}
+		for i := 0; i < fillers; i++ {
+			instrs = append(instrs, iadd(rr(1), rr(1), rr(1)))
+		}
+		instrs = append(instrs,
+			iadd(rr(3), rr(0), rr(1)), // furthest use of the R0 def
+			movi(rr(2)),
+			stg(rr(2), rr(3)),
+			exit(),
+		)
+		return prog("liverange", instrs...)
+	}
+	// 28 fillers: R0 defined at 0, consumed at 30 — span 30 >= 28.
+	r := Analyze(build(28))
+	if errs := r.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !hasKind(r.Warnings(), KindLongLiveRange) {
+		t.Errorf("span 30 not flagged (threshold %d)", LongLiveRangeMin)
+	}
+	// 25 fillers: span 27, just under the threshold.
+	if hasKind(Analyze(build(25)).Warnings(), KindLongLiveRange) {
+		t.Errorf("span 27 flagged below threshold %d", LongLiveRangeMin)
+	}
+}
+
+func TestSpillExposureFinding(t *testing.T) {
+	p := prog("spillwarn",
+		movi(rr(0)),
+		movi(rr(1)),
+		sts(rr(0), 0, rr(1)),
+		iadd(rr(3), rr(1), rr(1)),
+		stg(rr(0), rr(3)),
+		lds(rr(1), rr(0), 0), // gap 3 >= SpillExposureMin
+		movi(rr(2)),
+		stg(rr(2), rr(1)),
+		exit(),
+	)
+	r := Analyze(p)
+	if !hasKind(r.Warnings(), KindSpillExposure) {
+		t.Errorf("spill gap 3 not flagged (threshold %d)", SpillExposureMin)
+	}
+	// Immediate reload (gap 1) stays under the threshold.
+	q := prog("spilltight",
+		movi(rr(0)),
+		movi(rr(1)),
+		sts(rr(0), 0, rr(1)),
+		lds(rr(1), rr(0), 0),
+		movi(rr(2)),
+		stg(rr(2), rr(1)),
+		exit(),
+	)
+	if hasKind(Analyze(q).Warnings(), KindSpillExposure) {
+		t.Errorf("gap 1 flagged below threshold %d", SpillExposureMin)
+	}
+}
+
+func TestUnrollACEMassFinding(t *testing.T) {
+	// Four copies of a live three-instruction body: each copy's stored
+	// value keeps ~64 destination bits unmasked, so the repeated region
+	// carries well over UnrollACEMassMin.
+	var instrs []isa.Instr
+	instrs = append(instrs, movi(rr(0))) // shared global address
+	for i := 0; i < 4; i++ {
+		instrs = append(instrs,
+			movi(rr(1)),
+			iadd(rr(2), rr(1), rr(1)),
+			stg(rr(0), rr(2)),
+		)
+	}
+	instrs = append(instrs, exit())
+	r := Analyze(prog("unrolled", instrs...))
+	if errs := r.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if !hasKind(r.Warnings(), KindUnrollACEMass) {
+		t.Errorf("4x live unrolled body not flagged (threshold %.0f)", UnrollACEMassMin)
+	}
+	// Two copies of a two-instruction body: under UnrollBodyMin, no
+	// tandem repeat regardless of mass.
+	short := prog("shortbody",
+		movi(rr(0)),
+		movi(rr(1)),
+		stg(rr(0), rr(1)),
+		movi(rr(1)),
+		stg(rr(0), rr(1)),
+		exit(),
+	)
+	if hasKind(Analyze(short).Warnings(), KindUnrollACEMass) {
+		t.Errorf("2-instruction body flagged below UnrollBodyMin %d", UnrollBodyMin)
+	}
+}

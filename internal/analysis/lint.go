@@ -41,6 +41,11 @@ const (
 	KindConstResult     = "constant-result"
 	KindDeadBitSpan     = "dead-bit-span"
 	KindRangeDeadBranch = "range-dead-branch"
+	// Optimization-matrix findings (see optFindings below): static
+	// reliability-hostile codegen shapes the matrix makes measurable.
+	KindLongLiveRange = "long-live-range"
+	KindSpillExposure = "spill-exposure"
+	KindUnrollACEMass = "unroll-ace-inflation"
 )
 
 // Finding is one lint diagnostic, anchored to an instruction index.
@@ -132,7 +137,119 @@ func lint(r *Result) []Finding {
 		}
 	}
 	out = append(out, bitFindings(r)...)
+	out = append(out, optFindings(r)...)
 	return out
+}
+
+// optFindings reports the reliability-hostile codegen shapes the
+// optimization matrix varies: values resident in the register file for
+// long stretches, spill round trips that park live values in shared
+// memory, and unrolled bodies that replicate live (ACE-carrying)
+// computation. Each is anchored to a proven static property — a def-use
+// span, an STS→LDS window, a tandem repeat with its summed ACE mass —
+// not to a heuristic about intent.
+func optFindings(r *Result) []Finding {
+	p := r.Prog
+	var out []Finding
+
+	for i := range p.Instrs {
+		if p.Instrs[i].DstRegs() == 0 || !r.reachable(i) {
+			continue
+		}
+		if span := r.liveSpan(i); span >= LongLiveRangeMin {
+			out = append(out, Finding{
+				Sev: SevWarn, Kind: KindLongLiveRange, Instr: i,
+				Msg: fmt.Sprintf("value is register-resident for %d instructions before its last use (threshold %d): %s",
+					span, LongLiveRangeMin, p.Instrs[i].String()),
+			})
+		}
+	}
+
+	for _, sp := range spillPairs(r) {
+		if gap := sp.load - sp.store; gap >= SpillExposureMin {
+			out = append(out, Finding{
+				Sev: SevWarn, Kind: KindSpillExposure, Instr: sp.store,
+				Msg: fmt.Sprintf("%s spills through shared memory for %d instructions (reload at %d): exposure moves to the memory window",
+					sp.reg, gap, sp.load),
+			})
+		}
+	}
+
+	out = append(out, unrollFindings(r)...)
+	return out
+}
+
+// unrollFindings detects tandem-repeated instruction bodies — the
+// static footprint of an unrolled loop — and reports the ones whose
+// repeated region carries enough unmasked ACE mass to matter. Each
+// extra body copy is that many more live destination bits for a fault
+// to land in, the mechanism behind unrolling's cross-section cost.
+func unrollFindings(r *Result) []Finding {
+	p := r.Prog
+	var out []Finding
+	for _, blk := range r.CFG.Blocks {
+		if !r.CFG.Reachable[blk.ID] {
+			continue
+		}
+		for i := blk.Start; i < blk.End; {
+			q, k := tandemRepeat(p, i, blk.End)
+			if k < 2 {
+				i++
+				continue
+			}
+			var mass float64
+			for j := i; j < i+q*k; j++ {
+				v := &r.ACEVec[j]
+				for b := 0; b < v.Width; b++ {
+					mass += v.Unmasked(b)
+				}
+			}
+			if mass >= UnrollACEMassMin {
+				out = append(out, Finding{
+					Sev: SevWarn, Kind: KindUnrollACEMass, Instr: i,
+					Msg: fmt.Sprintf("%d copies of a %d-instruction body (instructions %d..%d) carry %.0f unmasked ACE bits: unrolling replicated live computation",
+						k, q, i, i+q*k-1, mass),
+				})
+			}
+			i += q * k
+		}
+	}
+	return out
+}
+
+// tandemRepeat finds the smallest period q >= UnrollBodyMin such that
+// the opcode sequence starting at i repeats consecutively within
+// [i, end), returning the period and repeat count (k < 2: no repeat).
+// Opcode equality plus matching immediate-vs-register operand shape
+// keeps address arithmetic runs from matching accidentally.
+func tandemRepeat(p *isa.Program, i, end int) (q, k int) {
+	for q = UnrollBodyMin; i+2*q <= end; q++ {
+		k = 1
+		for i+(k+1)*q <= end && sameBody(p, i, i+k*q, q) {
+			k++
+		}
+		if k >= 2 {
+			return q, k
+		}
+	}
+	return 0, 1
+}
+
+// sameBody compares two instruction windows by opcode and operand
+// shape.
+func sameBody(p *isa.Program, a, b, n int) bool {
+	for j := 0; j < n; j++ {
+		x, y := &p.Instrs[a+j], &p.Instrs[b+j]
+		if x.Op != y.Op {
+			return false
+		}
+		for s := range x.Srcs {
+			if x.Srcs[s].IsImm != y.Srcs[s].IsImm {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // bitFindings reports what the bit-level analysis proved: instructions

@@ -1,6 +1,10 @@
 package analysis
 
-import "gpurel/internal/isa"
+import (
+	"math/bits"
+
+	"gpurel/internal/isa"
+)
 
 // RegSet is a dense bitset over the 256 general-purpose register names.
 // RZ (255) is representable but never added: it reads as zero and
@@ -54,6 +58,13 @@ func (s *RegSet) Subtract(o *RegSet) {
 // Empty reports whether the set has no members.
 func (s *RegSet) Empty() bool {
 	return s[0]|s[1]|s[2]|s[3] == 0
+}
+
+// Count returns the number of members — the register pressure when the
+// set is a liveness frontier.
+func (s *RegSet) Count() int {
+	return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1]) +
+		bits.OnesCount64(s[2]) + bits.OnesCount64(s[3])
 }
 
 // PredSet is a bitset over the 8 predicate register names. PT (7) is

@@ -172,3 +172,29 @@ const (
 // destination bits the dead-bit-span lint reports. Shorter runs are
 // routine (rounding slack, small masks) and would drown the report.
 const DeadBitSpanMin = 12
+
+// Optimization-matrix lint thresholds (see optFindings in lint.go and
+// the explainer metrics in explain.go).
+const (
+	// LongLiveRangeMin is the smallest def-to-furthest-use distance
+	// (instructions, loop-carried uses wrapping) the long-live-range
+	// lint reports. Spans below it are ordinary expression temporaries;
+	// above it the value's register-file residency dominates its
+	// exposure, the effect the matrix's O0/O1 rows make measurable.
+	LongLiveRangeMin = 28
+
+	// SpillExposureMin is the smallest STS→LDS round-trip window the
+	// spill-exposure lint reports. The spill variant's own windows are
+	// always at least this long.
+	SpillExposureMin = 2
+
+	// UnrollBodyMin / UnrollACEMassMin gate the unroll-inflation lint:
+	// a tandem-repeated opcode sequence of at least UnrollBodyMin
+	// instructions, repeated at least twice, whose total unmasked ACE
+	// mass (summed over every bit of every repeated instruction) is at
+	// least UnrollACEMassMin bits. Smaller repeats are address setup;
+	// lighter ones replicate mostly-dead code and do not inflate the
+	// vulnerable surface.
+	UnrollBodyMin    = 3
+	UnrollACEMassMin = 96.0
+)

@@ -1,18 +1,24 @@
 // Package asm is the kernel authoring and compilation layer: a builder
 // API for emitting SASS-like instructions, structured control-flow helpers
 // that generate correct SSY-based divergence management, and an optimizing
-// backend with two pipelines that stand in for the two CUDA compiler
-// generations the paper's fault injectors require:
+// backend organized as a configurable matrix. Three base pipelines:
 //
-//   - O1 ("CUDA 7.0-era", the SASSIFI toolchain): no optimization; the
-//     code keeps every temporary and every loop test the author wrote.
+//   - O0 (naive): no passes at all; the emitted instructions are the
+//     program, temporaries and loop tests included.
+//   - O1 ("CUDA 7.0-era", the SASSIFI toolchain): the legacy backend's
+//     MOV-heavy register allocation, no optimization.
 //   - O2 ("CUDA 10.1-era", the NVBitFI toolchain): block-local copy
 //     propagation, global dead-code elimination, and unrolling of loops
 //     the author marked unrollable.
 //
-// The paper observes that the same source compiled by the two toolchains
+// Orthogonal knobs perturb a base pipeline (see OptLevel): an unroll
+// factor override applied to every counted loop, copy propagation
+// forced on or off, and a register-pressure variant that spills
+// long-lived values through shared memory.
+//
+// The paper observes that the same source compiled by two toolchains
 // yields different SASS and hence different AVFs (§VI); compiling every
-// workload through both pipelines reproduces that mechanism.
+// workload through the matrix reproduces and dissects that mechanism.
 package asm
 
 import (
@@ -20,23 +26,6 @@ import (
 
 	"gpurel/internal/isa"
 )
-
-// OptLevel selects the backend pipeline.
-type OptLevel uint8
-
-// Optimization levels.
-const (
-	O1 OptLevel = iota // legacy toolchain: no optimization
-	O2                 // modern toolchain: copy-prop + DCE + unrolling
-)
-
-// String names the level.
-func (o OptLevel) String() string {
-	if o == O1 {
-		return "O1"
-	}
-	return "O2"
-}
 
 // Builder accumulates instructions for one kernel. Errors stick: the
 // first problem is reported by Build and later calls are no-ops, so
@@ -200,11 +189,21 @@ func (b *Builder) Build() (*isa.Program, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	if b.opt >= O2 {
-		b.copyPropagate()
+	if b.opt.Base() >= O2 {
+		if b.opt.CopyProp() {
+			b.copyPropagate()
+		}
 		b.eliminateDeadCode()
 	} else {
-		b.insertLegacyMoves()
+		if b.opt.Base() == O1 {
+			b.insertLegacyMoves()
+		}
+		if b.opt.CopyProp() {
+			b.copyPropagate()
+		}
+	}
+	if b.opt.Spill() {
+		b.spillToShared()
 	}
 	if err := b.resolve(); err != nil {
 		return nil, err

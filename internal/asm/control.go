@@ -35,8 +35,10 @@ type LoopOpts struct {
 	// Step is the counter increment (default 1).
 	Step int32
 	// Unroll marks the loop as unrollable by this factor. The O2 backend
-	// unrolls when the trip count divides evenly; the O1 backend ignores
-	// the hint, mirroring older compilers' conservative codegen.
+	// unrolls when the trip count divides evenly; the O0/O1 backends
+	// ignore the hint, mirroring older compilers' conservative codegen.
+	// An OptLevel unroll override (OptLevel.WithUnroll) replaces the
+	// author's factor on every counted loop.
 	Unroll int
 }
 
@@ -61,9 +63,19 @@ func (b *Builder) ForCounter(i isa.Reg, start, end int32, opts LoopOpts, body fu
 	loop := b.uniqueLabel("loop")
 	b.Label(loop)
 
+	factor := 1
+	if b.opt.Base() >= O2 && opts.Unroll > 1 {
+		factor = opts.Unroll
+	}
+	if u := b.opt.UnrollOverride(); u > 0 {
+		// The matrix override replaces the per-loop policy wholesale:
+		// factor 1 forces even author-marked loops rolled, larger
+		// factors unroll every counted loop they divide.
+		factor = u
+	}
 	unroll := 1
-	if b.opt >= O2 && opts.Unroll > 1 && trip%opts.Unroll == 0 {
-		unroll = opts.Unroll
+	if factor > 1 && trip%factor == 0 {
+		unroll = factor
 	}
 	for u := 0; u < unroll; u++ {
 		body()

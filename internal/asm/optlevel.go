@@ -1,0 +1,183 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OptLevel selects the backend pipeline and its orthogonal knobs. The
+// low two bits carry the base level (O0/O1/O2); the remaining bits are
+// knobs that perturb the base pipeline, so one value names one point of
+// the optimization matrix:
+//
+//	O2.WithUnroll(2)      // unroll every even-trip counted loop by 2
+//	O2.WithoutCopyProp()  // O2 with copy propagation disabled
+//	O1.WithCopyProp()     // legacy codegen plus forced copy propagation
+//	O2.WithSpill()        // O2 plus shared-memory spilling of long-lived values
+//
+// The encoding keeps OptLevel a comparable scalar: kernel builders,
+// runner caches, and campaign configs key on it unchanged.
+type OptLevel uint16
+
+// Base optimization levels.
+const (
+	O0 OptLevel = 0 // naive: no copy-prop, no DCE, no unrolling, no legacy moves
+	O1 OptLevel = 1 // legacy toolchain: extra MOV temporaries, no optimization
+	O2 OptLevel = 2 // modern toolchain: copy-prop + DCE + unrolling
+)
+
+// Knob encoding. Bits 2-5 hold an unroll-factor override (0: none;
+// 1: force-rolled; 2..15: unroll every counted loop whose trip count
+// divides by the factor). Bit 6 disables copy propagation at O2; bit 7
+// forces it on below O2; bit 8 enables the shared-memory spill pass.
+const (
+	baseMask    OptLevel = 0x0003
+	unrollShift          = 2
+	unrollMask  OptLevel = 0xF << unrollShift
+	flagNoCP    OptLevel = 1 << 6
+	flagForceCP OptLevel = 1 << 7
+	flagSpill   OptLevel = 1 << 8
+)
+
+// Base returns the base level with every knob stripped.
+func (o OptLevel) Base() OptLevel { return o & baseMask }
+
+// UnrollOverride returns the loop-unroll factor override, or 0 when the
+// base pipeline's own policy applies. A factor of 1 forces loops rolled
+// even at O2.
+func (o OptLevel) UnrollOverride() int { return int(o&unrollMask) >> unrollShift }
+
+// CopyProp reports whether the pipeline runs copy propagation: on by
+// default at O2 (unless disabled), off below O2 (unless forced).
+func (o OptLevel) CopyProp() bool {
+	if o&flagForceCP != 0 {
+		return true
+	}
+	return o.Base() >= O2 && o&flagNoCP == 0
+}
+
+// Spill reports whether the shared-memory spill pass runs.
+func (o OptLevel) Spill() bool { return o&flagSpill != 0 }
+
+// WithUnroll returns the level with an unroll-factor override in 1..15
+// (factor 0 clears the override; factors above 15 saturate).
+func (o OptLevel) WithUnroll(factor int) OptLevel {
+	if factor < 0 {
+		factor = 0
+	}
+	if factor > 15 {
+		factor = 15
+	}
+	return o&^unrollMask | OptLevel(factor)<<unrollShift
+}
+
+// WithoutCopyProp returns the level with copy propagation disabled.
+func (o OptLevel) WithoutCopyProp() OptLevel { return o&^flagForceCP | flagNoCP }
+
+// WithCopyProp returns the level with copy propagation forced on.
+func (o OptLevel) WithCopyProp() OptLevel { return o&^flagNoCP | flagForceCP }
+
+// WithSpill returns the level with the shared-memory spill pass enabled.
+func (o OptLevel) WithSpill() OptLevel { return o | flagSpill }
+
+// String names the configuration: the base level followed by its knobs,
+// e.g. "O2", "O0", "O2-cp", "O1+cp", "O2+u4", "O2+u2+spill". The output
+// round-trips through ParseOptLevel.
+func (o OptLevel) String() string {
+	var sb strings.Builder
+	switch o.Base() {
+	case O0:
+		sb.WriteString("O0")
+	case O1:
+		sb.WriteString("O1")
+	default:
+		sb.WriteString("O2")
+	}
+	if o&flagNoCP != 0 {
+		sb.WriteString("-cp")
+	}
+	if o&flagForceCP != 0 {
+		sb.WriteString("+cp")
+	}
+	if u := o.UnrollOverride(); u > 0 {
+		fmt.Fprintf(&sb, "+u%d", u)
+	}
+	if o.Spill() {
+		sb.WriteString("+spill")
+	}
+	return sb.String()
+}
+
+// ParseOptLevel parses a configuration name produced by String (or typed
+// on a CLI): a base level "O0"/"O1"/"O2" followed by optional knobs
+// "-cp", "+cp", "+uN", "+spill" in any order. Plain "0"/"1"/"2" are
+// accepted as base aliases for backward-compatible flags.
+func ParseOptLevel(s string) (OptLevel, error) {
+	var o OptLevel
+	rest := s
+	switch {
+	case strings.HasPrefix(rest, "O0"), strings.HasPrefix(rest, "o0"):
+		o, rest = O0, rest[2:]
+	case strings.HasPrefix(rest, "O1"), strings.HasPrefix(rest, "o1"):
+		o, rest = O1, rest[2:]
+	case strings.HasPrefix(rest, "O2"), strings.HasPrefix(rest, "o2"):
+		o, rest = O2, rest[2:]
+	case strings.HasPrefix(rest, "0"):
+		o, rest = O0, rest[1:]
+	case strings.HasPrefix(rest, "1"):
+		o, rest = O1, rest[1:]
+	case strings.HasPrefix(rest, "2"):
+		o, rest = O2, rest[1:]
+	default:
+		return 0, fmt.Errorf("asm: opt level %q: want a base of O0, O1, or O2", s)
+	}
+	for rest != "" {
+		sign := rest[0]
+		if sign != '+' && sign != '-' {
+			return 0, fmt.Errorf("asm: opt level %q: knobs must start with '+' or '-'", s)
+		}
+		rest = rest[1:]
+		end := strings.IndexAny(rest, "+-")
+		if end < 0 {
+			end = len(rest)
+		}
+		knob := rest[:end]
+		rest = rest[end:]
+		switch {
+		case knob == "cp" && sign == '-':
+			o = o.WithoutCopyProp()
+		case knob == "cp" && sign == '+':
+			o = o.WithCopyProp()
+		case knob == "spill" && sign == '+':
+			o = o.WithSpill()
+		case strings.HasPrefix(knob, "u") && sign == '+':
+			f, err := strconv.Atoi(knob[1:])
+			if err != nil || f < 1 || f > 15 {
+				return 0, fmt.Errorf("asm: opt level %q: unroll factor must be 1..15", s)
+			}
+			o = o.WithUnroll(f)
+		default:
+			return 0, fmt.Errorf("asm: opt level %q: unknown knob %q", s, string(sign)+knob)
+		}
+	}
+	return o, nil
+}
+
+// MatrixConfigs returns the canonical optimization matrix swept by the
+// per-configuration reliability study: the three base levels plus one
+// variant per orthogonal knob. Every configuration is buildable for
+// every kernel (knobs that do not apply — an unroll override on a
+// loop whose trip count does not divide, a spill pass that finds no
+// long-lived value — degrade to the base pipeline).
+func MatrixConfigs() []OptLevel {
+	return []OptLevel{
+		O0,
+		O1,
+		O2.WithoutCopyProp(),
+		O2,
+		O2.WithUnroll(2),
+		O2.WithUnroll(4),
+		O2.WithSpill(),
+	}
+}

@@ -1,0 +1,308 @@
+package asm
+
+import (
+	"testing"
+
+	"gpurel/internal/isa"
+)
+
+func TestOptLevelStringParseRoundTrip(t *testing.T) {
+	cases := append(MatrixConfigs(),
+		O1.WithCopyProp(),
+		O2.WithUnroll(1),
+		O2.WithUnroll(2).WithSpill(),
+		O0.WithSpill(),
+		O2.WithoutCopyProp().WithUnroll(4).WithSpill(),
+	)
+	seen := map[string]bool{}
+	for _, o := range cases {
+		s := o.String()
+		if seen[s] {
+			t.Errorf("duplicate name %q in config set", s)
+		}
+		seen[s] = true
+		got, err := ParseOptLevel(s)
+		if err != nil {
+			t.Errorf("ParseOptLevel(%q): %v", s, err)
+			continue
+		}
+		if got != o {
+			t.Errorf("round trip %q: got %#x, want %#x", s, got, o)
+		}
+	}
+}
+
+func TestParseOptLevelAliasesAndErrors(t *testing.T) {
+	for in, want := range map[string]OptLevel{
+		"1": O1, "2": O2, "o2+spill": O2.WithSpill(), "O2+u4": O2.WithUnroll(4),
+	} {
+		got, err := ParseOptLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseOptLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "O3", "O2+u0", "O2+u16", "O2-spill", "O2+x", "O2spill"} {
+		if _, err := ParseOptLevel(in); err == nil {
+			t.Errorf("ParseOptLevel(%q) should fail", in)
+		}
+	}
+}
+
+func TestOptLevelKnobAccessors(t *testing.T) {
+	if !O2.CopyProp() || O1.CopyProp() || O0.CopyProp() {
+		t.Fatal("base copy-prop defaults wrong")
+	}
+	if O2.WithoutCopyProp().CopyProp() || !O1.WithCopyProp().CopyProp() {
+		t.Fatal("copy-prop knobs ignored")
+	}
+	if O2.WithUnroll(4).Base() != O2 || O2.WithUnroll(4).UnrollOverride() != 4 {
+		t.Fatal("unroll override encoding wrong")
+	}
+	if O2.WithUnroll(4).WithUnroll(0).UnrollOverride() != 0 {
+		t.Fatal("unroll override should clear")
+	}
+	if !O0.WithSpill().Spill() || O0.WithSpill().Base() != O0 {
+		t.Fatal("spill knob encoding wrong")
+	}
+}
+
+// TestO0EmitsVerbatim: the naive pipeline must neither insert legacy
+// moves nor remove the dead multiply or the copy MOV.
+func TestO0EmitsVerbatim(t *testing.T) {
+	p0 := buildWithTemps(O0)
+	var movs, imuls int
+	for i := range p0.Instrs {
+		switch p0.Instrs[i].Op {
+		case isa.OpMOV:
+			movs++
+		case isa.OpIMUL:
+			imuls++
+		}
+	}
+	if movs != 1 || imuls != 1 {
+		t.Fatalf("O0 altered the program: %d MOVs, %d IMULs (want 1, 1)", movs, imuls)
+	}
+	// O1's legacy moves dilute a program with enough rewritable results
+	// (one MOV per four); O0 must not.
+	chain := func(opt OptLevel) int {
+		b := New("k", opt)
+		r := b.R()
+		addr := b.R()
+		b.MovImm(r, 1)
+		for i := 0; i < 8; i++ {
+			b.IAdd(r, isa.R(r), isa.ImmInt(1))
+		}
+		b.MovImm(addr, 0x100)
+		b.Stg(addr, 0, r)
+		b.Exit()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(p.Instrs)
+	}
+	if chain(O1) <= chain(O0) {
+		t.Fatal("O1 should be longer than O0 (legacy move dilution)")
+	}
+}
+
+// TestCopyPropKnob: O2 without copy propagation keeps the copy MOV alive
+// (its destination is still read), while DCE still removes the dead
+// multiply; O1 with forced copy propagation rewires the consumer but
+// keeps the now-dead MOV (no DCE below O2).
+func TestCopyPropKnob(t *testing.T) {
+	noCP := buildWithTemps(O2.WithoutCopyProp())
+	var movs, imuls int
+	for i := range noCP.Instrs {
+		switch noCP.Instrs[i].Op {
+		case isa.OpMOV:
+			movs++
+		case isa.OpIMUL:
+			imuls++
+		}
+	}
+	if movs != 1 {
+		t.Fatalf("O2-cp: copy MOV count %d, want 1", movs)
+	}
+	if imuls != 0 {
+		t.Fatal("O2-cp: DCE should still remove the dead IMUL")
+	}
+
+	forced := buildWithTemps(O1.WithCopyProp())
+	// The consumer IADD must read the producer's register, not the copy.
+	var movDst isa.Reg = isa.RZ
+	for i := range forced.Instrs {
+		if forced.Instrs[i].Op == isa.OpMOV {
+			movDst = forced.Instrs[i].Dst
+		}
+	}
+	for i := range forced.Instrs {
+		in := &forced.Instrs[i]
+		if in.Op == isa.OpIADD && in.Srcs[0].Reg == movDst && !in.Srcs[0].IsImm {
+			t.Fatal("O1+cp: consumer still reads the copy destination")
+		}
+	}
+}
+
+func TestUnrollOverride(t *testing.T) {
+	build := func(opt OptLevel, mark int) *isa.Program {
+		b := New("k", opt)
+		acc := b.R()
+		i := b.R()
+		b.MovImm(acc, 0)
+		b.ForCounter(i, 0, 8, LoopOpts{Unroll: mark}, func() {
+			b.IAdd(acc, isa.R(acc), isa.R(i))
+		})
+		addr := b.R()
+		b.MovImm(addr, 0x100)
+		b.Stg(addr, 0, acc)
+		b.Exit()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	bodies := func(p *isa.Program) int {
+		n := 0
+		for i := range p.Instrs {
+			if p.Instrs[i].Op == isa.OpIADD && !p.Instrs[i].Srcs[1].IsImm {
+				n++
+			}
+		}
+		return n
+	}
+	// Override replaces the author's factor on a marked loop...
+	if got := bodies(build(O2.WithUnroll(2), 4)); got != 2 {
+		t.Errorf("O2+u2 over Unroll:4 mark: %d bodies, want 2", got)
+	}
+	// ... unrolls unmarked loops ...
+	if got := bodies(build(O2.WithUnroll(4), 0)); got != 4 {
+		t.Errorf("O2+u4 over unmarked loop: %d bodies, want 4", got)
+	}
+	// ... forces marked loops rolled at factor 1 ...
+	if got := bodies(build(O2.WithUnroll(1), 4)); got != 1 {
+		t.Errorf("O2+u1 over Unroll:4 mark: %d bodies, want 1", got)
+	}
+	// ... is ignored when the trip count does not divide ...
+	if got := bodies(build(O2.WithUnroll(3), 0)); got != 1 {
+		t.Errorf("O2+u3 over trip 8: %d bodies, want 1", got)
+	}
+	// ... and applies below O2 as well (an explicit matrix knob).
+	if got := bodies(build(O0.WithUnroll(2), 0)); got != 2 {
+		t.Errorf("O0+u2: %d bodies, want 2", got)
+	}
+}
+
+// buildSpillCandidate emits a kernel with a value defined well before its
+// only use, separated by independent instructions within one block.
+func buildSpillCandidate(opt OptLevel) *isa.Program {
+	b := New("k", opt)
+	long := b.R()
+	a := b.R()
+	c := b.R()
+	addr := b.R()
+	b.MovImm(a, 7)
+	b.IAdd(long, isa.R(a), isa.ImmInt(1)) // spill candidate
+	b.IMul(a, isa.R(a), isa.R(a))
+	b.IAdd(c, isa.R(a), isa.ImmInt(2))
+	b.IMul(c, isa.R(c), isa.R(a))
+	b.IAdd(c, isa.R(c), isa.R(long)) // first use of long
+	b.MovImm(addr, 0x100)
+	b.Stg(addr, 0, c)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestSpillPass(t *testing.T) {
+	base := buildSpillCandidate(O0)
+	sp := buildSpillCandidate(O0.WithSpill())
+
+	var sts, lds []int
+	for i := range sp.Instrs {
+		switch sp.Instrs[i].Op {
+		case isa.OpSTS:
+			sts = append(sts, i)
+		case isa.OpLDS:
+			lds = append(lds, i)
+		}
+	}
+	if len(sts) != 1 || len(lds) != 1 {
+		t.Fatalf("spill variant has %d STS / %d LDS, want 1 / 1\n%s",
+			len(sts), len(lds), sp.Disassemble())
+	}
+	if lds[0] <= sts[0] {
+		t.Fatal("reload precedes store")
+	}
+	// The spilled register must be architecturally dead between store and
+	// reload: no instruction in the window may read it.
+	spilled := sp.Instrs[sts[0]].Srcs[2].Reg
+	for i := sts[0] + 1; i < lds[0]; i++ {
+		if readsReg(&sp.Instrs[i], spilled) {
+			t.Fatalf("spilled register read inside the memory-resident window at %d", i)
+		}
+	}
+	if sp.SharedMem != base.SharedMem+4*spillSlotThreads {
+		t.Fatalf("spill slot not allocated: shared %d -> %d", base.SharedMem, sp.SharedMem)
+	}
+	if sp.NumRegs != base.NumRegs+1 {
+		t.Fatalf("spill address register not allocated: regs %d -> %d", base.NumRegs, sp.NumRegs)
+	}
+
+	// A program with no long-lived value is left untouched.
+	short := func(opt OptLevel) *isa.Program {
+		b := New("k", opt)
+		r := b.R()
+		addr := b.R()
+		b.MovImm(r, 1)
+		b.IAdd(r, isa.R(r), isa.ImmInt(1))
+		b.MovImm(addr, 0x100)
+		b.Stg(addr, 0, r)
+		b.Exit()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if p := short(O0.WithSpill()); p.SharedMem != short(O0).SharedMem || len(p.Instrs) != len(short(O0).Instrs) {
+		t.Fatal("spill pass touched a program with no candidates")
+	}
+}
+
+// TestSpillPreservesBranchTargets: spilling across label bookkeeping must
+// keep a loop's backward branch pointed at its body.
+func TestSpillPreservesBranchTargets(t *testing.T) {
+	b := New("k", O0.WithSpill())
+	x := b.R()
+	long := b.R()
+	acc := b.R()
+	b.MovImm(x, 0)
+	b.IAdd(long, isa.R(x), isa.ImmInt(9)) // candidate defined before the loop
+	b.MovImm(acc, 0)
+	i := b.R()
+	b.ForCounter(i, 0, 3, LoopOpts{}, func() {
+		b.IAdd(acc, isa.R(acc), isa.R(i))
+	})
+	b.IAdd(acc, isa.R(acc), isa.R(long))
+	addr := b.R()
+	b.MovImm(addr, 0x100)
+	b.Stg(addr, 0, acc)
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.OpBRA {
+			tgt := p.Instrs[i].Target
+			if tgt < 0 || tgt >= len(p.Instrs) || p.Instrs[tgt].Op != isa.OpIADD {
+				t.Fatalf("loop branch target drifted after spill:\n%s", p.Disassemble())
+			}
+		}
+	}
+}

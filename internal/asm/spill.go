@@ -1,0 +1,151 @@
+package asm
+
+import "gpurel/internal/isa"
+
+// The register-pressure variant (OptLevel.WithSpill): long-lived values
+// are stored to a per-thread shared-memory slot right after definition
+// and reloaded right before their next use, so the register is
+// architecturally dead in between and the value sits in memory instead.
+// This models what a register allocator under pressure does — and moves
+// the value's soft-error exposure from the (per-bit-checked) register
+// file into a memory residency window, the mechanism behind the paper's
+// observation that resource placement, not just instruction count,
+// drives cross sections.
+
+const (
+	// spillSlotThreads sizes the per-thread spill slot array. Every
+	// built-in workload launches blocks of at most 256 threads; a block
+	// exceeding this would store past the slot and DUE in the golden
+	// run, failing loudly at build time rather than corrupting state.
+	spillSlotThreads = 256
+
+	// spillMinGap is the minimum def-to-use distance (in instructions)
+	// worth spilling across. Shorter windows are kept in registers,
+	// as any allocator would. At 3, eight of the nine CrossValKernels
+	// have at least one spill site.
+	spillMinGap = 3
+)
+
+// spillToShared rewrites the program so that every eligible long-lived
+// single-register value is spilled through shared memory: STS after the
+// defining instruction, LDS immediately before the next use. Candidates
+// are unpredicated single-register definitions whose first subsequent
+// read is at least spillMinGap instructions later within the same basic
+// block, with no intervening redefinition; spill windows do not overlap,
+// so one slot per thread suffices. When no candidate exists the program
+// is left untouched (no prologue, no shared allocation).
+func (b *Builder) spillToShared() {
+	if len(b.instrs) == 0 || b.nextReg >= isa.NumGPR {
+		return
+	}
+	leaders := b.blockLeaders()
+
+	type pair struct{ def, use int }
+	var pairs []pair
+	next := 0 // first index allowed to start a new spill window
+	for i := 0; i < len(b.instrs); i++ {
+		if i < next || !spillable(&b.instrs[i]) {
+			continue
+		}
+		dst := b.instrs[i].Dst
+		use := -1
+		for j := i + 1; j < len(b.instrs) && !leaders[j]; j++ {
+			if readsReg(&b.instrs[j], dst) {
+				use = j
+				break
+			}
+			if writesReg(&b.instrs[j], dst) {
+				break // redefined before any read: nothing to spill
+			}
+		}
+		if use < 0 || use-i < spillMinGap {
+			continue
+		}
+		pairs = append(pairs, pair{def: i, use: use})
+		next = use + 1
+	}
+	if len(pairs) == 0 {
+		return
+	}
+
+	addr := isa.Reg(b.nextReg)
+	b.nextReg++
+	slot := b.AllocShared(4 * spillSlotThreads)
+
+	stsAfter := make(map[int]isa.Reg, len(pairs))
+	ldsBefore := make(map[int]isa.Reg, len(pairs))
+	for _, p := range pairs {
+		stsAfter[p.def] = b.instrs[p.def].Dst
+		ldsBefore[p.use] = b.instrs[p.def].Dst
+	}
+
+	// Prologue: addr = tid.x * 4, the thread's byte offset into the slot.
+	out := make([]isa.Instr, 0, len(b.instrs)+2*len(pairs)+2)
+	out = append(out,
+		isa.Instr{Op: isa.OpS2R, Pred: isa.PT, DstP: isa.PT, Dst: addr, SReg: isa.SrTidX},
+		isa.Instr{Op: isa.OpSHF, Shift: isa.ShiftL, Pred: isa.PT, DstP: isa.PT, Dst: addr,
+			Srcs: [3]isa.Operand{isa.R(addr), isa.Imm(2)}},
+	)
+
+	newIdx := make([]int, len(b.instrs)+1)
+	targets := make(map[int]string, len(b.targets))
+	for idx := range b.instrs {
+		if r, ok := ldsBefore[idx]; ok {
+			// The use is never a block leader (the window is intra-block),
+			// so no label or branch target can point between reload and use.
+			out = append(out, isa.Instr{Op: isa.OpLDS, Pred: isa.PT, DstP: isa.PT, Dst: r,
+				Srcs: [3]isa.Operand{isa.R(addr), isa.Imm(slot)}})
+		}
+		newIdx[idx] = len(out)
+		if label, ok := b.targets[idx]; ok {
+			targets[len(out)] = label
+		}
+		out = append(out, b.instrs[idx])
+		if r, ok := stsAfter[idx]; ok {
+			out = append(out, isa.Instr{Op: isa.OpSTS, Pred: isa.PT, DstP: isa.PT,
+				Srcs: [3]isa.Operand{isa.R(addr), isa.Imm(slot), isa.R(r)}})
+		}
+	}
+	newIdx[len(b.instrs)] = len(out)
+	for label, idx := range b.labels {
+		b.labels[label] = newIdx[idx]
+	}
+	b.instrs = out
+	b.targets = targets
+}
+
+// spillable reports whether the instruction defines a value the spill
+// pass may route through memory: an unpredicated single-register write
+// by a plain arithmetic/logic op, a select, or a global load. Loads from
+// shared are excluded so reloads are never themselves spilled.
+func spillable(in *isa.Instr) bool {
+	if in.Pred != isa.PT {
+		return false
+	}
+	switch in.Op {
+	case isa.OpFADD, isa.OpFMUL, isa.OpFFMA,
+		isa.OpIADD, isa.OpIMUL, isa.OpIMAD,
+		isa.OpLOP, isa.OpSHF, isa.OpIMNMX,
+		isa.OpSEL, isa.OpLDG, isa.OpS2R:
+		return in.Dst != isa.RZ && in.DstRegs() == 1
+	}
+	return false
+}
+
+// readsReg reports whether the instruction reads the register,
+// predicated or not (a conditional read still needs the value present).
+func readsReg(in *isa.Instr, r isa.Reg) bool {
+	for _, span := range in.SrcRegSpans() {
+		if r >= span[0] && r < span[0]+span[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// writesReg reports whether the instruction writes the register,
+// predicated or not (a conditional write still invalidates the window).
+func writesReg(in *isa.Instr, r isa.Reg) bool {
+	n := isa.Reg(in.DstRegs())
+	return n > 0 && r >= in.Dst && r < in.Dst+n
+}

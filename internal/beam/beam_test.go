@@ -3,6 +3,7 @@ package beam
 import (
 	"testing"
 
+	"gpurel/internal/asm"
 	"gpurel/internal/device"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
@@ -10,7 +11,7 @@ import (
 
 func runBeam(t *testing.T, name string, b kernels.Builder, dev *device.Device, ecc bool, trials int) *Result {
 	t.Helper()
-	r, err := kernels.NewRunner(name, b, dev, 1 /* asm.O2 */)
+	r, err := kernels.NewRunner(name, b, dev, asm.O2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,7 @@ type deviceStudyJSON struct {
 	AVF            map[string]map[string]*faultinj.Result
 	StaticAVF      map[string]*analysis.Estimate
 	ScalarAVF      map[string]*analysis.Estimate
+	OptMatrix      map[string]*faultinj.OptMatrix
 	Beam           []beamEntryJSON
 	Predictions    []predEntryJSON
 	Comparisons    []fit.Comparison
@@ -71,6 +72,7 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 		AVF:            map[string]map[string]*faultinj.Result{},
 		StaticAVF:      ds.StaticAVF,
 		ScalarAVF:      ds.ScalarAVF,
+		OptMatrix:      ds.OptMatrix,
 		StaticHidden:   ds.StaticHidden,
 		MeasuredHidden: ds.MeasuredHidden,
 		DUE:            map[string]float64{},
@@ -159,6 +161,7 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 		AVF:                       map[faultinj.Tool]map[string]*faultinj.Result{},
 		StaticAVF:                 in.StaticAVF,
 		ScalarAVF:                 in.ScalarAVF,
+		OptMatrix:                 in.OptMatrix,
 		Beam:                      map[BeamKey]*beam.Result{},
 		Predictions:               map[PredKey]fit.Prediction{},
 		Comparisons:               in.Comparisons,
@@ -173,6 +176,9 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 	}
 	if ds.ScalarAVF == nil {
 		ds.ScalarAVF = map[string]*analysis.Estimate{}
+	}
+	if ds.OptMatrix == nil {
+		ds.OptMatrix = map[string]*faultinj.OptMatrix{}
 	}
 	if ds.StaticHidden == nil {
 		ds.StaticHidden = map[string]*analysis.HiddenEstimate{}

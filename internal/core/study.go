@@ -39,6 +39,7 @@ type Options struct {
 	SassifiPerClass int // SASSIFI faults per instruction class (default 120)
 	NVBitFITotal    int // NVBitFI faults per workload (default 500)
 	MicroAVFFaults  int // injections per micro for its own AVF (default 80)
+	OptFaults       int // injections per optimization-matrix cell (default 160)
 	Workers         int
 	Seed            uint64
 	// Progress, when set, receives one line per completed campaign.
@@ -60,6 +61,9 @@ func (o *Options) defaults() {
 	}
 	if o.MicroAVFFaults <= 0 {
 		o.MicroAVFFaults = 80
+	}
+	if o.OptFaults <= 0 {
+		o.OptFaults = 160
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -219,6 +223,12 @@ type DeviceStudy struct {
 	StaticAVF map[string]*analysis.Estimate
 	ScalarAVF map[string]*analysis.Estimate
 
+	// OptMatrix holds, per cross-validation workload, the compiler-
+	// optimization reliability matrix: every asm.MatrixConfigs
+	// configuration with its fixed-injector campaign, static estimate,
+	// explainer metrics, and per-cell Eq. 1-4 prediction.
+	OptMatrix map[string]*faultinj.OptMatrix
+
 	// StaticHidden is the per-code static hidden-resource DUE estimate
 	// (internal/analysis), the correction term the injectors cannot
 	// supply. MeasuredHidden is its measured-residency counterpart,
@@ -285,6 +295,7 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		ScalarAVF:                 make(map[string]*analysis.Estimate),
 		Beam:                      make(map[BeamKey]*beam.Result),
 		Predictions:               make(map[PredKey]fit.Prediction),
+		OptMatrix:                 make(map[string]*faultinj.OptMatrix),
 		StaticHidden:              make(map[string]*analysis.HiddenEstimate),
 		MeasuredHidden:            make(map[string]*analysis.HiddenEstimate),
 		DUEUnderestimate:          make(map[bool]float64),
@@ -463,6 +474,53 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		return nil, err
 	}
 
+	// 3b. Compiler-optimization reliability matrix over the cross-
+	// validation workloads: every asm.MatrixConfigs configuration gets a
+	// fixed-injector NVBitFI campaign, the static estimate and explainer
+	// (the "why" columns of the opt_* artifacts), and an Eq. 1-4
+	// prediction from its own per-configuration code profile at ECC on
+	// (the memory term drops, leaving the logic AVF the matrix varies).
+	var matrixJobs []suite.Entry
+	for _, e := range entries {
+		if matrixKernel(e.Name) {
+			matrixJobs = append(matrixJobs, e)
+		}
+	}
+	runnerFor := func(name string, build kernels.Builder, _ *device.Device, opt asm.OptLevel) (*kernels.Runner, error) {
+		return cache.get(name, build, opt)
+	}
+	outer, innerW = splitWorkers(opts.Workers, len(matrixJobs))
+	err = forEach(len(matrixJobs), outer, func(i int) error {
+		e := matrixJobs[i]
+		m, err := faultinj.RunOptMatrix(faultinj.OptMatrixConfig{
+			Faults: opts.OptFaults, Workers: innerW,
+			Seed: opts.Seed ^ hash(e.Name) ^ 0x097a11e1,
+		}, e.Name, e.Build, dev, runnerFor)
+		if err != nil {
+			return fmt.Errorf("core: opt matrix %s: %w", e.Name, err)
+		}
+		for _, cell := range m.Cells {
+			r, err := cache.get(e.Name, e.Build, cell.Opt)
+			if err != nil {
+				return err
+			}
+			cp, err := profiler.Profile(r)
+			if err != nil {
+				return fmt.Errorf("core: opt profile %s at %s: %w", e.Name, cell.Opt, err)
+			}
+			fit.PredictOptCell(cp, cell, ds.Units, true)
+		}
+		mu.Lock()
+		ds.OptMatrix[e.Name] = m
+		mu.Unlock()
+		opts.Progress("opt matrix %-10s: %d configs, ordering tau %.2f",
+			e.Name, len(m.Cells), m.OrderingTau(faultinj.OptOrderingEps))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// 4. Beam campaigns over the codes (Figure 5), concurrent across
 	// (code, ECC) configurations.
 	keys := BeamConfigs(dev, entries)
@@ -495,6 +553,19 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		return nil, err
 	}
 	return ds, nil
+}
+
+// matrixKernel reports whether a workload is in the optimization-matrix
+// population (the injection cross-validation set: the matrix gate
+// compares static and dynamic orderings, which needs kernels where the
+// two views agree on levels first).
+func matrixKernel(name string) bool {
+	for _, k := range faultinj.CrossValKernels {
+		if k == name {
+			return true
+		}
+	}
+	return false
 }
 
 // injectable reports whether the tool can instrument the entry on the

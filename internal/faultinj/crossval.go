@@ -2,6 +2,7 @@ package faultinj
 
 import (
 	"fmt"
+	"sort"
 
 	"gpurel/internal/analysis"
 	"gpurel/internal/device"
@@ -90,9 +91,17 @@ func staticEstimate(r *kernels.Runner, tool Tool, scalar bool) (*analysis.Estima
 		} else {
 			e = a.Estimate(w, filter)
 		}
+		// Sum weights in sorted class order: float accumulation over a
+		// map range is iteration-order dependent at the ULP level, which
+		// is enough to drift the byte-stable study artifacts.
+		classes := make([]isa.Class, 0, len(e.PerClass))
+		for class := range e.PerClass {
+			classes = append(classes, class)
+		}
+		sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
 		var lw float64
-		for _, ce := range e.PerClass {
-			lw += ce.Weight
+		for _, class := range classes {
+			lw += e.PerClass[class].Weight
 		}
 		if lw == 0 {
 			continue

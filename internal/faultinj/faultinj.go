@@ -97,6 +97,12 @@ type Config struct {
 	Workers int
 	// Seed makes the campaign reproducible.
 	Seed uint64
+	// AllowAnyOpt permits injecting into a runner built at any compiler
+	// configuration, not just the tool's native pipeline. The
+	// optimization-matrix campaigns set it: the point there is holding
+	// the injector fixed (NVBitFI site semantics) while the codegen
+	// varies, so the AVF movement is attributable to the code alone.
+	AllowAnyOpt bool
 }
 
 // BandAVF is the per-bit-band outcome of the campaign's value-bit
@@ -192,15 +198,16 @@ func Run(cfg Config, name string, build kernels.Builder, dev *device.Device) (*R
 // RunWithRunner executes an injection campaign against an already-built
 // runner, reusing its cached instance, golden profiles, and launch-
 // boundary snapshots. The runner must have been built with the compiler
-// pipeline the tool's toolchain implies (Tool.OptLevel).
+// pipeline the tool's toolchain implies (Tool.OptLevel), unless
+// cfg.AllowAnyOpt relaxes the pairing for matrix campaigns.
 func RunWithRunner(cfg Config, runner *kernels.Runner) (*Result, error) {
 	dev := runner.Dev
 	name := runner.Name
 	if cfg.Tool == Sassifi && dev.Arch != device.Kepler {
 		return nil, fmt.Errorf("faultinj: SASSIFI supports Kepler/Maxwell only, not %s", dev.Name)
 	}
-	if runner.Opt != cfg.Tool.OptLevel() {
-		return nil, fmt.Errorf("faultinj: %s runner built at opt level %d, %s injects at %d",
+	if !cfg.AllowAnyOpt && runner.Opt != cfg.Tool.OptLevel() {
+		return nil, fmt.Errorf("faultinj: %s runner built at %s, %s injects at %s (set AllowAnyOpt for matrix campaigns)",
 			name, runner.Opt, cfg.Tool, cfg.Tool.OptLevel())
 	}
 	rng := stats.NewRNG(0x1437, cfg.Seed)

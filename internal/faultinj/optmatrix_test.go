@@ -1,0 +1,51 @@
+package faultinj
+
+import (
+	"testing"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+	"gpurel/internal/suite"
+)
+
+// TestMatrixGoldenEquivalence asserts that every matrix configuration of
+// every CrossValKernels workload is semantics-preserving: the golden run
+// of each configuration must leave bit-identical device memory. The
+// runner itself additionally requires each golden run to pass the
+// workload's own output comparator, so a configuration that "passes" by
+// corrupting and then fixing memory cannot slip through.
+func TestMatrixGoldenEquivalence(t *testing.T) {
+	for _, dev := range []*device.Device{device.K40c(), device.V100()} {
+		entries := suite.ForDevice(dev)
+		names := CrossValKernels
+		if testing.Short() {
+			names = names[:3]
+		}
+		for _, name := range names {
+			e, err := suite.Find(entries, name)
+			if err != nil {
+				continue // not in this device's suite
+			}
+			ref, err := kernels.NewRunner(e.Name, e.Build, dev, asm.O2)
+			if err != nil {
+				t.Fatalf("%s/%s at O2: %v", dev.Name, e.Name, err)
+			}
+			want := ref.Instance().Global.Snapshot()
+			for _, opt := range asm.MatrixConfigs() {
+				if opt == asm.O2 {
+					continue
+				}
+				r, err := kernels.NewRunner(e.Name, e.Build, dev, opt)
+				if err != nil {
+					t.Errorf("%s/%s at %s: %v", dev.Name, e.Name, opt, err)
+					continue
+				}
+				if !r.Instance().Global.EqualSnapshot(want) {
+					t.Errorf("%s/%s at %s: golden memory differs from O2",
+						dev.Name, e.Name, opt)
+				}
+			}
+		}
+	}
+}

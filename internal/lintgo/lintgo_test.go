@@ -1,0 +1,147 @@
+package lintgo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module from path->content pairs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestSeededViolation(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"bad.go": `package fixture
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+	})
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Message, "nondeterministic") || !strings.Contains(fs[0].Message, "Printf") {
+		t.Errorf("message %q should name the hazard and the sink", fs[0].Message)
+	}
+	if fs[0].Pos.Line != 6 {
+		t.Errorf("finding at line %d, want 6 (the range statement)", fs[0].Pos.Line)
+	}
+}
+
+// Deterministic uses of maps must not be flagged: slice iteration that
+// prints, key collection without output, and the collect-sort-iterate
+// idiom the check exists to steer people toward.
+func TestCleanPatterns(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"ok.go": `package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sliceLoop(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+func collectOnly(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedDump(m map[string]int) {
+	for _, k := range collectOnly(m) {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+`,
+	})
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean patterns flagged: %v", fs)
+	}
+}
+
+// A map whose type is declared in a sibling intra-module package must
+// still be recognized — this exercises the recursive source loader.
+func TestCrossPackageMapType(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"store/store.go": `package store
+
+type Table struct {
+	Rows map[string]float64
+}
+`,
+		"render/render.go": `package render
+
+import (
+	"fmt"
+
+	"fixture/store"
+)
+
+func Dump(t *store.Table) {
+	for name, v := range t.Rows {
+		fmt.Printf("%s %g\n", name, v)
+	}
+}
+`,
+	})
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want 1 (cross-package map type): %v", len(fs), fs)
+	}
+	if !strings.HasSuffix(fs[0].Pos.Filename, "render.go") {
+		t.Errorf("finding in %s, want render.go", fs[0].Pos.Filename)
+	}
+}
+
+// The repository itself must stay clean — this is the same gate the
+// full check tier runs via tools/gomaplint.
+func TestRepoClean(t *testing.T) {
+	fs, err := CheckTree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("repository has nondeterministic map iterations feeding writers:\n%v", fs)
+	}
+}

@@ -407,7 +407,106 @@ func Full(ds *core.DeviceStudy, csv bool) string {
 	b.WriteString(CrossValTable(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(StudyBitBand(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(OptTable(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(OptPressureTable(ds, csv))
 	return b.String()
+}
+
+// OptTable renders the cross-section-vs-optimization matrix of one
+// device: per (code, configuration), the measured and static unmasked
+// AVFs, the per-configuration Eq. 1-4 FIT predictions, and the static
+// explanation columns — mean live-range length, spill exposure, ACE
+// mass — that account for the movement. The ordering column carries the
+// matrix-level static-vs-injection agreement (concordant/discordant
+// pairs at the documented tie width), repeated per row for CSV use.
+func OptTable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{
+		"code", "config", "instrs", "dyn unmasked", "static unmasked",
+		"pred SDC FIT", "pred DUE FIT", "mean live-range", "spill exposure",
+		"ACE mass", "ordering"}}
+	for _, name := range suiteOrder(ds) {
+		m, ok := ds.OptMatrix[name]
+		if !ok {
+			continue
+		}
+		c, d := m.OrderingAgreement(faultinj.OptOrderingEps)
+		ord := fmt.Sprintf("%dc/%dd", c, d)
+		if d > 0 {
+			ord += " DISAGREE"
+		}
+		for _, cell := range m.Cells {
+			t.add(name, cell.Opt.String(),
+				fmt.Sprintf("%d", cell.Explain.Instrs),
+				fmt.Sprintf("%.3f", cell.DynamicUnmasked()),
+				fmt.Sprintf("%.3f", cell.StaticUnmasked()),
+				fmt.Sprintf("%.4g", cell.PredSDCFIT),
+				fmt.Sprintf("%.4g", cell.PredDUEFIT),
+				fmt.Sprintf("%.1f", cell.Explain.MeanLiveRange),
+				fmt.Sprintf("%d", cell.Explain.SpillExposure),
+				fmt.Sprintf("%.0f", cell.Explain.ACEMass),
+				ord)
+		}
+	}
+	return finish(t, csv, fmt.Sprintf("Cross section vs optimization — %s", ds.Dev.Name))
+}
+
+// OptPressureTable renders the AVF-vs-register-pressure view of the
+// same matrix: per (code, configuration), register demand, live-
+// register pressure, and the spill-window statistics, against both AVF
+// views — the table behind the spill variant's residency story.
+func OptPressureTable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{
+		"code", "config", "regs", "mean pressure", "max pressure",
+		"spill pairs", "spill exposure", "mean spill gap",
+		"dyn unmasked", "static unmasked"}}
+	for _, name := range suiteOrder(ds) {
+		m, ok := ds.OptMatrix[name]
+		if !ok {
+			continue
+		}
+		for _, cell := range m.Cells {
+			t.add(name, cell.Opt.String(),
+				fmt.Sprintf("%d", cell.Explain.Regs),
+				fmt.Sprintf("%.2f", cell.Explain.MeanPressure),
+				fmt.Sprintf("%d", cell.Explain.MaxPressure),
+				fmt.Sprintf("%d", cell.Explain.SpillPairs),
+				fmt.Sprintf("%d", cell.Explain.SpillExposure),
+				fmt.Sprintf("%.1f", cell.Explain.MeanSpillGap),
+				fmt.Sprintf("%.3f", cell.DynamicUnmasked()),
+				fmt.Sprintf("%.3f", cell.StaticUnmasked()))
+		}
+	}
+	return finish(t, csv, fmt.Sprintf("AVF vs register pressure — %s", ds.Dev.Name))
+}
+
+// OptMatrixSweep renders standalone matrices (cmd/gpurel-ablate's
+// -opt-matrix mode) without a full device study: AVF views plus the
+// full explainer per cell.
+func OptMatrixSweep(ms []*faultinj.OptMatrix, csv bool) string {
+	t := &table{header: []string{
+		"device", "code", "config", "instrs", "regs", "dyn unmasked",
+		"static unmasked", "mean live-range", "max live-range",
+		"mean pressure", "spill exposure", "ACE mass", "dead-bit mass", "tau"}}
+	for _, m := range ms {
+		tau := m.OrderingTau(faultinj.OptOrderingEps)
+		for _, cell := range m.Cells {
+			t.add(m.Device, m.Name, cell.Opt.String(),
+				fmt.Sprintf("%d", cell.Explain.Instrs),
+				fmt.Sprintf("%d", cell.Explain.Regs),
+				fmt.Sprintf("%.3f", cell.DynamicUnmasked()),
+				fmt.Sprintf("%.3f", cell.StaticUnmasked()),
+				fmt.Sprintf("%.1f", cell.Explain.MeanLiveRange),
+				fmt.Sprintf("%d", cell.Explain.MaxLiveRange),
+				fmt.Sprintf("%.2f", cell.Explain.MeanPressure),
+				fmt.Sprintf("%d", cell.Explain.SpillExposure),
+				fmt.Sprintf("%.0f", cell.Explain.ACEMass),
+				fmt.Sprintf("%.0f", cell.Explain.DeadBitMass),
+				fmt.Sprintf("%.2f", tau))
+		}
+	}
+	return finish(t, csv, "Optimization-matrix sweep")
 }
 
 func finish(t *table, csv bool, title string) string {

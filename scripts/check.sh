@@ -6,6 +6,7 @@
 #   scripts/check.sh bench      substrate benchmarks (one iteration each; smoke, not timing)
 #   scripts/check.sh artifacts  golden-artifact drift gate: regenerate out/ and byte-diff
 #   scripts/check.sh crossval   static-vs-injection agreement gate + table export
+#   scripts/check.sh opt        optimization-matrix ordering gate + sweep table export
 #
 # The race run executes the whole test suite a second time under
 # -race instrumentation; expect it to take several times longer than
@@ -46,6 +47,25 @@ if [ "${1:-}" = "crossval" ]; then
         exit 1
     fi
     cat crossval-table.txt
+    echo "checks passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "opt" ]; then
+    # Rerun the optimization matrix (O0/O1/O2 plus unroll, copy-prop,
+    # and spill knobs) over the CrossValKernels of both devices and fail
+    # if the static per-configuration AVF ordering contradicts the
+    # injection campaign's on any matrix — i.e. if a codegen or
+    # explainer change broke the "why" layer's predictive ordering. The
+    # sweep table lands at opt-gate-table.txt (stable path; gitignored)
+    # so CI can upload it either way.
+    echo "== gpurel-lint -opt-gate"
+    if ! go run ./cmd/gpurel-lint -opt-gate >opt-gate-table.txt; then
+        cat opt-gate-table.txt
+        echo "OPT GATE: static AVF ordering contradicts injection on a matrix (see above)"
+        exit 1
+    fi
+    cat opt-gate-table.txt
     echo "checks passed"
     exit 0
 fi
@@ -101,6 +121,8 @@ if [ "${1:-}" = "full" ]; then
     echo "== gpurel-lint (selftest + built-in kernels and micros)"
     go run ./cmd/gpurel-lint -selftest
     go run ./cmd/gpurel-lint >/dev/null
+    echo "== gomaplint (deterministic artifact writers)"
+    go run ./tools/gomaplint .
     echo "== go test -race -short ./..."
     go test -race -short -timeout 20m ./...
 fi

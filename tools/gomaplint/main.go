@@ -1,0 +1,35 @@
+// Command gomaplint runs the repository's nondeterministic-map-
+// iteration check (internal/lintgo) over a module tree and exits
+// nonzero on any finding. It exists so the full check tier and CI can
+// gate on it:
+//
+//	go run ./tools/gomaplint .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpurel/internal/lintgo"
+)
+
+func main() {
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	findings, err := lintgo.CheckTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gomaplint: %d nondeterministic map iteration(s) feeding writers\n", len(findings))
+		os.Exit(1)
+	}
+}
