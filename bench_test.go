@@ -23,6 +23,7 @@ import (
 	"gpurel/internal/microbench"
 	"gpurel/internal/profiler"
 	"gpurel/internal/sim"
+	"gpurel/internal/stats"
 	"gpurel/internal/suite"
 )
 
@@ -344,8 +345,12 @@ func BenchmarkSimProfileTimeline(b *testing.B) {
 
 // benchPerFault measures the marginal cost of one injected fault under
 // the checkpointed engine: a golden runner is built once, then each
-// iteration restores a launch-boundary snapshot, simulates the fault
-// launch, and cuts off as soon as the state rejoins golden.
+// iteration restores the nearest golden image (sub-launch or launch
+// boundary), simulates the faulted suffix, and cuts off as soon as the
+// state rejoins golden. Triggers cycle through the first fifty filtered
+// lane-ops — the definition BENCH_v0.json and the CI gate track — so the
+// metric prices the early-fault replay the sub-launch rejoin cutoff was
+// built for.
 func benchPerFault(b *testing.B, name string, build kernels.Builder) {
 	dev := device.K40c()
 	r, err := kernels.NewRunner(name, build, dev, asm.O2)
@@ -367,12 +372,57 @@ func benchPerFault(b *testing.B, name string, build kernels.Builder) {
 	}
 }
 
+// benchPerFaultUniform is the campaign-representative variant: triggers
+// are sampled uniformly over the golden dynamic lane-op stream with a
+// fixed-seed RNG — the same distribution the injection campaigns draw
+// from — so the metric prices the fault mix a real campaign pays for
+// (mid-launch triggers, SDC-heavy suffixes), not just early replays.
+func benchPerFaultUniform(b *testing.B, name string, build kernels.Builder) {
+	dev := device.K40c()
+	r, err := kernels.NewRunner(name, build, dev, asm.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := r.LaunchLaneOps(func(op isa.Op) bool { return !op.IsControl() })
+	var total uint64
+	for _, n := range ops {
+		total += n
+	}
+	rng := stats.NewRNG(0xb7e151628aed2a6a, 0x9e3779b97f4a7c15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := uint64(rng.Int64N(int64(total)))
+		launch := 0
+		for launch < len(ops)-1 && t >= ops[launch] {
+			t -= ops[launch]
+			launch++
+		}
+		plan := &sim.FaultPlan{Kind: sim.FaultValueBit, TriggerIndex: t, Bit: rng.IntN(32)}
+		if _, err := r.RunWithFault(plan, launch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "faults/s")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/fault")
+	}
+}
+
 func BenchmarkSimPerFaultFMXM(b *testing.B) {
 	benchPerFault(b, "FMXM", kernels.MxMBuilder(isa.F32))
 }
 
 func BenchmarkSimPerFaultYOLOv3(b *testing.B) {
 	benchPerFault(b, "FYOLOV3", kernels.YOLOBuilder(true, isa.F32))
+}
+
+func BenchmarkSimPerFaultFMXMUniform(b *testing.B) {
+	benchPerFaultUniform(b, "FMXM", kernels.MxMBuilder(isa.F32))
+}
+
+func BenchmarkSimPerFaultYOLOv3Uniform(b *testing.B) {
+	benchPerFaultUniform(b, "FYOLOV3", kernels.YOLOBuilder(true, isa.F32))
 }
 
 // BenchmarkSimSnapshotRestore isolates the memory-checkpoint substrate:

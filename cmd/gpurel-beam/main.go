@@ -21,6 +21,7 @@ import (
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
 	"gpurel/internal/microbench"
+	"gpurel/internal/pprofutil"
 	"gpurel/internal/report"
 	"gpurel/internal/suite"
 )
@@ -35,7 +36,12 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign parallelism (0: one worker per CPU)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	csv := flag.Bool("csv", false, "emit CSV")
+	pprofutil.AddFlags()
 	flag.Parse()
+	if err := pprofutil.Start(); err != nil {
+		fail(err)
+	}
+	defer pprofutil.Stop()
 
 	dev, err := pickDevice(*devName)
 	if err != nil {
@@ -62,7 +68,9 @@ func main() {
 			}
 			ds.MicroBeam[m.Name] = res
 			totalTrials += res.Trials
-			fmt.Fprintf(os.Stderr, "done %s\n", m.Name)
+			restores, rejoins := r.ReplayStats()
+			fmt.Fprintf(os.Stderr, "done %s (sub-launch restores %d, rejoins %d)\n",
+				m.Name, restores, rejoins)
 		}
 		summary(totalTrials, start)
 		fmt.Print(report.Figure3(ds, *csv))
@@ -83,7 +91,9 @@ func main() {
 			}
 			ds.Beam[key] = res
 			totalTrials += res.Trials
-			fmt.Fprintf(os.Stderr, "done %s ecc=%v\n", key.Code, key.ECC)
+			restores, rejoins := r.ReplayStats()
+			fmt.Fprintf(os.Stderr, "done %s ecc=%v (sub-launch restores %d, rejoins %d)\n",
+				key.Code, key.ECC, restores, rejoins)
 		}
 		// Figure 5 normalizes against the micro floor; run the cheapest
 		// reference micro for the normalization constant.
@@ -114,6 +124,8 @@ func main() {
 			fail(err)
 		}
 		summary(res.Trials, start)
+		restores, rejoins := r.ReplayStats()
+		fmt.Fprintf(os.Stderr, "sub-launch replay: %d restores, %d rejoins\n", restores, rejoins)
 		fmt.Printf("%s on %s, ECC %v: SDC FIT %.4f [%.4f, %.4f] a.u. (%d events), DUE FIT %.4f (%d events), %d trials\n",
 			res.Name, res.Device, res.ECC,
 			res.SDCFIT.Rate, res.SDCFIT.CI.Lower, res.SDCFIT.CI.Upper, res.SDC,
@@ -156,6 +168,7 @@ func pickDevice(name string) (*device.Device, error) {
 }
 
 func fail(err error) {
+	pprofutil.Stop() // flush any in-flight profiles before exiting
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

@@ -17,6 +17,8 @@ import (
 	"gpurel/internal/device"
 	"gpurel/internal/faultinj"
 	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+	"gpurel/internal/pprofutil"
 	"gpurel/internal/report"
 	"gpurel/internal/suite"
 )
@@ -29,7 +31,12 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign parallelism (0: one worker per CPU)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	csv := flag.Bool("csv", false, "emit CSV")
+	pprofutil.AddFlags()
 	flag.Parse()
+	if err := pprofutil.Start(); err != nil {
+		fail(err)
+	}
+	defer pprofutil.Stop()
 
 	dev, err := pickDevice(*devName)
 	if err != nil {
@@ -63,7 +70,14 @@ func main() {
 	totalFaults := 0
 	for _, e := range entries {
 		codeStart := time.Now()
-		res, err := faultinj.Run(cfg, e.Name, e.Build, dev)
+		// Build the runner here (rather than through faultinj.Run) so the
+		// sub-launch replay statistics are visible after the campaign.
+		runner, err := kernels.NewRunner(e.Name, e.Build, dev, cfg.Tool.OptLevel())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skip %s: %v\n", e.Name, err)
+			continue
+		}
+		res, err := faultinj.RunWithRunner(cfg, runner)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skip %s: %v\n", e.Name, err)
 			continue
@@ -71,8 +85,10 @@ func main() {
 		ds.AVF[tool][e.Name] = res
 		totalFaults += res.Injected
 		el := time.Since(codeStart)
-		fmt.Fprintf(os.Stderr, "done %s: %d faults in %s (%.0f faults/s)\n",
-			e.Name, res.Injected, el.Round(time.Millisecond), float64(res.Injected)/el.Seconds())
+		restores, rejoins := runner.ReplayStats()
+		fmt.Fprintf(os.Stderr, "done %s: %d faults in %s (%.0f faults/s; sub-launch restores %d, rejoins %d)\n",
+			e.Name, res.Injected, el.Round(time.Millisecond), float64(res.Injected)/el.Seconds(),
+			restores, rejoins)
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(os.Stderr, "campaign total: %d faults in %s (%.0f faults/s)\n",
@@ -111,6 +127,7 @@ func pickDevice(name string) (*device.Device, error) {
 }
 
 func fail(err error) {
+	pprofutil.Stop() // flush any in-flight profiles before exiting
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

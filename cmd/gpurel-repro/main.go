@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gpurel/internal/core"
+	"gpurel/internal/pprofutil"
 	"gpurel/internal/report"
 )
 
@@ -26,7 +27,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "study seed")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	fromDir := flag.String("from", "", "re-render artifacts from a directory of saved study_*.json files instead of running campaigns")
+	pprofutil.AddFlags()
 	flag.Parse()
+	if err := pprofutil.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pprofutil.Stop()
 
 	if *fromDir != "" {
 		kepler, err := core.LoadDeviceStudy(filepath.Join(*fromDir, "study_kepler.json"))

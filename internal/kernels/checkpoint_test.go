@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"sync"
 	"testing"
 
 	"gpurel/internal/asm"
@@ -146,6 +147,135 @@ func TestRunnerReusableAfterFaults(t *testing.T) {
 	}
 	if !r.Instance().Check(r.Instance().Global) {
 		t.Fatal("faulted replays corrupted the cached golden memory")
+	}
+}
+
+// TestSubLaunchReplayAcrossFaultKinds is the golden-equivalence gate of
+// the sub-launch machinery specifically: on a single-launch kernel the
+// launch-boundary snapshots alone never help, so every saving — mid-
+// launch restores before the trigger and rejoin cutoffs after the fault
+// washes out — comes from the recorded LaunchImages. Every fault kind
+// gets triggers spread across the whole launch, and the checkpointed
+// verdict must match full re-simulation for each. The test also asserts
+// the machinery actually engaged (images recorded, restores used);
+// equivalence proven only on replays that bypassed the images would
+// prove nothing.
+func TestSubLaunchReplayAcrossFaultKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is heavy")
+	}
+	dev := device.K40c()
+	r, err := NewRunner("FMXM", MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Instance().Launches) != 1 {
+		t.Fatalf("FMXM should be single-launch, has %d launches", len(r.Instance().Launches))
+	}
+	if len(r.images[0]) < 2 {
+		t.Fatalf("expected sub-launch images on FMXM, got %d", len(r.images[0]))
+	}
+	ops := r.GoldenProfiles()[0].LaneOps
+	rng := stats.NewRNG(0x5b1a, 0x7002)
+	gprFilter := func(op isa.Op) bool { return op.WritesGPR() }
+	for kind := sim.FaultKind(0); kind < 8; kind++ {
+		for i := 0; i < 5; i++ {
+			// Five triggers per kind, spread from the launch's first
+			// fifth to its end so plans land on both sides of the
+			// recorded images.
+			lo := ops * uint64(i) / 5
+			plan := &sim.FaultPlan{
+				Kind:         kind,
+				TriggerIndex: lo + rng.Uint64()%(ops/5+1),
+				Bit:          rng.IntN(64),
+				Block:        rng.IntN(4),
+				Thread:       rng.IntN(64),
+				Reg:          rng.IntN(8),
+				BitIdx:       rng.Uint64() % 4096,
+			}
+			if kind == sim.FaultValueBit && rng.Bool(0.5) {
+				plan.Filter = gprFilter
+			}
+			fast, err := r.RunWithFault(clonePlan(plan), 0)
+			if err != nil {
+				t.Fatalf("checkpointed run: %v", err)
+			}
+			full := runWithFaultFull(t, r, clonePlan(plan), 0)
+			if fast != full {
+				t.Fatalf("kind %v trigger %d bit %d: checkpointed %v, full re-sim %v",
+					plan.Kind, plan.TriggerIndex, plan.Bit, fast, full)
+			}
+		}
+	}
+	restores, rejoins := r.ReplayStats()
+	t.Logf("sub-launch replay: %d restores, %d rejoins over 40 faults", restores, rejoins)
+	if restores == 0 {
+		t.Error("no replay started from a sub-launch image; the spread should have hit late triggers")
+	}
+}
+
+// TestReplayDeterminismAcrossWorkers locks in that a Runner shared by
+// concurrent campaign workers classifies exactly like a sequential one:
+// the same plan set run one-at-a-time and under 8 goroutines must give
+// identical per-plan outcomes. This is the property campaigns rely on
+// when they fan RunWithFault out over a worker pool — the engine's
+// pooled memories, image restores, and rejoin compares must not couple
+// replays to each other.
+func TestReplayDeterminismAcrossWorkers(t *testing.T) {
+	dev := device.K40c()
+	r, err := NewRunner("FMXM", MxMBuilder(isa.F32), dev, asm.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := r.GoldenProfiles()[0].LaneOps
+	rng := stats.NewRNG(0xd00d, 0x7003)
+	const n = 64
+	plans := make([]*sim.FaultPlan, n)
+	for i := range plans {
+		plans[i] = &sim.FaultPlan{
+			Kind:         sim.FaultKind(rng.IntN(8)),
+			TriggerIndex: rng.Uint64() % (ops + 1),
+			Bit:          rng.IntN(64),
+			Block:        rng.IntN(4),
+			Thread:       rng.IntN(64),
+			Reg:          rng.IntN(8),
+			BitIdx:       rng.Uint64() % 4096,
+		}
+	}
+	seq := make([]Outcome, n)
+	for i, p := range plans {
+		out, err := r.RunWithFault(clonePlan(p), 0)
+		if err != nil {
+			t.Fatalf("sequential plan %d: %v", i, err)
+		}
+		seq[i] = out
+	}
+	par := make([]Outcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				par[i], errs[i] = r.RunWithFault(clonePlan(plans[i]), 0)
+			}
+		}()
+	}
+	for i := range plans {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i := range plans {
+		if errs[i] != nil {
+			t.Fatalf("parallel plan %d: %v", i, errs[i])
+		}
+		if par[i] != seq[i] {
+			t.Errorf("plan %d (kind %v trigger %d): sequential %v, 8-worker %v",
+				i, plans[i].Kind, plans[i].TriggerIndex, seq[i], par[i])
+		}
 	}
 }
 

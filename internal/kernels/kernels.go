@@ -11,6 +11,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gpurel/internal/asm"
 	"gpurel/internal/device"
@@ -85,7 +86,22 @@ type Runner struct {
 	pool           *mem.Pool       // recycled working memories for faulted replays
 	goldenProfiles []sim.Profile
 	goldenCycles   []int64
+
+	// images[i] holds the sub-launch golden images of launch i (nil when
+	// the memory budget made recording not worthwhile). A faulted replay
+	// restores the nearest image preceding its trigger and, once the
+	// fault fires, cuts off at the first golden image its state rejoins.
+	images [][]*sim.LaunchImage
+
+	// Replay accounting (read via ReplayStats; atomic because campaigns
+	// call RunWithFault from many goroutines).
+	subRestores atomic.Uint64 // replays started from a sub-launch image
+	subRejoins  atomic.Uint64 // replays cut off at a sub-launch rejoin
 }
+
+// imageBudgetBytes caps the approximate memory spent on sub-launch
+// images per Runner; the per-launch image count is scaled down to fit.
+const imageBudgetBytes = 64 << 20
 
 // NewRunner builds the workload once, performs the golden run, and
 // records the launch-boundary snapshots that make faulted replays cheap.
@@ -97,14 +113,27 @@ func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel)
 	}
 	r.inst = inst
 	r.pool = mem.NewPool(inst.Global.CapacityBytes())
+	// Sub-launch images cost roughly one global snapshot plus resident
+	// block state apiece; divide the budget across launches and skip
+	// recording where fewer than two images would fit.
+	maxImgs := imageBudgetBytes / len(inst.Launches) /
+		(inst.Global.AllocatedBytes() + 64*1024)
+	if maxImgs > sim.DefaultMaxImages {
+		maxImgs = sim.DefaultMaxImages
+	}
 	for i, l := range inst.Launches {
 		r.snaps = append(r.snaps, inst.Global.Snapshot())
+		var rec *sim.ImageRecorder
+		if maxImgs >= 2 {
+			rec = sim.NewImageRecorder(sim.DefaultImageInterval, maxImgs)
+		}
 		res, err := sim.Run(sim.Config{
 			Device: dev, Program: l.Prog,
 			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
 			// The golden run is where residency telemetry comes from;
 			// faulted replays skip the sampling (resumeWithFault).
 			SampleTimeline: true,
+			Record:         rec,
 		}, inst.Global)
 		if err != nil {
 			return nil, fmt.Errorf("kernels: golden run of %s launch %d: %w", name, i, err)
@@ -115,6 +144,11 @@ func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel)
 		}
 		r.goldenProfiles = append(r.goldenProfiles, res.Profile)
 		r.goldenCycles = append(r.goldenCycles, res.Profile.Cycles)
+		if rec != nil {
+			r.images = append(r.images, rec.Images)
+		} else {
+			r.images = append(r.images, nil)
+		}
 	}
 	r.snaps = append(r.snaps, inst.Global.Snapshot())
 	if !inst.Check(inst.Global) {
@@ -174,19 +208,36 @@ func (r *Runner) RunWithFault(plan *sim.FaultPlan, faultLaunch int) (Outcome, er
 	}
 	g := r.pool.Get()
 	defer r.pool.Put(g)
-	g.Restore(r.snaps[faultLaunch])
+	// Start the fault launch from the latest sub-launch image that
+	// provably precedes the plan's trigger; fall back to the launch
+	// boundary when none does (or none were recorded).
+	img := sim.PickImage(r.images[faultLaunch], plan)
+	if img != nil {
+		g.Restore(img.Mem)
+		r.subRestores.Add(1)
+	} else {
+		g.Restore(r.snaps[faultLaunch])
+	}
 
-	out, err := r.resumeWithFault(g, plan, faultLaunch)
+	out, err := r.resumeWithFault(g, plan, faultLaunch, img)
 	if err != nil {
 		return DUE, err
 	}
 	return out, nil
 }
 
+// ReplayStats reports how often faulted replays used the sub-launch
+// machinery: restores counts replays that started from a mid-launch
+// golden image, rejoins counts replays cut off early because their
+// state rejoined a golden image before the launch ended.
+func (r *Runner) ReplayStats() (restores, rejoins uint64) {
+	return r.subRestores.Load(), r.subRejoins.Load()
+}
+
 // resumeWithFault runs launches faultLaunch.. on the working memory g
 // (already holding the pre-fault-launch state), injecting the plan into
 // the first of them and cutting off as soon as the state rejoins golden.
-func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch int) (Outcome, error) {
+func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch int, img *sim.LaunchImage) (Outcome, error) {
 	launches := r.inst.Launches
 	for i := faultLaunch; i < len(launches); i++ {
 		l := launches[i]
@@ -194,16 +245,35 @@ func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch
 			Device: r.Dev, Program: l.Prog,
 			GridX: l.GridX, GridY: l.GridY, BlockThreads: l.BlockThreads,
 			MaxCycles: r.goldenCycles[i]*10 + 20_000,
+			// Replays are classified by outcome alone; skip the
+			// profile-only accounting on the issue path.
+			LeanProfile: true,
 		}
+		var res *sim.Result
+		var err error
 		if i == faultLaunch {
 			cfg.Fault = plan
+			cfg.Golden = r.images[i]
+			if img != nil {
+				res, err = sim.RunFrom(cfg, g, img)
+			} else {
+				res, err = sim.Run(cfg, g)
+			}
+		} else {
+			res, err = sim.Run(cfg, g)
 		}
-		res, err := sim.Run(cfg, g)
 		if err != nil {
 			return DUE, fmt.Errorf("kernels: %s launch %d: %w", r.Name, i, err)
 		}
 		if res.Outcome == sim.OutcomeDUE {
 			return DUE, nil
+		}
+		// Sub-launch rejoin cutoff: the replay's full state matched a
+		// golden mid-launch image after the fault fired, so the rest of
+		// the launch — and the remaining launches — replay golden.
+		if res.RejoinedGolden {
+			r.subRejoins.Add(1)
+			return Masked, nil
 		}
 		// Early masked-fault cutoff: if memory at this launch boundary is
 		// bit-identical to golden, the remaining launches replay the

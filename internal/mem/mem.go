@@ -109,6 +109,43 @@ func (g *Global) Store32(addr uint32, v uint32) error {
 	return nil
 }
 
+// LoadRow32 reads len(dst) consecutive words starting at addr — the
+// coalesced-warp fast path: one combined check, one copy. When the
+// combined check cannot pass it falls back to word-by-word loads so the
+// first failing word yields exactly the error a per-word caller sees.
+func (g *Global) LoadRow32(addr uint32, dst []uint32) error {
+	end := addr + uint32(len(dst))*4
+	if addr%4 == 0 && addr >= nullGuard && end >= addr && end <= g.hwm {
+		copy(dst, g.words[addr/4:end/4])
+		return nil
+	}
+	for i := range dst {
+		v, err := g.Load32(addr + uint32(4*i))
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// StoreRow32 writes len(src) consecutive words starting at addr; the
+// store analogue of LoadRow32. The fallback preserves the partial-write
+// semantics of a per-word loop that faults midway.
+func (g *Global) StoreRow32(addr uint32, src []uint32) error {
+	end := addr + uint32(len(src))*4
+	if addr%4 == 0 && addr >= nullGuard && end >= addr && end <= g.hwm {
+		copy(g.words[addr/4:end/4], src)
+		return nil
+	}
+	for i, v := range src {
+		if err := g.Store32(addr+uint32(4*i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load64 reads an aligned 64-bit value as (lo, hi) words.
 func (g *Global) Load64(addr uint32) (lo, hi uint32, err error) {
 	if err := g.check(addr, 8); err != nil {
@@ -236,4 +273,30 @@ func (s *Shared) FlipBit(bit uint64) {
 	}
 	bit %= uint64(s.size) * 8
 	s.words[bit/32] ^= 1 << (bit % 32)
+}
+
+// SnapshotWords returns a frozen copy of the region's words, the
+// shared-memory half of a sub-launch checkpoint image.
+func (s *Shared) SnapshotWords() []uint32 {
+	return append([]uint32(nil), s.words...)
+}
+
+// RestoreWords rewinds the region to a SnapshotWords copy taken from a
+// region of the same size.
+func (s *Shared) RestoreWords(words []uint32) {
+	copy(s.words, words)
+}
+
+// EqualWords reports whether the region is bit-identical to a
+// SnapshotWords copy.
+func (s *Shared) EqualWords(words []uint32) bool {
+	if len(s.words) != len(words) {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != words[i] {
+			return false
+		}
+	}
+	return true
 }

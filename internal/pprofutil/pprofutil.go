@@ -1,0 +1,71 @@
+// Package pprofutil wires runtime/pprof CPU and heap profiling into the
+// campaign CLIs behind -cpuprofile/-memprofile flags. The profiles are
+// the standard pprof protobuf format:
+//
+//	gpurel-inject -code FMXM -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	go tool pprof cpu.pb.gz
+package pprofutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuPath *string
+	memPath *string
+	cpuFile *os.File
+)
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag
+// set; call before flag.Parse.
+func AddFlags() {
+	cpuPath = flag.String("cpuprofile", "", "write a CPU profile (pprof format) to this file")
+	memPath = flag.String("memprofile", "", "write a heap profile (pprof format) to this file on exit")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call right
+// after flag.Parse and pair with a deferred Stop.
+func Start() error {
+	if cpuPath == nil || *cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(*cpuPath)
+	if err != nil {
+		return fmt.Errorf("pprofutil: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("pprofutil: %w", err)
+	}
+	cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, when the
+// respective flags were given. Idempotent, so error paths that exit via
+// os.Exit can call it in addition to the deferred call.
+func Stop() {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		cpuFile = nil
+	}
+	if memPath != nil && *memPath != "" {
+		f, err := os.Create(*memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprofutil:", err)
+			*memPath = ""
+			return
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pprofutil:", err)
+		}
+		f.Close()
+		*memPath = ""
+	}
+}

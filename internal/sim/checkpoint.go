@@ -1,0 +1,486 @@
+// Sub-launch checkpointing: the golden run records full-state images of
+// the engine every N lane-operations, and a faulted replay (a) starts
+// from the latest image that provably precedes its trigger instead of
+// the launch start, and (b) once its fault has fired, compares itself
+// against the golden image captured at the same cycle and stops as soon
+// as it matches — the sub-launch generalization of the launch-boundary
+// early-Masked cutoff.
+//
+// Both directions are exact, not heuristic. The engine is deterministic,
+// so a replay whose entire future-relevant state (register file,
+// predicates, shared and global memory, divergence stacks, scoreboard,
+// scheduler cursors, residency lists) equals the golden image at the
+// same cycle replays the golden suffix bit for bit. Image selection is
+// clock-safe: an image is a valid start only if the fault's trigger
+// clock at capture time had not yet reached the trigger, which the
+// image's lane-op count (storage faults) or per-op counts (filtered op
+// faults) decide without approximation.
+package sim
+
+import (
+	"gpurel/internal/isa"
+	"gpurel/internal/mem"
+)
+
+// warpImage is the frozen state of one warp.
+type warpImage struct {
+	stack         []simtEntry
+	exited        uint32
+	atBar         bool
+	pendingReconv int32
+	regReady      []int64
+	predReady     [8]int64
+	done          bool
+}
+
+// blockImage is the frozen state of one resident CTA, warps included
+// (indexed by warp index within the block).
+type blockImage struct {
+	cta        int
+	ctaX, ctaY int
+	threads    int
+	nregs      int
+
+	regs   []uint32
+	preds  []bool
+	shared []uint32
+
+	liveWarps  int
+	barWaiting int
+	warps      []warpImage
+}
+
+// warpRef names a warp by resident block (index into LaunchImage.blocks)
+// and warp index, preserving the SM residency order.
+type warpRef struct {
+	block int
+	widx  int
+}
+
+// smImage is the frozen scheduler state of one SM.
+type smImage struct {
+	lastPick  []int
+	liveWarps int
+	warps     []warpRef
+}
+
+// LaunchImage is a full mid-launch state image captured during a golden
+// run. Mem is the global-memory snapshot at capture time; Cycle and
+// LaneOps place the image on the launch's timing and trigger clocks.
+type LaunchImage struct {
+	Cycle   int64
+	LaneOps uint64
+	Mem     *mem.Snapshot
+
+	perOpLane        [isa.OpCount]uint64
+	warpInstrs       uint64
+	activeWarpCycles uint64
+	smCycles         uint64
+	smsUsed          int
+	ctrlOps          uint64
+	loadResidency    uint64
+	divResidency     uint64
+
+	nextBlock  int
+	liveBlocks int
+	blocks     []blockImage
+	sms        []smImage
+}
+
+// FilteredOps reconstructs the filtered lane-op trigger clock at capture
+// time for an arbitrary plan filter. The golden run records no filtered
+// count of its own (it has no fault plan), but the per-op totals
+// determine it exactly: the filtered clock advances by every non-control
+// lane-op whose opcode passes the filter.
+func (img *LaunchImage) FilteredOps(filter func(op isa.Op) bool) uint64 {
+	var n uint64
+	for op := 0; op < isa.OpCount; op++ {
+		o := isa.Op(op)
+		if o.IsControl() {
+			continue
+		}
+		if filter == nil || filter(o) {
+			n += img.perOpLane[op]
+		}
+	}
+	return n
+}
+
+// PickImage returns the latest image whose trigger clock had not yet
+// reached the plan's trigger at capture time — the furthest point the
+// replay can start from without missing its own fault — or nil when no
+// image precedes the trigger (the replay must start at the launch
+// boundary). Storage faults trigger on the unfiltered lane-op clock;
+// operation faults on the plan's filtered clock.
+func PickImage(images []*LaunchImage, plan *FaultPlan) *LaunchImage {
+	var best *LaunchImage
+	for _, img := range images {
+		var clock uint64
+		switch plan.Kind {
+		case FaultRFBit, FaultSharedBit, FaultGlobalBit:
+			clock = img.LaneOps
+		default:
+			clock = img.FilteredOps(plan.Filter)
+		}
+		if clock <= plan.TriggerIndex {
+			best = img
+		}
+	}
+	return best
+}
+
+// ImageRecorder accumulates golden images during an instrumented run.
+// When the image count exceeds MaxImages, every other image is dropped
+// and the interval doubles, so arbitrarily long launches keep a bounded
+// set of images at self-scaling spacing.
+type ImageRecorder struct {
+	Interval  uint64 // lane-ops between images
+	MaxImages int
+	Images    []*LaunchImage
+
+	nextAt uint64
+}
+
+// DefaultImageInterval and DefaultMaxImages bound the recorder: 24
+// images every 32768 lane-ops, thinning beyond.
+const (
+	DefaultImageInterval = 32768
+	DefaultMaxImages     = 24
+)
+
+// NewImageRecorder returns a recorder with the given spacing; zero
+// values select the defaults.
+func NewImageRecorder(interval uint64, maxImages int) *ImageRecorder {
+	if interval == 0 {
+		interval = DefaultImageInterval
+	}
+	if maxImages <= 0 {
+		maxImages = DefaultMaxImages
+	}
+	return &ImageRecorder{Interval: interval, MaxImages: maxImages, nextAt: interval}
+}
+
+func (r *ImageRecorder) add(img *LaunchImage) {
+	r.Images = append(r.Images, img)
+	r.nextAt = img.LaneOps + r.Interval
+	if len(r.Images) > r.MaxImages {
+		kept := r.Images[:0]
+		for i, im := range r.Images {
+			if i%2 == 0 {
+				kept = append(kept, im)
+			}
+		}
+		for i := len(kept); i < len(r.Images); i++ {
+			r.Images[i] = nil
+		}
+		r.Images = kept
+		r.Interval *= 2
+		r.nextAt = r.Images[len(r.Images)-1].LaneOps + r.Interval
+	}
+}
+
+// capture freezes the engine's full state into a LaunchImage. Blocks are
+// enumerated in SM residency order (first appearance), which the match
+// path reproduces, so block indices are comparable across runs.
+func (e *engine) capture() *LaunchImage {
+	img := &LaunchImage{
+		Cycle:            e.cycle,
+		LaneOps:          e.laneOps,
+		Mem:              e.glob.Snapshot(),
+		perOpLane:        e.perOpLane,
+		warpInstrs:       e.warpInstrs,
+		activeWarpCycles: e.activeWarpCycles,
+		smCycles:         e.smCycles,
+		smsUsed:          e.smsUsed,
+		ctrlOps:          e.ctrlOps,
+		loadResidency:    e.loadResidency,
+		divResidency:     e.divResidency,
+		nextBlock:        e.nextBlock,
+		liveBlocks:       e.liveBlocks,
+		sms:              make([]smImage, len(e.sms)),
+	}
+	idx := make(map[*blockState]int)
+	for s := range e.sms {
+		sm := &e.sms[s]
+		si := &img.sms[s]
+		si.lastPick = append([]int(nil), sm.lastPick...)
+		si.liveWarps = sm.liveWarps
+		si.warps = make([]warpRef, len(sm.warps))
+		for j, w := range sm.warps {
+			bi, ok := idx[w.block]
+			if !ok {
+				bi = len(img.blocks)
+				idx[w.block] = bi
+				img.blocks = append(img.blocks, captureBlock(w.block))
+			}
+			si.warps[j] = warpRef{block: bi, widx: w.widx}
+		}
+	}
+	return img
+}
+
+func captureBlock(b *blockState) blockImage {
+	bi := blockImage{
+		cta:        b.cta,
+		ctaX:       b.ctaX,
+		ctaY:       b.ctaY,
+		threads:    b.threads,
+		nregs:      b.nregs,
+		regs:       append([]uint32(nil), b.regs...),
+		preds:      append([]bool(nil), b.preds...),
+		shared:     b.shared.SnapshotWords(),
+		liveWarps:  b.liveWarps,
+		barWaiting: b.barWaiting,
+		warps:      make([]warpImage, len(b.warps)),
+	}
+	for i, w := range b.warps {
+		bi.warps[i] = warpImage{
+			stack:         append([]simtEntry(nil), w.stack...),
+			exited:        w.exited,
+			atBar:         w.atBar,
+			pendingReconv: w.pendingReconv,
+			regReady:      append([]int64(nil), w.regReady...),
+			predReady:     w.predReady,
+			done:          w.done,
+		}
+	}
+	return bi
+}
+
+// restoreImage rewinds a freshly constructed engine (no blocks launched)
+// to the image's state, including global memory and the trigger clocks.
+func (e *engine) restoreImage(img *LaunchImage) {
+	e.cycle = img.Cycle
+	e.laneOps = img.LaneOps
+	e.perOpLane = img.perOpLane
+	e.warpInstrs = img.warpInstrs
+	e.activeWarpCycles = img.activeWarpCycles
+	e.smCycles = img.smCycles
+	e.smsUsed = img.smsUsed
+	e.ctrlOps = img.ctrlOps
+	e.loadResidency = img.loadResidency
+	e.divResidency = img.divResidency
+	e.nextBlock = img.nextBlock
+	e.liveBlocks = img.liveBlocks
+	e.restored = true
+	if e.fault != nil {
+		e.filteredOps = img.FilteredOps(e.fault.Filter)
+	}
+	e.glob.Restore(img.Mem)
+
+	blocks := make([]*blockState, len(img.blocks))
+	for i := range img.blocks {
+		blocks[i] = materializeBlock(&img.blocks[i], e.prog.SharedMem)
+	}
+	e.sms = make([]smState, len(img.sms))
+	for s := range img.sms {
+		si := &img.sms[s]
+		sm := &e.sms[s]
+		sm.lastPick = append([]int(nil), si.lastPick...)
+		// Scheduling caches restart cold: they are performance state,
+		// not architectural state, so images never carry them.
+		sm.schedQuiet = make([]int64, len(si.lastPick))
+		sm.liveWarps = si.liveWarps
+		sm.warps = make([]*warpState, len(si.warps))
+		for j, ref := range si.warps {
+			sm.warps[j] = blocks[ref.block].warps[ref.widx]
+		}
+	}
+	// Skip golden images the restored state already passed.
+	for e.gIdx < len(e.golden) && e.golden[e.gIdx].Cycle <= img.Cycle {
+		e.gIdx++
+	}
+}
+
+func materializeBlock(bi *blockImage, sharedMem int) *blockState {
+	blk := &blockState{
+		cta:        bi.cta,
+		ctaX:       bi.ctaX,
+		ctaY:       bi.ctaY,
+		threads:    bi.threads,
+		nregs:      bi.nregs,
+		regs:       append([]uint32(nil), bi.regs...),
+		preds:      append([]bool(nil), bi.preds...),
+		shared:     mem.NewShared(sharedMem),
+		liveWarps:  bi.liveWarps,
+		barWaiting: bi.barWaiting,
+	}
+	blk.shared.RestoreWords(bi.shared)
+	nwarps := len(bi.warps)
+	for wi := range bi.warps {
+		w := &bi.warps[wi]
+		lanes := 32
+		if wi == nwarps-1 && bi.threads%32 != 0 {
+			lanes = bi.threads % 32
+		}
+		full := uint32(1)<<lanes - 1
+		if lanes == 32 {
+			full = ^uint32(0)
+		}
+		ws := &warpState{
+			block:         blk,
+			widx:          wi,
+			base:          wi * 32,
+			lanes:         lanes,
+			fullMask:      full,
+			stack:         append([]simtEntry(nil), w.stack...),
+			exited:        w.exited,
+			atBar:         w.atBar,
+			pendingReconv: w.pendingReconv,
+			regReady:      append([]int64(nil), w.regReady...),
+			predReady:     w.predReady,
+			done:          w.done,
+		}
+		// maxStamp is derived state; rebuild it from the stamps so the
+		// restored warp regains the readiness quick-pass.
+		for _, t := range ws.regReady {
+			if t > ws.maxStamp {
+				ws.maxStamp = t
+			}
+		}
+		for _, t := range ws.predReady {
+			if t > ws.maxStamp {
+				ws.maxStamp = t
+			}
+		}
+		blk.warps = append(blk.warps, ws)
+	}
+	return blk
+}
+
+// tryRejoin advances past golden images the replay has outrun and, when
+// an image was captured at exactly this cycle, compares the replay's
+// full state against it; a match means the remaining execution replays
+// the golden run bit for bit, so the engine stops with RejoinedGolden.
+// It returns true when the run should stop.
+func (e *engine) tryRejoin() bool {
+	for e.gIdx < len(e.golden) && e.golden[e.gIdx].Cycle < e.cycle {
+		e.gIdx++
+	}
+	if e.gIdx >= len(e.golden) || e.golden[e.gIdx].Cycle != e.cycle {
+		return false
+	}
+	img := e.golden[e.gIdx]
+	e.gIdx++
+	if e.matchesImage(img) {
+		e.rejoined = true
+		return true
+	}
+	return false
+}
+
+// stampEquiv compares two scoreboard stamps for future-equivalence at
+// the current cycle: stamps in the past never influence scheduling
+// again, so any two of them are interchangeable.
+func stampEquiv(a, b, now int64) bool {
+	return a == b || (a <= now && b <= now)
+}
+
+// matchesImage reports whether the replay's entire future-relevant state
+// equals the golden image. Profile counters are deliberately excluded:
+// once the fault has fired, the trigger clocks are inert (armFault
+// short-circuits on Fired) and counters do not influence execution.
+func (e *engine) matchesImage(img *LaunchImage) bool {
+	if e.nextBlock != img.nextBlock || e.liveBlocks != img.liveBlocks ||
+		len(e.sms) != len(img.sms) {
+		return false
+	}
+	now := e.cycle
+	// Index blocks by first-encounter order, exactly as capture() did;
+	// a block's warps sit contiguously in its SM's list, so the
+	// last-block check resolves almost every warp and the linear
+	// fallback keeps the assignment exact regardless. Each block's
+	// state is compared at first encounter: a faulted block that
+	// diverged (the common mismatch) fails the whole compare before
+	// the remaining topology, blocks, or memory are walked. The
+	// scratch slice lives on the engine — compares run per crossed
+	// image, and a map here was measurable in replay profiles.
+	blocks := e.blkScratch[:0]
+	defer func() { e.blkScratch = blocks }()
+	for s := range e.sms {
+		sm := &e.sms[s]
+		si := &img.sms[s]
+		if sm.liveWarps != si.liveWarps || len(sm.warps) != len(si.warps) ||
+			len(sm.lastPick) != len(si.lastPick) {
+			return false
+		}
+		for k := range sm.lastPick {
+			if sm.lastPick[k] != si.lastPick[k] {
+				return false
+			}
+		}
+		for j, w := range sm.warps {
+			bi := -1
+			if n := len(blocks); n > 0 && blocks[n-1] == w.block {
+				bi = n - 1
+			} else {
+				for k := range blocks {
+					if blocks[k] == w.block {
+						bi = k
+						break
+					}
+				}
+				if bi == -1 {
+					bi = len(blocks)
+					if bi >= len(img.blocks) {
+						return false
+					}
+					blocks = append(blocks, w.block)
+					if !w.block.equalImage(&img.blocks[bi], now) {
+						return false
+					}
+				}
+			}
+			if si.warps[j] != (warpRef{block: bi, widx: w.widx}) {
+				return false
+			}
+		}
+	}
+	if len(blocks) != len(img.blocks) {
+		return false
+	}
+	// Global memory last: it is the largest compare by far.
+	return e.glob.EqualSnapshot(img.Mem)
+}
+
+func (b *blockState) equalImage(bi *blockImage, now int64) bool {
+	if b.cta != bi.cta || b.threads != bi.threads || b.nregs != bi.nregs ||
+		b.liveWarps != bi.liveWarps || b.barWaiting != bi.barWaiting ||
+		len(b.warps) != len(bi.warps) {
+		return false
+	}
+	for wi := range b.warps {
+		w, img := b.warps[wi], &bi.warps[wi]
+		if w.exited != img.exited || w.atBar != img.atBar ||
+			w.pendingReconv != img.pendingReconv || w.done != img.done ||
+			len(w.stack) != len(img.stack) {
+			return false
+		}
+		for k := range w.stack {
+			if w.stack[k] != img.stack[k] {
+				return false
+			}
+		}
+		for r := range w.regReady {
+			if !stampEquiv(w.regReady[r], img.regReady[r], now) {
+				return false
+			}
+		}
+		for p := range w.predReady {
+			if !stampEquiv(w.predReady[p], img.predReady[p], now) {
+				return false
+			}
+		}
+	}
+	for i := range b.regs {
+		if b.regs[i] != bi.regs[i] {
+			return false
+		}
+	}
+	for i := range b.preds {
+		if b.preds[i] != bi.preds[i] {
+			return false
+		}
+	}
+	return b.shared.EqualWords(bi.shared)
+}

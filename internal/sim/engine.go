@@ -24,6 +24,8 @@ type simtEntry struct {
 type warpState struct {
 	block    *blockState
 	widx     int // warp index within the block
+	base     int // widx*32: first lane's thread index (SoA row offset)
+	lanes    int // live lanes (32 except a trailing partial warp)
 	fullMask uint32
 
 	stack         []simtEntry
@@ -33,6 +35,23 @@ type warpState struct {
 
 	regReady  []int64 // scoreboard: cycle at which each register is ready
 	predReady [8]int64
+
+	// stallUntil caches the earliest cycle any scoreboard dependency of
+	// the warp's next instruction clears (0 when unknown). The warp's
+	// stamps only change when the warp itself issues — which resets the
+	// cache — so a stalled warp costs one comparison per probe instead
+	// of a full dependency walk. Purely a scheduling cache: it never
+	// affects outcomes and is excluded from checkpoint images.
+	stallUntil int64
+
+	// maxStamp is an upper bound on every scoreboard stamp of the warp
+	// (regReady and predReady). Once the clock passes it, no dependency
+	// of any instruction can be pending, so the readiness check skips
+	// the wait-list walk entirely. An over-bound is sound — it only
+	// costs walks — so issue() raises it whenever it stamps anything
+	// and restores recompute it from the stamps. Derived cache, never
+	// stored in or compared against checkpoint images.
+	maxStamp int64
 
 	done bool
 }
@@ -59,9 +78,13 @@ type blockState struct {
 	cta        int // linear CTA index
 	ctaX, ctaY int
 	threads    int
+	nregs      int
 
-	regs   [][]uint32 // [thread][register]
-	preds  [][8]bool  // [thread][predicate]
+	// Struct-of-arrays architectural state: register r of thread t lives
+	// at regs[r*threads+t], predicate p at preds[p*threads+t], so a
+	// warp's view of one register is a contiguous 32-element slice.
+	regs   []uint32
+	preds  []bool
 	shared *mem.Shared
 
 	warps      []*warpState
@@ -69,10 +92,70 @@ type blockState struct {
 	barWaiting int
 }
 
+// regRow returns the contiguous lane view of one register for a warp.
+func (b *blockState) regRow(r isa.Reg, base, lanes int) []uint32 {
+	off := int(r)*b.threads + base
+	return b.regs[off : off+lanes]
+}
+
+// predRow returns the contiguous lane view of one predicate for a warp.
+func (b *blockState) predRow(p isa.PredReg, base, lanes int) []bool {
+	off := int(p)*b.threads + base
+	return b.preds[off : off+lanes]
+}
+
 type smState struct {
 	warps     []*warpState // resident warps, in residency order
 	liveWarps int
 	lastPick  []int // per-scheduler round-robin cursor
+
+	// quietUntil caches the earliest cycle any resident warp can issue
+	// after a scan found the whole SM stalled; until then the per-cycle
+	// scheduler scan is skipped. Warp stamps only move when a warp of
+	// this SM issues (impossible while skipped) and new residents reset
+	// the cache, so the skip is scheduling-exact. Like stallUntil, this
+	// is a cache, not architectural state: images neither store nor
+	// compare it.
+	quietUntil int64
+
+	// schedQuiet is the per-scheduler analogue of quietUntil: entry k
+	// caches the earliest cycle any warp of stride class k (wi mod
+	// SchedulersPerSM) can issue, set when a scan of the class found
+	// every live, unbarriered warp data-stalled. Stamps of a skipped
+	// class cannot move (its warps are not issuing), so the cache only
+	// goes stale on events that change class membership or wake
+	// excluded warps: block launch, retirement compaction, and barrier
+	// release — each zeros the whole array. Like the other two caches
+	// this never enters images or state comparison.
+	schedQuiet []int64
+}
+
+// wakeSchedulers invalidates every per-scheduler quiet cache; called
+// whenever warps join, leave, or un-barrier on the SM.
+func (sm *smState) wakeSchedulers() {
+	for i := range sm.schedQuiet {
+		sm.schedQuiet[i] = 0
+	}
+}
+
+// quiet computes the earliest cycle any warp of a fully stalled SM can
+// issue again: the minimum stall cache over live, unbarriered warps. A
+// probe-able warp (stall cache expired, e.g. it was issue-slot-blocked)
+// makes the SM unskippable and returns 0.
+func (sm *smState) quiet(cycle int64) int64 {
+	q := int64(1) << 62
+	for _, w := range sm.warps {
+		if w.done || w.atBar {
+			continue
+		}
+		if w.stallUntil <= cycle {
+			return 0
+		}
+		if w.stallUntil < q {
+			q = w.stallUntil
+		}
+	}
+	return q
 }
 
 type engine struct {
@@ -93,6 +176,10 @@ type engine struct {
 	maxCycles int64
 
 	fault *FaultPlan
+	// faultLane caches, for the instruction currently in exec, the lane
+	// the armed fault targets (noFault when none); memory and MMA
+	// handlers read it instead of taking a parameter per lane.
+	faultLane int
 
 	// Dynamic counters. laneOps is the unfiltered lane-operation clock;
 	// filteredOps advances only on ops matching the fault plan's filter.
@@ -120,6 +207,36 @@ type engine struct {
 	tlShift uint
 	tlCur   *TimelineBucket
 
+	// slotBase is the per-unit issue-slot budget, precomputed once and
+	// copied into the per-cycle slots array.
+	slotBase [device.UnitCount]int
+
+	// schedMask is SchedulersPerSM-1 when the scheduler count is a power
+	// of two (every modeled device), letting the per-cycle scan compute
+	// stride residues with a mask instead of integer division; -1 falls
+	// back to the generic remainder.
+	schedMask int
+
+	// lean mirrors Config.LeanProfile for the issue path.
+	lean bool
+
+	// sharedZero is the one empty shared-memory instance every block of
+	// a zero-shared-memory program aliases; with no addressable bytes it
+	// is immutable, so sharing it is observationally identical to the 48
+	// per-block allocations it replaces.
+	sharedZero *mem.Shared
+
+	// Sub-launch checkpointing (checkpoint.go). rec records golden
+	// images during an instrumented golden run; golden/gIdx drive the
+	// rejoin cutoff during a fault replay: once the fault has fired, the
+	// replay compares its full state against the golden image captured
+	// at the same cycle and stops early on a match.
+	rec      *ImageRecorder
+	golden   []*LaunchImage
+	gIdx     int
+	rejoined bool
+	restored bool // engine state came from restoreImage, not a fresh launch
+
 	// Fast-forward bookkeeping: when a whole cycle issues nothing, the
 	// engine jumps to the earliest scoreboard-ready time instead of
 	// spinning through memory-latency stalls cycle by cycle.
@@ -127,22 +244,57 @@ type engine struct {
 	nextReady       int64
 
 	due string
+
+	// Launch arenas: block and warp state is carved from chunked slabs
+	// so making a CTA resident costs a few bulk allocations amortized
+	// over many blocks instead of ~10 small ones each. Chunks are never
+	// recycled while the engine lives — carved slices stay valid and
+	// arrive zeroed, exactly like the make calls they replace.
+	u32Arena  []uint32
+	boolArena []bool
+	i64Arena  []int64
+	wsArena   []warpState
+	wpArena   []*warpState
+	blkArena  []blockState
+	simtArena []simtEntry
+
+	// blkScratch is matchesImage's reusable block-collection buffer;
+	// image compares run once per crossed golden image on every replay.
+	blkScratch []*blockState
 }
 
-// decoded caches per-instruction metadata the scheduler consults every
-// cycle.
-type decoded struct {
-	in       *isa.Instr
-	unit     device.Unit
-	latency  int64
-	dstBase  isa.Reg
-	dstN     int
-	srcSpans [][2]isa.Reg
-	writesP  bool
-	readsP   isa.PredReg // PT when none beyond the guard
+// carve cuts n zeroed elements off the arena, growing it by whole
+// chunks of at least minChunk when exhausted.
+func carve[T any](arena *[]T, n, minChunk int) []T {
+	if len(*arena) < n {
+		c := n
+		if c < minChunk {
+			c = minChunk
+		}
+		*arena = make([]T, c)
+	}
+	s := (*arena)[:n:n]
+	*arena = (*arena)[n:]
+	return s
 }
 
 func newEngine(cfg Config, global *mem.Global) (*engine, error) {
+	e, err := prepEngine(cfg, global)
+	if err != nil {
+		return nil, err
+	}
+	// Initial wave: fill SMs round-robin up to the residency limit.
+	for slot := 0; slot < e.occ.BlocksPerSM; slot++ {
+		for s := range e.sms {
+			e.launchNextBlock(&e.sms[s])
+		}
+	}
+	return e, nil
+}
+
+// prepEngine builds an engine with no blocks launched; newEngine adds
+// the initial residency wave, RunFrom restores an image instead.
+func prepEngine(cfg Config, global *mem.Global) (*engine, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
@@ -160,6 +312,9 @@ func newEngine(cfg Config, global *mem.Global) (*engine, error) {
 		totalBlock: cfg.GridX * cfg.GridY,
 		maxCycles:  cfg.MaxCycles,
 		fault:      cfg.Fault,
+		rec:        cfg.Record,
+		golden:     cfg.Golden,
+		faultLane:  noFault,
 	}
 	if e.maxCycles == 0 {
 		e.maxCycles = defaultMaxCycles
@@ -167,47 +322,33 @@ func newEngine(cfg Config, global *mem.Global) (*engine, error) {
 	if cfg.SampleTimeline {
 		e.tl = make([]TimelineBucket, TimelineBuckets)
 	}
-	e.decode()
-	for i := range e.dec {
-		if dev.UnitsPerSM[e.dec[i].unit] == 0 {
-			return nil, fmt.Errorf("sim: %s uses %s, which %s has no %s units for",
-				prog.Name, e.dec[i].in.Op, dev.Name, e.dec[i].unit)
-		}
+	e.dec, err = decodeFor(dev, prog)
+	if err != nil {
+		return nil, err
+	}
+	e.schedMask = -1
+	if s := dev.SchedulersPerSM; s > 0 && s&(s-1) == 0 {
+		e.schedMask = s - 1
+	}
+	for u := range e.slotBase {
+		e.slotBase[u] = dev.IssueSlots(device.Unit(u))
+	}
+	e.lean = cfg.LeanProfile
+	if prog.SharedMem == 0 {
+		e.sharedZero = mem.NewShared(0)
 	}
 	e.sms = make([]smState, dev.NumSMs)
+	// Two backing arrays for all SMs' cursors and caches instead of two
+	// small allocations per SM: replays build a fresh engine each, so
+	// setup allocations are on the campaign's critical path.
+	ns := dev.SchedulersPerSM
+	lp := make([]int, dev.NumSMs*ns)
+	sq := make([]int64, dev.NumSMs*ns)
 	for i := range e.sms {
-		e.sms[i].lastPick = make([]int, dev.SchedulersPerSM)
-	}
-	// Initial wave: fill SMs round-robin up to the residency limit.
-	for slot := 0; slot < occ.BlocksPerSM; slot++ {
-		for s := range e.sms {
-			e.launchNextBlock(&e.sms[s])
-		}
+		e.sms[i].lastPick = lp[i*ns : (i+1)*ns : (i+1)*ns]
+		e.sms[i].schedQuiet = sq[i*ns : (i+1)*ns : (i+1)*ns]
 	}
 	return e, nil
-}
-
-func (e *engine) decode() {
-	e.dec = make([]decoded, len(e.prog.Instrs))
-	for i := range e.prog.Instrs {
-		in := &e.prog.Instrs[i]
-		d := decoded{
-			in:      in,
-			unit:    e.dev.UnitFor(in.Op),
-			latency: int64(e.dev.Latency(in.Op)),
-			dstBase: in.Dst,
-			dstN:    in.DstRegs(),
-			readsP:  isa.PT,
-		}
-		d.srcSpans = in.SrcRegSpans()
-		switch in.Op {
-		case isa.OpISETP, isa.OpFSETP, isa.OpDSETP, isa.OpHSETP:
-			d.writesP = true
-		case isa.OpSEL:
-			d.readsP = in.DstP
-		}
-		e.dec[i] = d
-	}
 }
 
 // launchNextBlock makes the next pending CTA resident on the SM.
@@ -221,24 +362,30 @@ func (e *engine) launchNextBlock(sm *smState) {
 
 	nthreads := e.cfg.BlockThreads
 	nwarps := (nthreads + 31) / 32
-	blk := &blockState{
-		cta:     cta,
-		ctaX:    cta % e.cfg.GridX,
-		ctaY:    cta / e.cfg.GridX,
-		threads: nthreads,
-		regs:    make([][]uint32, nthreads),
-		preds:   make([][8]bool, nthreads),
-		shared:  mem.NewShared(e.prog.SharedMem),
-	}
 	nregs := e.prog.NumRegs
 	if nregs < 1 {
 		nregs = 1
 	}
-	regBacking := make([]uint32, nthreads*nregs)
-	for t := 0; t < nthreads; t++ {
-		blk.regs[t] = regBacking[t*nregs : (t+1)*nregs : (t+1)*nregs]
-		blk.preds[t][isa.PT] = true
+	blk := &carve(&e.blkArena, 1, 64)[0]
+	*blk = blockState{
+		cta:     cta,
+		ctaX:    cta % e.cfg.GridX,
+		ctaY:    cta / e.cfg.GridX,
+		threads: nthreads,
+		nregs:   nregs,
+		regs:    carve(&e.u32Arena, nregs*nthreads, 1<<14),
+		preds:   carve(&e.boolArena, 8*nthreads, 1<<13),
+		shared:  e.sharedZero,
+		warps:   carve(&e.wpArena, nwarps, 256)[:0],
 	}
+	if blk.shared == nil {
+		blk.shared = mem.NewShared(e.prog.SharedMem)
+	}
+	pt := blk.preds[int(isa.PT)*nthreads : (int(isa.PT)+1)*nthreads]
+	for t := range pt {
+		pt[t] = true
+	}
+	ws := carve(&e.wsArena, nwarps, 128)
 	for wi := 0; wi < nwarps; wi++ {
 		lanes := 32
 		if wi == nwarps-1 && nthreads%32 != 0 {
@@ -248,19 +395,28 @@ func (e *engine) launchNextBlock(sm *smState) {
 		if lanes == 32 {
 			full = ^uint32(0)
 		}
-		w := &warpState{
+		// Stacks start with room for a few divergence levels in-arena;
+		// deeper nesting falls back to append's reallocation.
+		stk := carve(&e.simtArena, 4, 1024)
+		stk[0] = simtEntry{mask: full, pc: 0, rpc: -1}
+		w := &ws[wi]
+		*w = warpState{
 			block:         blk,
 			widx:          wi,
+			base:          wi * 32,
+			lanes:         lanes,
 			fullMask:      full,
-			stack:         []simtEntry{{mask: full, pc: 0, rpc: -1}},
+			stack:         stk[:1],
 			pendingReconv: -1,
-			regReady:      make([]int64, nregs),
+			regReady:      carve(&e.i64Arena, nregs, 1<<12),
 		}
 		blk.warps = append(blk.warps, w)
 		sm.warps = append(sm.warps, w)
 	}
 	blk.liveWarps = nwarps
 	sm.liveWarps += nwarps
+	sm.quietUntil = 0 // fresh residents: the SM must be scanned again
+	sm.wakeSchedulers()
 }
 
 // retireWarp handles a fully exited warp.
@@ -273,10 +429,13 @@ func (e *engine) retireWarp(sm *smState, w *warpState) {
 	sm.liveWarps--
 	blk := w.block
 	blk.liveWarps--
-	e.checkBarrier(blk)
+	e.checkBarrier(sm, blk)
 	if blk.liveWarps == 0 {
 		e.liveBlocks--
 		// Compact the SM's warp list and backfill with a pending CTA.
+		// Compaction renumbers the surviving warps across scheduler
+		// stride classes, so the per-class quiet caches are void even
+		// when no pending CTA backfills.
 		kept := sm.warps[:0]
 		for _, ww := range sm.warps {
 			if ww.block != blk {
@@ -284,27 +443,33 @@ func (e *engine) retireWarp(sm *smState, w *warpState) {
 			}
 		}
 		sm.warps = kept
+		sm.wakeSchedulers()
 		e.launchNextBlock(sm)
 	}
 }
 
-func (e *engine) checkBarrier(blk *blockState) {
+func (e *engine) checkBarrier(sm *smState, blk *blockState) {
 	if blk.liveWarps > 0 && blk.barWaiting >= blk.liveWarps {
 		for _, w := range blk.warps {
 			w.atBar = false
 		}
 		blk.barWaiting = 0
+		// Barriered warps are excluded from the quiet caches; their
+		// release makes every cached value for this SM stale.
+		sm.wakeSchedulers()
 	}
 }
 
 // run executes the launch to completion or DUE.
 func (e *engine) run() *Result {
-	for i := range e.sms {
-		if len(e.sms[i].warps) > 0 {
-			e.smsUsed++
+	if !e.restored {
+		for i := range e.sms {
+			if len(e.sms[i].warps) > 0 {
+				e.smsUsed++
+			}
 		}
 	}
-	slots := make([]int, device.UnitCount)
+	var slots [device.UnitCount]int
 	for e.liveBlocks > 0 || e.nextBlock < e.totalBlock {
 		e.cycle++
 		if e.cycle > e.maxCycles {
@@ -328,17 +493,37 @@ func (e *engine) run() *Result {
 				e.tlCur.SMCycles++
 				e.tlCur.ActiveWarpCycles += uint64(sm.liveWarps)
 			}
-			for u := range slots {
-				slots[u] = e.dev.IssueSlots(device.Unit(u))
+			if sm.quietUntil > e.cycle {
+				// Every warp here is stalled past this cycle; the cached
+				// minimum feeds the fast-forward target exactly as a
+				// full scan of the stalled warps would.
+				if sm.quietUntil < e.nextReady {
+					e.nextReady = sm.quietUntil
+				}
+				continue
 			}
+			slots = e.slotBase
+			issuedBefore := e.issuedThisCycle
 			for sched := 0; sched < e.dev.SchedulersPerSM; sched++ {
-				e.scheduleOne(sm, sched, slots)
+				if q := sm.schedQuiet[sched]; q > e.cycle {
+					// Every warp of this stride class is stalled past
+					// this cycle; the cached minimum feeds the
+					// fast-forward target as a scan would.
+					if q < e.nextReady {
+						e.nextReady = q
+					}
+					continue
+				}
+				e.scheduleOne(sm, sched, slots[:])
 				if e.due != "" {
 					break
 				}
 			}
 			if e.due != "" {
 				break
+			}
+			if e.issuedThisCycle == issuedBefore {
+				sm.quietUntil = sm.quiet(e.cycle)
 			}
 		}
 		if e.due != "" {
@@ -373,9 +558,19 @@ func (e *engine) run() *Result {
 				e.cycle += skip
 			}
 		}
+		if e.rec != nil && e.laneOps >= e.rec.nextAt &&
+			(e.liveBlocks > 0 || e.nextBlock < e.totalBlock) {
+			e.rec.add(e.capture())
+		}
+		if e.golden != nil && e.fault != nil && e.fault.Fired {
+			if e.tryRejoin() {
+				break
+			}
+		}
 	}
 
 	res := &Result{
+		RejoinedGolden: e.rejoined,
 		Profile: Profile{
 			Cycles:           e.cycle,
 			WarpInstrs:       e.warpInstrs,
@@ -408,57 +603,156 @@ func (e *engine) run() *Result {
 }
 
 // scheduleOne lets one scheduler pick a warp and issue up to
-// IssuePerScheduler instructions from it.
+// IssuePerScheduler instructions from it. Warp wi belongs to scheduler
+// wi%SchedulersPerSM, so the round-robin scan strides by the scheduler
+// count in two segments (cursor..end, then front..cursor) instead of
+// probing every warp; the order of candidates visited is identical to
+// the modular scan this replaces.
 func (e *engine) scheduleOne(sm *smState, sched int, slots []int) {
 	n := len(sm.warps)
 	if n == 0 {
 		return
 	}
+	s := e.dev.SchedulersPerSM
+	// start = lastPick % n and first = next index ≥ start in this
+	// scheduler's stride class, both without integer division: the
+	// cursor only exceeds n after retirement compaction (subtract
+	// loop), and the stride residue is a mask for power-of-two
+	// scheduler counts. Division here dominated whole-launch runtime.
 	start := sm.lastPick[sched]
-	for probe := 0; probe < n; probe++ {
-		wi := (start + probe) % n
+	for start >= n {
+		start -= n
+	}
+	var k int
+	if e.schedMask >= 0 {
+		k = (sched - start) & e.schedMask
+	} else {
+		k = (sched - start) % s
+		if k < 0 {
+			k += s
+		}
+	}
+	first := start + k
+	cycle := e.cycle
+	// A fruitless scan feeds the per-scheduler quiet cache: q gathers
+	// the earliest unblock time over the class's stalled warps, and
+	// probeable records whether any warp evaded the stall caches (e.g.
+	// slot-blocked, freshly retired) and so must be probed next cycle.
+	q := int64(1) << 62
+	probeable := false
+	for wi := first; wi < n; wi += s {
 		// Warp retirement compacts sm.warps mid-scan; skip stale indices.
 		if wi >= len(sm.warps) {
 			continue
 		}
-		if wi%e.dev.SchedulersPerSM != sched {
+		// Cheap skips inlined here so a stalled warp costs a few loads
+		// per probe instead of a call into the issue path. A data-stalled
+		// warp contributes its cached unblock time to the fast-forward
+		// target exactly as the full dependency walk would.
+		w := sm.warps[wi]
+		if w.done || w.atBar {
+			continue
+		}
+		if su := w.stallUntil; su > cycle {
+			if su < e.nextReady {
+				e.nextReady = su
+			}
+			if su < q {
+				q = su
+			}
+			continue
+		}
+		if e.tryWarp(sm, sched, wi, w, slots) {
+			return
+		}
+		if su := w.stallUntil; su > cycle {
+			if su < q {
+				q = su
+			}
+		} else {
+			probeable = true
+		}
+	}
+	for wi := sched; wi < start; wi += s {
+		if wi >= len(sm.warps) {
 			continue
 		}
 		w := sm.warps[wi]
 		if w.done || w.atBar {
 			continue
 		}
-		top := w.effTop()
-		if top == nil {
-			e.retireWarp(sm, w)
+		if su := w.stallUntil; su > cycle {
+			if su < e.nextReady {
+				e.nextReady = su
+			}
+			if su < q {
+				q = su
+			}
 			continue
 		}
-		if !e.ready(w, top, slots) {
-			continue
+		if e.tryWarp(sm, sched, wi, w, slots) {
+			return
 		}
-		issued := 0
-		for issued < e.dev.IssuePerScheduler {
+		if su := w.stallUntil; su > cycle {
+			if su < q {
+				q = su
+			}
+		} else {
+			probeable = true
+		}
+	}
+	if !probeable {
+		sm.schedQuiet[sched] = q
+	}
+}
+
+// tryWarp attempts to issue from warp wi, which the caller has already
+// screened (live, not at a barrier, not data-stalled); it returns true
+// when the scheduler's pick is consumed (something issued) and the scan
+// stops.
+func (e *engine) tryWarp(sm *smState, sched, wi int, w *warpState, slots []int) bool {
+	top := w.effTop()
+	if top == nil {
+		e.retireWarp(sm, w)
+		return false
+	}
+	if !e.ready(w, top, slots) {
+		return false
+	}
+	// The readiness just established covers the first issue directly; only
+	// dual-issue re-derives the (changed) next instruction and re-checks.
+	issued := 0
+	for {
+		ctrl := e.issue(sm, w, top, slots)
+		issued++
+		if ctrl || e.due != "" {
+			break // do not dual-issue past control flow
+		}
+		if issued >= e.dev.IssuePerScheduler {
+			break
+		}
+		// A non-control issue leaves the stack, mask, and exited set
+		// untouched and only advances top.pc, so top stays the active
+		// entry unless the new pc reached its reconvergence point.
+		if top.pc == top.rpc {
 			top = w.effTop()
 			if top == nil {
 				e.retireWarp(sm, w)
 				break
 			}
-			if w.atBar || !e.ready(w, top, slots) {
-				break
-			}
-			ctrl := e.issue(sm, w, top, slots)
-			issued++
-			if ctrl || e.due != "" {
-				break // do not dual-issue past control flow
-			}
 		}
-		sm.lastPick[sched] = wi + 1
-		return
+		if w.atBar || !e.ready(w, top, slots) {
+			break
+		}
 	}
+	sm.lastPick[sched] = wi + 1
+	return true
 }
 
 // ready checks scoreboard and issue-slot availability for the warp's next
-// instruction.
+// instruction. The decoded wait list holds every scoreboarded register
+// (source spans plus destinations) pre-expanded, so the check is one
+// flat loop.
 func (e *engine) ready(w *warpState, top *simtEntry, slots []int) bool {
 	if int(top.pc) >= len(e.dec) {
 		return true // will fault at issue
@@ -468,36 +762,43 @@ func (e *engine) ready(w *warpState, top *simtEntry, slots []int) bool {
 		return false
 	}
 	now := e.cycle
-	ok := true
-	block := func(ready int64) {
-		ok = false
-		if ready < e.nextReady {
-			e.nextReady = ready
-		}
+	if w.maxStamp <= now {
+		return true // every stamp of this warp has already cleared
 	}
-	for _, span := range d.srcSpans {
-		for r := span[0]; r < span[0]+span[1]; r++ {
-			if w.regReady[r] > now {
-				block(w.regReady[r])
-			}
-		}
-	}
-	for r := d.dstBase; r < d.dstBase+isa.Reg(d.dstN); r++ {
-		if r != isa.RZ && w.regReady[r] > now {
-			block(w.regReady[r])
+	stall := int64(1) << 62
+	rr := w.regReady
+	for _, r := range d.wait {
+		if t := rr[r]; t > now && t < stall {
+			stall = t
 		}
 	}
 	in := d.in
-	if in.Pred != isa.PT && w.predReady[in.Pred] > now {
-		block(w.predReady[in.Pred])
+	if in.Pred != isa.PT {
+		if t := w.predReady[in.Pred]; t > now && t < stall {
+			stall = t
+		}
 	}
-	if d.readsP != isa.PT && w.predReady[d.readsP] > now {
-		block(w.predReady[d.readsP])
+	if d.readsP != isa.PT {
+		if t := w.predReady[d.readsP]; t > now && t < stall {
+			stall = t
+		}
 	}
-	if d.writesP && in.DstP != isa.PT && w.predReady[in.DstP] > now {
-		block(w.predReady[in.DstP])
+	if d.writesP && in.DstP != isa.PT {
+		if t := w.predReady[in.DstP]; t > now && t < stall {
+			stall = t
+		}
 	}
-	return ok
+	if stall < int64(1)<<62 {
+		// The earliest blocking stamp is both the fast-forward
+		// contribution (the global minimum the original per-dependency
+		// collection produced) and the stall cache for later probes.
+		w.stallUntil = stall
+		if stall < e.nextReady {
+			e.nextReady = stall
+		}
+		return false
+	}
+	return true
 }
 
 // issue executes one warp-instruction. It returns true when the
@@ -511,22 +812,25 @@ func (e *engine) issue(sm *smState, w *warpState, top *simtEntry, slots []int) b
 	d := &e.dec[pc]
 	in := d.in
 	slots[d.unit]--
+	w.stallUntil = 0 // pc and stamps change below: invalidate the stall cache
 	e.warpInstrs++
 	e.issuedThisCycle++
 	// Residency accounting: every entry above the warp's base stack
 	// frame is live divergence state held while this instruction issues;
 	// an issued load holds an LDST-queue/MSHR entry for its latency.
-	div := uint64(len(w.stack) - 1)
-	e.divResidency += div
-	var load uint64
-	if in.Op.IsLoad() {
-		load = uint64(d.latency)
-		e.loadResidency += load
-	}
-	if e.tlCur != nil {
-		e.tlCur.Issued++
-		e.tlCur.DivResidency += div
-		e.tlCur.LoadResidency += load
+	if !e.lean {
+		div := uint64(len(w.stack) - 1)
+		e.divResidency += div
+		var load uint64
+		if in.Op.IsLoad() {
+			load = uint64(d.latency)
+			e.loadResidency += load
+		}
+		if e.tlCur != nil {
+			e.tlCur.Issued++
+			e.tlCur.DivResidency += div
+			e.tlCur.LoadResidency += load
+		}
 	}
 	if e.cfg.Trace != nil {
 		fmt.Fprintf(e.cfg.Trace, "%8d cta%03d w%02d /*%04d*/ %s\n",
@@ -537,30 +841,28 @@ func (e *engine) issue(sm *smState, w *warpState, top *simtEntry, slots []int) b
 	active := top.mask &^ w.exited
 	if in.Pred != isa.PT {
 		var pm uint32
-		base := w.widx * 32
-		for lane := 0; lane < 32; lane++ {
-			if active&(1<<lane) == 0 {
-				continue
-			}
-			pv := w.block.preds[base+lane][in.Pred]
-			if pv != in.PredNeg {
-				pm |= 1 << lane
+		pr := w.block.predRow(in.Pred, w.base, w.lanes)
+		for lane, bit := 0, uint32(1); lane < len(pr); lane, bit = lane+1, bit<<1 {
+			if active&bit != 0 && pr[lane] != in.PredNeg {
+				pm |= bit
 			}
 		}
-		if !in.Op.IsControl() {
+		if d.class != classCtrl {
 			active = pm
 		} else {
 			// Control flow interprets the predicate itself (BRA).
 			return e.control(sm, w, top, in, active, pm)
 		}
-	} else if in.Op.IsControl() {
+	} else if d.class == classCtrl {
 		return e.control(sm, w, top, in, active, active)
 	}
 
 	// Dynamic counting and fault triggering happen on executed lanes.
 	lanes := bits.OnesCount32(active)
-	e.perOpLane[in.Op] += uint64(lanes)
-	faultLane := e.armFault(in.Op, active, lanes)
+	if !e.lean {
+		e.perOpLane[d.op] += uint64(lanes)
+	}
+	faultLane := e.armFault(d.op, active, lanes)
 	e.laneOps += uint64(lanes)
 
 	if active != 0 && faultLane != skipWholeInstr {
@@ -574,6 +876,11 @@ func (e *engine) issue(sm *smState, w *warpState, top *simtEntry, slots []int) b
 	}
 	if d.writesP && in.DstP != isa.PT {
 		w.predReady[in.DstP] = e.cycle + d.latency
+	}
+	if d.dstN > 0 || d.writesP {
+		if st := e.cycle + d.latency; st > w.maxStamp {
+			w.maxStamp = st
+		}
 	}
 	top.pc = pc + 1
 	return false
@@ -645,9 +952,8 @@ func (e *engine) applyStorageFault() {
 			return
 		}
 		t := f.Thread % blk.threads
-		regs := blk.regs[t]
-		r := f.Reg % len(regs)
-		regs[r] ^= 1 << (f.Bit & 31)
+		r := f.Reg % blk.nregs
+		blk.regs[r*blk.threads+t] ^= 1 << (f.Bit & 31)
 		f.Landed = true
 	}
 }
@@ -666,24 +972,26 @@ func (e *engine) findResident(cta int) *blockState {
 // control executes control-flow instructions. predMask holds the lanes
 // (within active) where the guard predicate evaluated true.
 func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Instr, active, predMask uint32) bool {
-	e.perOpLane[in.Op] += uint64(bits.OnesCount32(active))
 	e.laneOps += uint64(bits.OnesCount32(active))
-	// Fetch-redirect accounting: a taken BRA and a SYNC jump move the
-	// warp's fetch stream to a non-sequential PC; SSY/BAR/EXIT fall
-	// through. This is the measured counterpart of the static model's
-	// fetch-exposure proxy.
-	switch in.Op {
-	case isa.OpBRA:
-		if predMask != 0 {
+	if !e.lean {
+		e.perOpLane[in.Op] += uint64(bits.OnesCount32(active))
+		// Fetch-redirect accounting: a taken BRA and a SYNC jump move
+		// the warp's fetch stream to a non-sequential PC; SSY/BAR/EXIT
+		// fall through. This is the measured counterpart of the static
+		// model's fetch-exposure proxy.
+		switch in.Op {
+		case isa.OpBRA:
+			if predMask != 0 {
+				e.ctrlOps++
+				if e.tlCur != nil {
+					e.tlCur.CtrlOps++
+				}
+			}
+		case isa.OpSYNC:
 			e.ctrlOps++
 			if e.tlCur != nil {
 				e.tlCur.CtrlOps++
 			}
-		}
-	case isa.OpSYNC:
-		e.ctrlOps++
-		if e.tlCur != nil {
-			e.tlCur.CtrlOps++
 		}
 	}
 	pc := top.pc
@@ -727,7 +1035,7 @@ func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Inst
 		}
 		w.atBar = true
 		w.block.barWaiting++
-		e.checkBarrier(w.block)
+		e.checkBarrier(sm, w.block)
 		top.pc = pc + 1
 	case isa.OpEXIT:
 		w.exited |= predMask

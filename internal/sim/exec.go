@@ -1,3 +1,8 @@
+// Execution handlers. ALU ops run as contiguous 32-lane slice loops
+// over the block's struct-of-arrays register file, with operands
+// pre-resolved at decode (decode.go). Fault modeling routes through a
+// generic per-lane fallback (execLaneSlow) for ALU ops; memory and MMA
+// handlers model their faults inline, keyed off engine.faultLane.
 package sim
 
 import (
@@ -10,66 +15,1035 @@ import (
 // exec functionally executes one warp-instruction over the active lanes.
 // faultLane >= 0 selects the lane whose result the armed fault corrupts.
 func (e *engine) exec(w *warpState, d *decoded, active uint32, faultLane int) {
-	in := d.in
-	switch in.Op {
-	case isa.OpHMMA, isa.OpFMMA:
-		e.execMMA(w, d, active, faultLane)
-		return
-	case isa.OpLDG, isa.OpSTG, isa.OpLDS, isa.OpSTS, isa.OpRED:
-		e.execMem(w, d, active, faultLane)
+	e.faultLane = faultLane
+	if faultLane >= 0 && d.class == classALU {
+		// The one warp-instruction of the run that carries an armed
+		// ALU fault takes the reference per-lane path, which models
+		// value, register-index, and predicate faults bit-exactly.
+		in := d.in
+		for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+			if active&bit == 0 {
+				continue
+			}
+			e.execLaneSlow(w, in, w.base+lane, lane == faultLane)
+		}
 		return
 	}
-	base := w.widx * 32
-	for lane := 0; lane < 32; lane++ {
-		if active&(1<<lane) == 0 {
-			continue
+	d.run(e, w, d, active)
+}
+
+// --- fast handlers: contiguous SoA lane loops ---
+
+func execNop(e *engine, w *warpState, d *decoded, active uint32) {}
+
+func execMOV(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	if active == w.fullMask {
+		copy(out, s0)
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = s0[lane]
 		}
-		t := base + lane
-		regs := w.block.regs[t]
-		faulted := lane == faultLane
-		e.execLane(w, in, t, regs, faulted)
 	}
 }
 
+func execSEL(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	pr := b.predRow(d.readsP, w.base, w.lanes)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := s1[lane]
+		if pr[lane] {
+			v = s0[lane]
+		}
+		out[lane] = v
+	}
+}
+
+func execS2R(e *engine, w *warpState, d *decoded, active uint32) {
+	out := d.dstRow(w.block, w)
+	sr := d.in.SReg
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = e.special(w, w.base+lane, sr)
+		}
+	}
+}
+
+func execFADD(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	n0, n1 := d.src[0].fneg, d.src[1].fneg
+	if active == w.fullMask {
+		for lane := range out {
+			v := math.Float32frombits(s0[lane]^n0) + math.Float32frombits(s1[lane]^n1)
+			out[lane] = math.Float32bits(v)
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := math.Float32frombits(s0[lane]^n0) + math.Float32frombits(s1[lane]^n1)
+		out[lane] = math.Float32bits(v)
+	}
+}
+
+func execFMUL(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	n0, n1 := d.src[0].fneg, d.src[1].fneg
+	if active == w.fullMask {
+		for lane := range out {
+			v := math.Float32frombits(s0[lane]^n0) * math.Float32frombits(s1[lane]^n1)
+			out[lane] = math.Float32bits(v)
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := math.Float32frombits(s0[lane]^n0) * math.Float32frombits(s1[lane]^n1)
+		out[lane] = math.Float32bits(v)
+	}
+}
+
+func execFFMA(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	s2 := d.row(b, w, 2)
+	n0, n1, n2 := d.src[0].fneg, d.src[1].fneg, d.src[2].fneg
+	if active == w.fullMask {
+		for lane := range out {
+			v := float32(math.FMA(
+				float64(math.Float32frombits(s0[lane]^n0)),
+				float64(math.Float32frombits(s1[lane]^n1)),
+				float64(math.Float32frombits(s2[lane]^n2))))
+			out[lane] = math.Float32bits(v)
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := float32(math.FMA(
+			float64(math.Float32frombits(s0[lane]^n0)),
+			float64(math.Float32frombits(s1[lane]^n1)),
+			float64(math.Float32frombits(s2[lane]^n2))))
+		out[lane] = math.Float32bits(v)
+	}
+}
+
+func (d *decoded) f64at(b *blockState, w *warpState, i, lane int) float64 {
+	lo := d.row(b, w, i)[lane]
+	hi := d.rowHi(b, w, i)[lane]
+	return math.Float64frombits((uint64(lo) | uint64(hi)<<32) ^ d.src[i].fneg64)
+}
+
+func (d *decoded) writeF64(b *blockState, w *warpState, lane int, v uint64) {
+	d.dstRow(b, w)[lane] = uint32(v)
+	d.dstRowHi(b, w)[lane] = uint32(v >> 32)
+}
+
+func execDADD(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := d.f64at(b, w, 0, lane) + d.f64at(b, w, 1, lane)
+		d.writeF64(b, w, lane, math.Float64bits(v))
+	}
+}
+
+func execDMUL(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := d.f64at(b, w, 0, lane) * d.f64at(b, w, 1, lane)
+		d.writeF64(b, w, lane, math.Float64bits(v))
+	}
+}
+
+func execDFMA(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := math.FMA(d.f64at(b, w, 0, lane), d.f64at(b, w, 1, lane), d.f64at(b, w, 2, lane))
+		d.writeF64(b, w, lane, math.Float64bits(v))
+	}
+}
+
+// h16 widens a packed FP16 lane value and applies the post-conversion
+// sign flip (matching the reference h16src semantics).
+func h16(raw, fneg uint32) float32 {
+	v := isa.F16ToF32(isa.Float16(raw & 0xffff))
+	return math.Float32frombits(math.Float32bits(v) ^ fneg)
+}
+
+func execHADD(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	n0, n1 := d.src[0].fneg, d.src[1].fneg
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		out[lane] = uint32(isa.F32ToF16(h16(s0[lane], n0) + h16(s1[lane], n1)))
+	}
+}
+
+func execHMUL(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	n0, n1 := d.src[0].fneg, d.src[1].fneg
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		out[lane] = uint32(isa.F32ToF16(h16(s0[lane], n0) * h16(s1[lane], n1)))
+	}
+}
+
+func execHFMA(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	s2 := d.row(b, w, 2)
+	n0, n1, n2 := d.src[0].fneg, d.src[1].fneg, d.src[2].fneg
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		v := float32(math.FMA(
+			float64(h16(s0[lane], n0)),
+			float64(h16(s1[lane], n1)),
+			float64(h16(s2[lane], n2))))
+		out[lane] = uint32(isa.F32ToF16(v))
+	}
+}
+
+func execIADD(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	n0, n1 := d.src[0].ineg, d.src[1].ineg
+	if active == w.fullMask && !n0 && !n1 {
+		for lane := range out {
+			out[lane] = uint32(int32(s0[lane]) + int32(s1[lane]))
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		a, c := int32(s0[lane]), int32(s1[lane])
+		if n0 {
+			a = -a
+		}
+		if n1 {
+			c = -c
+		}
+		out[lane] = uint32(a + c)
+	}
+}
+
+func execIMUL(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	n0, n1 := d.src[0].ineg, d.src[1].ineg
+	if active == w.fullMask && !n0 && !n1 {
+		for lane := range out {
+			out[lane] = uint32(int32(s0[lane]) * int32(s1[lane]))
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		a, c := int32(s0[lane]), int32(s1[lane])
+		if n0 {
+			a = -a
+		}
+		if n1 {
+			c = -c
+		}
+		out[lane] = uint32(a * c)
+	}
+}
+
+func execIMAD(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	s2 := d.row(b, w, 2)
+	n0, n1, n2 := d.src[0].ineg, d.src[1].ineg, d.src[2].ineg
+	if active == w.fullMask && !n0 && !n1 && !n2 {
+		for lane := range out {
+			out[lane] = uint32(int32(s0[lane])*int32(s1[lane]) + int32(s2[lane]))
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		a, c, acc := int32(s0[lane]), int32(s1[lane]), int32(s2[lane])
+		if n0 {
+			a = -a
+		}
+		if n1 {
+			c = -c
+		}
+		if n2 {
+			acc = -acc
+		}
+		out[lane] = uint32(a*c + acc)
+	}
+}
+
+func execIMNMX(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	wantLT := d.in.Cmp == isa.CmpLT
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		a, c := int32(s0[lane]), int32(s1[lane])
+		v := a
+		if wantLT == (c < a) {
+			v = c
+		}
+		out[lane] = uint32(v)
+	}
+}
+
+func execLOPAND(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = s0[lane] & s1[lane]
+		}
+	}
+}
+
+func execLOPOR(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = s0[lane] | s1[lane]
+		}
+	}
+}
+
+func execLOPXOR(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = s0[lane] ^ s1[lane]
+		}
+	}
+}
+
+func execSHFL(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = s0[lane] << (s1[lane] & 31)
+		}
+	}
+}
+
+func execSHFR(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = s0[lane] >> (s1[lane] & 31)
+		}
+	}
+}
+
+func execISETP(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	pr := b.predRow(d.in.DstP, w.base, w.lanes)
+	cmp := d.in.Cmp
+	if active == w.fullMask {
+		for lane := range pr {
+			pr[lane] = compareI(cmp, int32(s0[lane]), int32(s1[lane]))
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			pr[lane] = compareI(cmp, int32(s0[lane]), int32(s1[lane]))
+		}
+	}
+}
+
+func execFSETP(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	pr := b.predRow(d.in.DstP, w.base, w.lanes)
+	cmp := d.in.Cmp
+	if active == w.fullMask {
+		for lane := range pr {
+			pr[lane] = compareF(cmp,
+				float64(math.Float32frombits(s0[lane])),
+				float64(math.Float32frombits(s1[lane])))
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			pr[lane] = compareF(cmp,
+				float64(math.Float32frombits(s0[lane])),
+				float64(math.Float32frombits(s1[lane])))
+		}
+	}
+}
+
+func execDSETP(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	pr := b.predRow(d.in.DstP, w.base, w.lanes)
+	cmp := d.in.Cmp
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			pr[lane] = compareF(cmp, d.f64at(b, w, 0, lane), d.f64at(b, w, 1, lane))
+		}
+	}
+}
+
+func execHSETP(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	s0 := d.row(b, w, 0)
+	s1 := d.row(b, w, 1)
+	pr := b.predRow(d.in.DstP, w.base, w.lanes)
+	cmp := d.in.Cmp
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			pr[lane] = compareF(cmp, float64(h16(s0[lane], 0)), float64(h16(s1[lane], 0)))
+		}
+	}
+}
+
+func execF2F_32to64(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	s0 := d.row(b, w, 0)
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			v := float64(math.Float32frombits(s0[lane]))
+			d.writeF64(b, w, lane, math.Float64bits(v))
+		}
+	}
+}
+
+func execF2F_64to32(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = math.Float32bits(float32(d.f64at(b, w, 0, lane)))
+		}
+	}
+}
+
+func execF2F_32to16(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = uint32(isa.F32ToF16(math.Float32frombits(s0[lane])))
+		}
+	}
+}
+
+func execF2F_16to32(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = math.Float32bits(h16(s0[lane], 0))
+		}
+	}
+}
+
+func execF2F_64to16(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = uint32(isa.F32ToF16(float32(d.f64at(b, w, 0, lane))))
+		}
+	}
+}
+
+func execF2F_16to64(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	s0 := d.row(b, w, 0)
+	for lane, bit := 0, uint32(1); lane < w.lanes; lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			d.writeF64(b, w, lane, math.Float64bits(float64(h16(s0[lane], 0))))
+		}
+	}
+}
+
+func execF2FBad(e *engine, w *warpState, d *decoded, active uint32) {
+	e.due = fmt.Sprintf("unsupported F2F conversion %s->%s", d.in.CvtFrom, d.in.CvtTo)
+}
+
+func execF2I(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = uint32(clampI32(math.Float32frombits(s0[lane])))
+		}
+	}
+}
+
+func execI2F(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			out[lane] = math.Float32bits(float32(int32(s0[lane])))
+		}
+	}
+}
+
+func execMUFU(e *engine, w *warpState, d *decoded, active uint32) {
+	b := w.block
+	out := d.dstRow(b, w)
+	s0 := d.row(b, w, 0)
+	fn := d.in.Mufu
+	for lane, bit := 0, uint32(1); lane < len(out); lane, bit = lane+1, bit<<1 {
+		if active&bit != 0 {
+			x := float64(math.Float32frombits(s0[lane]))
+			out[lane] = math.Float32bits(float32(mufuEval(fn, x)))
+		}
+	}
+}
+
+func mufuEval(fn isa.MufuFunc, x float64) float64 {
+	switch fn {
+	case isa.MufuRCP:
+		return 1 / x
+	case isa.MufuSQRT:
+		return math.Sqrt(x)
+	case isa.MufuRSQ:
+		return 1 / math.Sqrt(x)
+	case isa.MufuEX2:
+		return math.Exp2(x)
+	case isa.MufuLG2:
+		return math.Log2(x)
+	case isa.MufuSIN:
+		return math.Sin(x)
+	case isa.MufuCOS:
+		return math.Cos(x)
+	}
+	return 0
+}
+
+func execUnimplemented(e *engine, w *warpState, d *decoded, active uint32) {
+	e.due = fmt.Sprintf("unimplemented opcode %s", d.in.Op)
+}
+
+// --- memory handlers (fault modeling inline, keyed off e.faultLane) ---
+
+func (e *engine) faultAddr(addr uint32) uint32 {
+	// SASS addresses are 64-bit; the simulated arena lives in the low 32.
+	// A flip in the high word always leaves the valid range, like a
+	// strike pushing a pointer out of the VA space.
+	if b := e.fault.Bit & 63; b >= 32 {
+		return addr | 0x8000_0000
+	} else {
+		return addr ^ 1<<b
+	}
+}
+
+func execLDG(e *engine, w *warpState, d *decoded, active uint32) {
+	in := d.in
+	b := w.block
+	aRow := d.row(b, w, 0)
+	off := in.Srcs[1].Imm
+	fl := e.faultLane
+	var dstLo, dstHi []uint32
+	if in.Dst != isa.RZ {
+		dstLo = b.regRow(in.Dst, w.base, w.lanes)
+		if in.Wide {
+			dstHi = b.regRow(in.Dst+1, w.base, w.lanes)
+		}
+	}
+	if fl == noFault && !in.Wide && dstLo != nil && active == w.fullMask {
+		// Full-warp unfaulted narrow load: lane order and the
+		// fail-on-first-bad-address semantics are identical to the
+		// masked loop below. Coalesced (unit-stride) warps collapse to
+		// one ranged copy, broadcast (one-address) warps to one load.
+		a0 := aRow[0] + off
+		if n := len(aRow); n > 1 {
+			switch aRow[1] - aRow[0] {
+			case 4:
+				coalesced := true
+				for lane := 2; lane < n; lane++ {
+					if aRow[lane]+off != a0+uint32(4*lane) {
+						coalesced = false
+						break
+					}
+				}
+				if coalesced {
+					if err := e.glob.LoadRow32(a0, dstLo); err != nil {
+						e.due = err.Error()
+					}
+					return
+				}
+			case 0:
+				uniform := true
+				for lane := 2; lane < n; lane++ {
+					if aRow[lane] != aRow[0] {
+						uniform = false
+						break
+					}
+				}
+				if uniform {
+					v, err := e.glob.Load32(a0)
+					if err != nil {
+						e.due = err.Error()
+						return
+					}
+					for lane := range dstLo {
+						dstLo[lane] = v
+					}
+					return
+				}
+			}
+		}
+		for lane := range aRow {
+			v, err := e.glob.Load32(aRow[lane] + off)
+			if err != nil {
+				e.due = err.Error()
+				return
+			}
+			dstLo[lane] = v
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(aRow); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		addr := aRow[lane] + off
+		faulted := lane == fl
+		if faulted && e.fault.Kind == FaultAddrBit {
+			addr = e.faultAddr(addr)
+		}
+		if in.Wide {
+			lo, hi, err := e.glob.Load64(addr)
+			if err != nil {
+				e.due = err.Error()
+				return
+			}
+			if faulted {
+				e.writeReg64(laneRegs{b, w.base + lane}, in.Dst, uint64(lo)|uint64(hi)<<32, true)
+			} else if dstLo != nil {
+				dstLo[lane], dstHi[lane] = lo, hi
+			}
+		} else {
+			v, err := e.glob.Load32(addr)
+			if err != nil {
+				e.due = err.Error()
+				return
+			}
+			if faulted {
+				e.writeReg(laneRegs{b, w.base + lane}, in.Dst, v, true)
+			} else if dstLo != nil {
+				dstLo[lane] = v
+			}
+		}
+	}
+}
+
+func execLDS(e *engine, w *warpState, d *decoded, active uint32) {
+	in := d.in
+	b := w.block
+	aRow := d.row(b, w, 0)
+	off := in.Srcs[1].Imm
+	fl := e.faultLane
+	var dstLo, dstHi []uint32
+	if in.Dst != isa.RZ {
+		dstLo = b.regRow(in.Dst, w.base, w.lanes)
+		if in.Wide {
+			dstHi = b.regRow(in.Dst+1, w.base, w.lanes)
+		}
+	}
+	for lane, bit := 0, uint32(1); lane < len(aRow); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		addr := aRow[lane] + off
+		faulted := lane == fl
+		if faulted && e.fault.Kind == FaultAddrBit {
+			addr = e.faultAddr(addr)
+		}
+		if in.Wide {
+			lo, hi, err := b.shared.Load64(addr)
+			if err != nil {
+				e.due = err.Error()
+				return
+			}
+			if faulted {
+				e.writeReg64(laneRegs{b, w.base + lane}, in.Dst, uint64(lo)|uint64(hi)<<32, true)
+			} else if dstLo != nil {
+				dstLo[lane], dstHi[lane] = lo, hi
+			}
+		} else {
+			v, err := b.shared.Load32(addr)
+			if err != nil {
+				e.due = err.Error()
+				return
+			}
+			if faulted {
+				e.writeReg(laneRegs{b, w.base + lane}, in.Dst, v, true)
+			} else if dstLo != nil {
+				dstLo[lane] = v
+			}
+		}
+	}
+}
+
+func execSTG(e *engine, w *warpState, d *decoded, active uint32) {
+	in := d.in
+	b := w.block
+	aRow := d.row(b, w, 0)
+	off := in.Srcs[1].Imm
+	fl := e.faultLane
+	vreg := in.Srcs[2].Reg
+	var vLo, vHi []uint32
+	if vreg != isa.RZ {
+		vLo = b.regRow(vreg, w.base, w.lanes)
+		if in.Wide {
+			vHi = b.regRow(vreg+1, w.base, w.lanes)
+		}
+	}
+	if fl == noFault && !in.Wide && vLo != nil && active == w.fullMask {
+		// Coalesced full-warp store: one ranged copy, with the same
+		// first-bad-address (and partial-write) semantics as the loop.
+		a0 := aRow[0] + off
+		if n := len(aRow); n > 1 && aRow[1]-aRow[0] == 4 {
+			coalesced := true
+			for lane := 2; lane < n; lane++ {
+				if aRow[lane]+off != a0+uint32(4*lane) {
+					coalesced = false
+					break
+				}
+			}
+			if coalesced {
+				if err := e.glob.StoreRow32(a0, vLo); err != nil {
+					e.due = err.Error()
+				}
+				return
+			}
+		}
+		for lane := range aRow {
+			if err := e.glob.Store32(aRow[lane]+off, vLo[lane]); err != nil {
+				e.due = err.Error()
+				return
+			}
+		}
+		return
+	}
+	for lane, bit := 0, uint32(1); lane < len(aRow); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		addr := aRow[lane] + off
+		faulted := lane == fl
+		if faulted && e.fault.Kind == FaultAddrBit {
+			addr = e.faultAddr(addr)
+		}
+		sv := uint32(0)
+		if vLo != nil {
+			sv = vLo[lane]
+		}
+		if faulted && e.fault.Kind == FaultValueBit {
+			sv ^= 1 << (e.fault.Bit & 31)
+			e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
+		}
+		var err error
+		if in.Wide {
+			hi := uint32(0)
+			if vHi != nil {
+				hi = vHi[lane]
+			}
+			err = e.glob.Store64(addr, sv, hi)
+		} else {
+			err = e.glob.Store32(addr, sv)
+		}
+		if err != nil {
+			e.due = err.Error()
+			return
+		}
+	}
+}
+
+func execSTS(e *engine, w *warpState, d *decoded, active uint32) {
+	in := d.in
+	b := w.block
+	aRow := d.row(b, w, 0)
+	off := in.Srcs[1].Imm
+	fl := e.faultLane
+	vreg := in.Srcs[2].Reg
+	var vLo, vHi []uint32
+	if vreg != isa.RZ {
+		vLo = b.regRow(vreg, w.base, w.lanes)
+		if in.Wide {
+			vHi = b.regRow(vreg+1, w.base, w.lanes)
+		}
+	}
+	for lane, bit := 0, uint32(1); lane < len(aRow); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		addr := aRow[lane] + off
+		faulted := lane == fl
+		if faulted && e.fault.Kind == FaultAddrBit {
+			addr = e.faultAddr(addr)
+		}
+		sv := uint32(0)
+		if vLo != nil {
+			sv = vLo[lane]
+		}
+		if faulted && e.fault.Kind == FaultValueBit {
+			sv ^= 1 << (e.fault.Bit & 31)
+			e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
+		}
+		var err error
+		if in.Wide {
+			hi := uint32(0)
+			if vHi != nil {
+				hi = vHi[lane]
+			}
+			err = b.shared.Store64(addr, sv, hi)
+		} else {
+			err = b.shared.Store32(addr, sv)
+		}
+		if err != nil {
+			e.due = err.Error()
+			return
+		}
+	}
+}
+
+func execRED(e *engine, w *warpState, d *decoded, active uint32) {
+	in := d.in
+	b := w.block
+	aRow := d.row(b, w, 0)
+	off := in.Srcs[1].Imm
+	fl := e.faultLane
+	vreg := in.Srcs[2].Reg
+	var vRow []uint32
+	if vreg != isa.RZ {
+		vRow = b.regRow(vreg, w.base, w.lanes)
+	}
+	for lane, bit := 0, uint32(1); lane < len(aRow); lane, bit = lane+1, bit<<1 {
+		if active&bit == 0 {
+			continue
+		}
+		addr := aRow[lane] + off
+		if lane == fl && e.fault.Kind == FaultAddrBit {
+			addr = e.faultAddr(addr)
+		}
+		sv := uint32(0)
+		if vRow != nil {
+			sv = vRow[lane]
+		}
+		if _, err := e.glob.AtomicAdd32(addr, sv); err != nil {
+			e.due = err.Error()
+			return
+		}
+	}
+}
+
+// MMA fragment layout (16x16 tiles distributed over 32 lanes):
+// element (i,j), flat = i*16+j:
+//
+//	A/B half fragments: lane = flat/8, slot = flat%8, register = base +
+//	  slot/2, half = slot%2 (low/high 16 bits);
+//	FP32 fragments (FMMA inputs and all accumulators): lane = flat/8,
+//	  register = base + flat%8.
+func execMMA(e *engine, w *warpState, d *decoded, active uint32) {
+	in := d.in
+	if active != w.fullMask || w.fullMask != ^uint32(0) {
+		e.due = "MMA issued by divergent or partial warp"
+		return
+	}
+	blk := w.block
+	base := w.base
+	faultLane := e.faultLane
+	regAt := func(lane int, r isa.Reg) uint32 { return blk.regs[int(r)*blk.threads+base+lane] }
+
+	var a, b [16][16]float32
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			flat := i*16 + j
+			lane, slot := flat/8, flat%8
+			if in.Op == isa.OpHMMA {
+				av := regAt(lane, in.Srcs[0].Reg+isa.Reg(slot/2))
+				bv := regAt(lane, in.Srcs[1].Reg+isa.Reg(slot/2))
+				sh := uint32(slot%2) * 16
+				a[i][j] = isa.F16ToF32(isa.Float16(av >> sh & 0xffff))
+				b[i][j] = isa.F16ToF32(isa.Float16(bv >> sh & 0xffff))
+			} else {
+				// FMMA: FP32 fragments cast to FP16 on the tensor core.
+				av := math.Float32frombits(regAt(lane, in.Srcs[0].Reg+isa.Reg(slot)))
+				bv := math.Float32frombits(regAt(lane, in.Srcs[1].Reg+isa.Reg(slot)))
+				a[i][j] = isa.F16ToF32(isa.F32ToF16(av))
+				b[i][j] = isa.F16ToF32(isa.F32ToF16(bv))
+			}
+		}
+	}
+	// D = A*B + C with FP32 accumulation.
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			flat := i*16 + j
+			lane, slot := flat/8, flat%8
+			acc := math.Float32frombits(regAt(lane, in.Srcs[2].Reg+isa.Reg(slot)))
+			for k := 0; k < 16; k++ {
+				acc += a[i][k] * b[k][j]
+			}
+			out := math.Float32bits(acc)
+			if lane == faultLane && e.fault != nil && e.fault.Kind == FaultValueBit &&
+				slot == e.fault.Bit/32%8 {
+				out ^= 1 << (e.fault.Bit & 31)
+				// Bit is drawn from [0,64), so the flip lands in the
+				// first two fragment slots: a 64-bit window.
+				e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&63, 64
+			}
+			blk.regs[int(in.Dst+isa.Reg(slot))*blk.threads+base+lane] = out
+		}
+	}
+}
+
+// --- generic per-lane fallback (reference semantics, fault modeling) ---
+
+// laneRegs is a single-lane view of the SoA register file, used by the
+// per-lane fallback and by the fault paths of the memory handlers.
+type laneRegs struct {
+	b *blockState
+	t int
+}
+
+func (lr laneRegs) get(r isa.Reg) uint32    { return lr.b.regs[int(r)*lr.b.threads+lr.t] }
+func (lr laneRegs) set(r isa.Reg, v uint32) { lr.b.regs[int(r)*lr.b.threads+lr.t] = v }
+func (lr laneRegs) getP(p isa.PredReg) bool { return lr.b.preds[int(p)*lr.b.threads+lr.t] }
+func (lr laneRegs) setP(p isa.PredReg, v bool) {
+	lr.b.preds[int(p)*lr.b.threads+lr.t] = v
+}
+
 // src reads a 32-bit source operand for a lane.
-func src(regs []uint32, o isa.Operand) uint32 {
+func src(lr laneRegs, o isa.Operand) uint32 {
 	if o.IsImm {
 		return o.Imm
 	}
 	if o.Reg == isa.RZ {
 		return 0
 	}
-	return regs[o.Reg]
+	return lr.get(o.Reg)
 }
 
-func src64(regs []uint32, o isa.Operand) uint64 {
+func src64(lr laneRegs, o isa.Operand) uint64 {
 	if o.IsImm {
 		return uint64(o.Imm)
 	}
 	if o.Reg == isa.RZ {
 		return 0
 	}
-	return uint64(regs[o.Reg]) | uint64(regs[o.Reg+1])<<32
+	return uint64(lr.get(o.Reg)) | uint64(lr.get(o.Reg+1))<<32
 }
 
-func f32src(regs []uint32, o isa.Operand, neg bool) float32 {
-	v := math.Float32frombits(src(regs, o))
+func f32src(lr laneRegs, o isa.Operand, neg bool) float32 {
+	v := math.Float32frombits(src(lr, o))
 	if neg {
 		return -v
 	}
 	return v
 }
 
-func f64src(regs []uint32, o isa.Operand, neg bool) float64 {
-	v := math.Float64frombits(src64(regs, o))
+func f64src(lr laneRegs, o isa.Operand, neg bool) float64 {
+	v := math.Float64frombits(src64(lr, o))
 	if neg {
 		return -v
 	}
 	return v
 }
 
-func h16src(regs []uint32, o isa.Operand, neg bool) float32 {
-	v := isa.F16ToF32(isa.Float16(src(regs, o) & 0xffff))
+func h16src(lr laneRegs, o isa.Operand, neg bool) float32 {
+	v := isa.F16ToF32(isa.Float16(src(lr, o) & 0xffff))
+	if neg {
+		return -v
+	}
+	return v
+}
+
+func isrc(lr laneRegs, o isa.Operand, neg bool) int32 {
+	v := int32(src(lr, o))
 	if neg {
 		return -v
 	}
@@ -78,7 +1052,7 @@ func h16src(regs []uint32, o isa.Operand, neg bool) float32 {
 
 // writeReg writes a 32-bit destination, applying a value-bit or
 // register-index fault when this lane is the fault target.
-func (e *engine) writeReg(regs []uint32, dst isa.Reg, v uint32, faulted bool) {
+func (e *engine) writeReg(lr laneRegs, dst isa.Reg, v uint32, faulted bool) {
 	if faulted && e.fault != nil {
 		switch e.fault.Kind {
 		case FaultValueBit:
@@ -86,104 +1060,115 @@ func (e *engine) writeReg(regs []uint32, dst isa.Reg, v uint32, faulted bool) {
 			e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
 		case FaultRegIndex:
 			// The result lands in a corrupted destination register.
-			alt := (int(dst) ^ (1 << (e.fault.Bit % 5))) % len(regs)
+			alt := (int(dst) ^ (1 << (e.fault.Bit % 5))) % lr.b.nregs
 			if isa.Reg(alt) != isa.RZ {
-				regs[alt] = v
+				lr.set(isa.Reg(alt), v)
 			}
 			return
 		}
 	}
 	if dst != isa.RZ {
-		regs[dst] = v
+		lr.set(dst, v)
 	}
 }
 
-func (e *engine) writeReg64(regs []uint32, dst isa.Reg, v uint64, faulted bool) {
+func (e *engine) writeReg64(lr laneRegs, dst isa.Reg, v uint64, faulted bool) {
 	if faulted && e.fault != nil && e.fault.Kind == FaultValueBit {
 		v ^= 1 << (e.fault.Bit & 63)
 		e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&63, 64
 	}
-	regs[dst] = uint32(v)
-	regs[dst+1] = uint32(v >> 32)
+	lr.set(dst, uint32(v))
+	lr.set(dst+1, uint32(v>>32))
 }
 
-// execLane executes one generic (non-memory, non-MMA) op for one lane.
-func (e *engine) execLane(w *warpState, in *isa.Instr, t int, regs []uint32, faulted bool) {
-	preds := &w.block.preds[t]
+// writePred writes a SETP result, modeling predicate-register faults.
+func (e *engine) writePred(lr laneRegs, in *isa.Instr, v bool, faulted bool) {
+	if faulted && e.fault != nil && e.fault.Kind == FaultPredBit {
+		v = !v
+	}
+	if in.DstP != isa.PT {
+		lr.setP(in.DstP, v)
+	}
+}
+
+// execLaneSlow executes one generic (non-memory, non-MMA) op for one
+// lane with reference semantics, modeling the armed fault exactly.
+func (e *engine) execLaneSlow(w *warpState, in *isa.Instr, t int, faulted bool) {
+	lr := laneRegs{w.block, t}
 	switch in.Op {
 	case isa.OpNOP:
 
 	case isa.OpMOV, isa.OpMOV32I:
-		e.writeReg(regs, in.Dst, src(regs, in.Srcs[0]), faulted)
+		e.writeReg(lr, in.Dst, src(lr, in.Srcs[0]), faulted)
 
 	case isa.OpSEL:
-		v := src(regs, in.Srcs[1])
-		if preds[in.DstP] {
-			v = src(regs, in.Srcs[0])
+		v := src(lr, in.Srcs[1])
+		if lr.getP(in.DstP) {
+			v = src(lr, in.Srcs[0])
 		}
-		e.writeReg(regs, in.Dst, v, faulted)
+		e.writeReg(lr, in.Dst, v, faulted)
 
 	case isa.OpS2R:
-		e.writeReg(regs, in.Dst, e.special(w, t, in.SReg), faulted)
+		e.writeReg(lr, in.Dst, e.special(w, t, in.SReg), faulted)
 
 	case isa.OpFADD:
-		v := f32src(regs, in.Srcs[0], in.Neg[0]) + f32src(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+		v := f32src(lr, in.Srcs[0], in.Neg[0]) + f32src(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg(lr, in.Dst, math.Float32bits(v), faulted)
 	case isa.OpFMUL:
-		v := f32src(regs, in.Srcs[0], in.Neg[0]) * f32src(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+		v := f32src(lr, in.Srcs[0], in.Neg[0]) * f32src(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg(lr, in.Dst, math.Float32bits(v), faulted)
 	case isa.OpFFMA:
 		v := float32(math.FMA(
-			float64(f32src(regs, in.Srcs[0], in.Neg[0])),
-			float64(f32src(regs, in.Srcs[1], in.Neg[1])),
-			float64(f32src(regs, in.Srcs[2], in.Neg[2]))))
-		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+			float64(f32src(lr, in.Srcs[0], in.Neg[0])),
+			float64(f32src(lr, in.Srcs[1], in.Neg[1])),
+			float64(f32src(lr, in.Srcs[2], in.Neg[2]))))
+		e.writeReg(lr, in.Dst, math.Float32bits(v), faulted)
 
 	case isa.OpDADD:
-		v := f64src(regs, in.Srcs[0], in.Neg[0]) + f64src(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+		v := f64src(lr, in.Srcs[0], in.Neg[0]) + f64src(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg64(lr, in.Dst, math.Float64bits(v), faulted)
 	case isa.OpDMUL:
-		v := f64src(regs, in.Srcs[0], in.Neg[0]) * f64src(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+		v := f64src(lr, in.Srcs[0], in.Neg[0]) * f64src(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg64(lr, in.Dst, math.Float64bits(v), faulted)
 	case isa.OpDFMA:
 		v := math.FMA(
-			f64src(regs, in.Srcs[0], in.Neg[0]),
-			f64src(regs, in.Srcs[1], in.Neg[1]),
-			f64src(regs, in.Srcs[2], in.Neg[2]))
-		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+			f64src(lr, in.Srcs[0], in.Neg[0]),
+			f64src(lr, in.Srcs[1], in.Neg[1]),
+			f64src(lr, in.Srcs[2], in.Neg[2]))
+		e.writeReg64(lr, in.Dst, math.Float64bits(v), faulted)
 
 	case isa.OpHADD:
-		v := h16src(regs, in.Srcs[0], in.Neg[0]) + h16src(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(v)), faulted)
+		v := h16src(lr, in.Srcs[0], in.Neg[0]) + h16src(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg(lr, in.Dst, uint32(isa.F32ToF16(v)), faulted)
 	case isa.OpHMUL:
-		v := h16src(regs, in.Srcs[0], in.Neg[0]) * h16src(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(v)), faulted)
+		v := h16src(lr, in.Srcs[0], in.Neg[0]) * h16src(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg(lr, in.Dst, uint32(isa.F32ToF16(v)), faulted)
 	case isa.OpHFMA:
 		v := float32(math.FMA(
-			float64(h16src(regs, in.Srcs[0], in.Neg[0])),
-			float64(h16src(regs, in.Srcs[1], in.Neg[1])),
-			float64(h16src(regs, in.Srcs[2], in.Neg[2]))))
-		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(v)), faulted)
+			float64(h16src(lr, in.Srcs[0], in.Neg[0])),
+			float64(h16src(lr, in.Srcs[1], in.Neg[1])),
+			float64(h16src(lr, in.Srcs[2], in.Neg[2]))))
+		e.writeReg(lr, in.Dst, uint32(isa.F32ToF16(v)), faulted)
 
 	case isa.OpIADD:
-		v := isrc(regs, in.Srcs[0], in.Neg[0]) + isrc(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg(regs, in.Dst, uint32(v), faulted)
+		v := isrc(lr, in.Srcs[0], in.Neg[0]) + isrc(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg(lr, in.Dst, uint32(v), faulted)
 	case isa.OpIMUL:
-		v := isrc(regs, in.Srcs[0], in.Neg[0]) * isrc(regs, in.Srcs[1], in.Neg[1])
-		e.writeReg(regs, in.Dst, uint32(v), faulted)
+		v := isrc(lr, in.Srcs[0], in.Neg[0]) * isrc(lr, in.Srcs[1], in.Neg[1])
+		e.writeReg(lr, in.Dst, uint32(v), faulted)
 	case isa.OpIMAD:
-		v := isrc(regs, in.Srcs[0], in.Neg[0])*isrc(regs, in.Srcs[1], in.Neg[1]) +
-			isrc(regs, in.Srcs[2], in.Neg[2])
-		e.writeReg(regs, in.Dst, uint32(v), faulted)
+		v := isrc(lr, in.Srcs[0], in.Neg[0])*isrc(lr, in.Srcs[1], in.Neg[1]) +
+			isrc(lr, in.Srcs[2], in.Neg[2])
+		e.writeReg(lr, in.Dst, uint32(v), faulted)
 	case isa.OpIMNMX:
-		a, b := isrc(regs, in.Srcs[0], false), isrc(regs, in.Srcs[1], false)
+		a, b := isrc(lr, in.Srcs[0], false), isrc(lr, in.Srcs[1], false)
 		v := a
 		if (in.Cmp == isa.CmpLT) == (b < a) {
 			v = b
 		}
-		e.writeReg(regs, in.Dst, uint32(v), faulted)
+		e.writeReg(lr, in.Dst, uint32(v), faulted)
 	case isa.OpLOP:
-		a, b := src(regs, in.Srcs[0]), src(regs, in.Srcs[1])
+		a, b := src(lr, in.Srcs[0]), src(lr, in.Srcs[1])
 		var v uint32
 		switch in.Logic {
 		case isa.LopAND:
@@ -193,81 +1178,46 @@ func (e *engine) execLane(w *warpState, in *isa.Instr, t int, regs []uint32, fau
 		case isa.LopXOR:
 			v = a ^ b
 		}
-		e.writeReg(regs, in.Dst, v, faulted)
+		e.writeReg(lr, in.Dst, v, faulted)
 	case isa.OpSHF:
-		a, b := src(regs, in.Srcs[0]), src(regs, in.Srcs[1])&31
+		a, b := src(lr, in.Srcs[0]), src(lr, in.Srcs[1])&31
 		var v uint32
 		if in.Shift == isa.ShiftL {
 			v = a << b
 		} else {
 			v = a >> b
 		}
-		e.writeReg(regs, in.Dst, v, faulted)
+		e.writeReg(lr, in.Dst, v, faulted)
 
 	case isa.OpISETP:
-		a, b := isrc(regs, in.Srcs[0], false), isrc(regs, in.Srcs[1], false)
-		e.writePred(preds, in, compareI(in.Cmp, a, b), faulted)
+		a, b := isrc(lr, in.Srcs[0], false), isrc(lr, in.Srcs[1], false)
+		e.writePred(lr, in, compareI(in.Cmp, a, b), faulted)
 	case isa.OpFSETP:
-		e.writePred(preds, in, compareF(in.Cmp,
-			float64(f32src(regs, in.Srcs[0], false)), float64(f32src(regs, in.Srcs[1], false))), faulted)
+		e.writePred(lr, in, compareF(in.Cmp,
+			float64(f32src(lr, in.Srcs[0], false)), float64(f32src(lr, in.Srcs[1], false))), faulted)
 	case isa.OpDSETP:
-		e.writePred(preds, in, compareF(in.Cmp,
-			f64src(regs, in.Srcs[0], false), f64src(regs, in.Srcs[1], false)), faulted)
+		e.writePred(lr, in, compareF(in.Cmp,
+			f64src(lr, in.Srcs[0], false), f64src(lr, in.Srcs[1], false)), faulted)
 	case isa.OpHSETP:
-		e.writePred(preds, in, compareF(in.Cmp,
-			float64(h16src(regs, in.Srcs[0], false)), float64(h16src(regs, in.Srcs[1], false))), faulted)
+		e.writePred(lr, in, compareF(in.Cmp,
+			float64(h16src(lr, in.Srcs[0], false)), float64(h16src(lr, in.Srcs[1], false))), faulted)
 
 	case isa.OpF2F:
-		e.convertF2F(regs, in, faulted)
+		e.convertF2F(lr, in, faulted)
 	case isa.OpF2I:
-		f := f32src(regs, in.Srcs[0], false)
-		e.writeReg(regs, in.Dst, uint32(clampI32(f)), faulted)
+		f := f32src(lr, in.Srcs[0], false)
+		e.writeReg(lr, in.Dst, uint32(clampI32(f)), faulted)
 	case isa.OpI2F:
-		v := float32(isrc(regs, in.Srcs[0], false))
-		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+		v := float32(isrc(lr, in.Srcs[0], false))
+		e.writeReg(lr, in.Dst, math.Float32bits(v), faulted)
 
 	case isa.OpMUFU:
-		x := float64(f32src(regs, in.Srcs[0], false))
-		var v float64
-		switch in.Mufu {
-		case isa.MufuRCP:
-			v = 1 / x
-		case isa.MufuSQRT:
-			v = math.Sqrt(x)
-		case isa.MufuRSQ:
-			v = 1 / math.Sqrt(x)
-		case isa.MufuEX2:
-			v = math.Exp2(x)
-		case isa.MufuLG2:
-			v = math.Log2(x)
-		case isa.MufuSIN:
-			v = math.Sin(x)
-		case isa.MufuCOS:
-			v = math.Cos(x)
-		}
-		e.writeReg(regs, in.Dst, math.Float32bits(float32(v)), faulted)
+		x := float64(f32src(lr, in.Srcs[0], false))
+		e.writeReg(lr, in.Dst, math.Float32bits(float32(mufuEval(in.Mufu, x))), faulted)
 
 	default:
 		e.due = fmt.Sprintf("unimplemented opcode %s", in.Op)
 	}
-}
-
-// writePred writes a SETP result, modeling predicate-register faults.
-func (e *engine) writePred(preds *[8]bool, in *isa.Instr, v bool, faulted bool) {
-	if faulted && e.fault != nil && e.fault.Kind == FaultPredBit {
-		v = !v
-	}
-	if in.DstP != isa.PT {
-		preds[in.DstP] = v
-	}
-}
-
-func isrc(regs []uint32, o isa.Operand, neg bool) int32 {
-	v := int32(src(regs, o))
-	if neg {
-		return -v
-	}
-	return v
 }
 
 func compareI(c isa.CmpOp, a, b int32) bool {
@@ -317,22 +1267,22 @@ func clampI32(f float32) int32 {
 	}
 }
 
-func (e *engine) convertF2F(regs []uint32, in *isa.Instr, faulted bool) {
+func (e *engine) convertF2F(lr laneRegs, in *isa.Instr, faulted bool) {
 	switch {
 	case in.CvtFrom == isa.F32 && in.CvtTo == isa.F64:
-		v := float64(f32src(regs, in.Srcs[0], false))
-		e.writeReg64(regs, in.Dst, math.Float64bits(v), faulted)
+		v := float64(f32src(lr, in.Srcs[0], false))
+		e.writeReg64(lr, in.Dst, math.Float64bits(v), faulted)
 	case in.CvtFrom == isa.F64 && in.CvtTo == isa.F32:
-		v := float32(f64src(regs, in.Srcs[0], false))
-		e.writeReg(regs, in.Dst, math.Float32bits(v), faulted)
+		v := float32(f64src(lr, in.Srcs[0], false))
+		e.writeReg(lr, in.Dst, math.Float32bits(v), faulted)
 	case in.CvtFrom == isa.F32 && in.CvtTo == isa.F16:
-		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(f32src(regs, in.Srcs[0], false))), faulted)
+		e.writeReg(lr, in.Dst, uint32(isa.F32ToF16(f32src(lr, in.Srcs[0], false))), faulted)
 	case in.CvtFrom == isa.F16 && in.CvtTo == isa.F32:
-		e.writeReg(regs, in.Dst, math.Float32bits(h16src(regs, in.Srcs[0], false)), faulted)
+		e.writeReg(lr, in.Dst, math.Float32bits(h16src(lr, in.Srcs[0], false)), faulted)
 	case in.CvtFrom == isa.F64 && in.CvtTo == isa.F16:
-		e.writeReg(regs, in.Dst, uint32(isa.F32ToF16(float32(f64src(regs, in.Srcs[0], false)))), faulted)
+		e.writeReg(lr, in.Dst, uint32(isa.F32ToF16(float32(f64src(lr, in.Srcs[0], false)))), faulted)
 	case in.CvtFrom == isa.F16 && in.CvtTo == isa.F64:
-		e.writeReg64(regs, in.Dst, math.Float64bits(float64(h16src(regs, in.Srcs[0], false))), faulted)
+		e.writeReg64(lr, in.Dst, math.Float64bits(float64(h16src(lr, in.Srcs[0], false))), faulted)
 	default:
 		e.due = fmt.Sprintf("unsupported F2F conversion %s->%s", in.CvtFrom, in.CvtTo)
 	}
@@ -363,161 +1313,5 @@ func (e *engine) special(w *warpState, t int, sr isa.SpecialReg) uint32 {
 		return uint32(w.widx)
 	default:
 		return 0
-	}
-}
-
-// execMem executes a memory warp-instruction. Address faults and invalid
-// accesses surface here.
-func (e *engine) execMem(w *warpState, d *decoded, active uint32, faultLane int) {
-	in := d.in
-	base := w.widx * 32
-	for lane := 0; lane < 32; lane++ {
-		if active&(1<<lane) == 0 {
-			continue
-		}
-		t := base + lane
-		regs := w.block.regs[t]
-		addr := src(regs, in.Srcs[0]) + in.Srcs[1].Imm
-		faulted := lane == faultLane
-		if faulted && e.fault.Kind == FaultAddrBit {
-			// SASS addresses are 64-bit; the simulated arena lives in the
-			// low 32. A flip in the high word always leaves the valid
-			// range, like a strike pushing a pointer out of the VA space.
-			if b := e.fault.Bit & 63; b >= 32 {
-				addr |= 0x8000_0000
-			} else {
-				addr ^= 1 << b
-			}
-		}
-		var err error
-		switch in.Op {
-		case isa.OpLDG:
-			if in.Wide {
-				var lo, hi uint32
-				lo, hi, err = e.glob.Load64(addr)
-				if err == nil {
-					e.writeReg64(regs, in.Dst, uint64(lo)|uint64(hi)<<32, faulted)
-				}
-			} else {
-				var v uint32
-				v, err = e.glob.Load32(addr)
-				if err == nil {
-					e.writeReg(regs, in.Dst, v, faulted)
-				}
-			}
-		case isa.OpSTG:
-			v := in.Srcs[2].Reg
-			sv := uint32(0)
-			if v != isa.RZ {
-				sv = regs[v]
-			}
-			if faulted && e.fault.Kind == FaultValueBit {
-				sv ^= 1 << (e.fault.Bit & 31)
-				e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
-			}
-			if in.Wide {
-				err = e.glob.Store64(addr, sv, regs[v+1])
-			} else {
-				err = e.glob.Store32(addr, sv)
-			}
-		case isa.OpLDS:
-			if in.Wide {
-				var lo, hi uint32
-				lo, hi, err = w.block.shared.Load64(addr)
-				if err == nil {
-					e.writeReg64(regs, in.Dst, uint64(lo)|uint64(hi)<<32, faulted)
-				}
-			} else {
-				var v uint32
-				v, err = w.block.shared.Load32(addr)
-				if err == nil {
-					e.writeReg(regs, in.Dst, v, faulted)
-				}
-			}
-		case isa.OpSTS:
-			v := in.Srcs[2].Reg
-			sv := uint32(0)
-			if v != isa.RZ {
-				sv = regs[v]
-			}
-			if faulted && e.fault.Kind == FaultValueBit {
-				sv ^= 1 << (e.fault.Bit & 31)
-				e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&31, 32
-			}
-			if in.Wide {
-				err = w.block.shared.Store64(addr, sv, regs[v+1])
-			} else {
-				err = w.block.shared.Store32(addr, sv)
-			}
-		case isa.OpRED:
-			v := in.Srcs[2].Reg
-			sv := uint32(0)
-			if v != isa.RZ {
-				sv = regs[v]
-			}
-			_, err = e.glob.AtomicAdd32(addr, sv)
-		}
-		if err != nil {
-			e.due = err.Error()
-			return
-		}
-	}
-}
-
-// MMA fragment layout (16x16 tiles distributed over 32 lanes):
-// element (i,j), flat = i*16+j:
-//
-//	A/B half fragments: lane = flat/8, slot = flat%8, register = base +
-//	  slot/2, half = slot%2 (low/high 16 bits);
-//	FP32 fragments (FMMA inputs and all accumulators): lane = flat/8,
-//	  register = base + flat%8.
-func (e *engine) execMMA(w *warpState, d *decoded, active uint32, faultLane int) {
-	in := d.in
-	if active != w.fullMask || w.fullMask != ^uint32(0) {
-		e.due = "MMA issued by divergent or partial warp"
-		return
-	}
-	base := w.widx * 32
-	regAt := func(lane int, r isa.Reg) uint32 { return w.block.regs[base+lane][r] }
-
-	var a, b [16][16]float32
-	for i := 0; i < 16; i++ {
-		for j := 0; j < 16; j++ {
-			flat := i*16 + j
-			lane, slot := flat/8, flat%8
-			if in.Op == isa.OpHMMA {
-				av := regAt(lane, in.Srcs[0].Reg+isa.Reg(slot/2))
-				bv := regAt(lane, in.Srcs[1].Reg+isa.Reg(slot/2))
-				sh := uint32(slot%2) * 16
-				a[i][j] = isa.F16ToF32(isa.Float16(av >> sh & 0xffff))
-				b[i][j] = isa.F16ToF32(isa.Float16(bv >> sh & 0xffff))
-			} else {
-				// FMMA: FP32 fragments cast to FP16 on the tensor core.
-				av := math.Float32frombits(regAt(lane, in.Srcs[0].Reg+isa.Reg(slot)))
-				bv := math.Float32frombits(regAt(lane, in.Srcs[1].Reg+isa.Reg(slot)))
-				a[i][j] = isa.F16ToF32(isa.F32ToF16(av))
-				b[i][j] = isa.F16ToF32(isa.F32ToF16(bv))
-			}
-		}
-	}
-	// D = A*B + C with FP32 accumulation.
-	for i := 0; i < 16; i++ {
-		for j := 0; j < 16; j++ {
-			flat := i*16 + j
-			lane, slot := flat/8, flat%8
-			acc := math.Float32frombits(regAt(lane, in.Srcs[2].Reg+isa.Reg(slot)))
-			for k := 0; k < 16; k++ {
-				acc += a[i][k] * b[k][j]
-			}
-			out := math.Float32bits(acc)
-			if lane == faultLane && e.fault != nil && e.fault.Kind == FaultValueBit &&
-				slot == e.fault.Bit/32%8 {
-				out ^= 1 << (e.fault.Bit & 31)
-				// Bit is drawn from [0,64), so the flip lands in the
-				// first two fragment slots: a 64-bit window.
-				e.fault.FiredBit, e.fault.FiredWidth = e.fault.Bit&63, 64
-			}
-			w.block.regs[base+lane][in.Dst+isa.Reg(slot)] = out
-		}
 	}
 }

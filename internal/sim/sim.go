@@ -40,12 +40,32 @@ type Config struct {
 	// Fault optionally perturbs the run (nil for golden runs).
 	Fault *FaultPlan
 
+	// Record, when non-nil, makes this (golden) run capture full-state
+	// sub-launch images every Record.Interval lane-operations; faulted
+	// replays of the same launch start from the nearest image (RunFrom)
+	// instead of the launch boundary.
+	Record *ImageRecorder
+
+	// Golden supplies the golden run's sub-launch images to a faulted
+	// replay: once the fault has fired, the engine compares itself
+	// against the image captured at the same cycle and stops early with
+	// Result.RejoinedGolden when the state has provably rejoined the
+	// golden execution.
+	Golden []*LaunchImage
+
 	// SampleTimeline asks the engine to record the per-launch residency
 	// Timeline (scheduler slots, outstanding loads, divergence depth,
 	// fetch activity per cycle bucket). Golden runs turn it on; fault
 	// campaigns leave it off to keep the hot loop untouched. The
 	// aggregate residency counters on Profile are recorded either way.
 	SampleTimeline bool
+
+	// LeanProfile drops the profile-only accounting from the issue path
+	// (per-op lane counts, residency and fetch-redirect counters) — the
+	// corresponding Profile fields come back zero. Outcome, cycle count,
+	// and the fault-trigger clocks are unaffected. Fault replays set it:
+	// their Profile is discarded, only the classification matters.
+	LeanProfile bool
 
 	// Trace, when non-nil, receives one line per issued warp-instruction
 	// ("cycle sm warp pc disassembly"), the dynamic analogue of
@@ -77,6 +97,13 @@ type Result struct {
 	Outcome   Outcome
 	DUEReason string
 	Profile   Profile
+
+	// RejoinedGolden reports that a faulted replay stopped early because
+	// its full state matched a golden sub-launch image (Config.Golden):
+	// the rest of the launch — and therefore the program — would replay
+	// the golden run exactly, so the fault is architecturally masked.
+	// The Profile of such a run covers only the simulated prefix.
+	RejoinedGolden bool
 }
 
 // Profile carries the dynamic execution metrics the profiler and the
@@ -145,6 +172,21 @@ func Run(cfg Config, global *mem.Global) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.run(), nil
+}
+
+// RunFrom resumes the launch from a golden sub-launch image instead of
+// the launch start: global memory, all resident architectural state, and
+// the fault-trigger clocks are rewound to the image, and only the
+// suffix is simulated. The image must come from a golden run of the
+// same Config geometry (kernels.Runner guarantees this); cfg.Fault's
+// trigger must not precede the image's clocks (use PickImage).
+func RunFrom(cfg Config, global *mem.Global, img *LaunchImage) (*Result, error) {
+	e, err := prepEngine(cfg, global)
+	if err != nil {
+		return nil, err
+	}
+	e.restoreImage(img)
 	return e.run(), nil
 }
 

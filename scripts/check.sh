@@ -23,12 +23,23 @@ set -eu
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "bench" ]; then
-    # BenchmarkSimProfileTimeline pairs a sampled and a bare golden run:
-    # residency-telemetry overhead is expected to stay under ~10% on the
-    # sampled run, and the BenchmarkSimPerFault* baselines must not move
-    # at all (fault replays never sample).
+    # Two stages. First a one-iteration smoke pass over every substrate
+    # benchmark (compiles-and-runs coverage, no timing claims). Then the
+    # timed per-fault gate: re-time the BenchmarkSimPerFault* suite,
+    # emit the snapshot JSON benchdiff consumes (bench-new.json; stable
+    # path, gitignored, uploaded by CI), and compare it against the
+    # committed BENCH_v0.json baseline. The band is wide (see
+    # tools/benchdiff) because CI runners are not the snapshot machine;
+    # it exists to catch algorithmic regressions of the replay path,
+    # not single-digit-percent noise.
     echo "== go test -run=^\$ -bench=BenchmarkSim -benchtime=1x ./..."
     go test -run='^$' -bench=BenchmarkSim -benchtime=1x ./...
+    echo "== go test -run=^\$ -bench=BenchmarkSimPerFault -benchtime=2s -count=3 ."
+    go test -run='^$' -bench=BenchmarkSimPerFault -benchtime=2s -count=3 . >bench-run.txt
+    cat bench-run.txt
+    go run ./tools/benchdiff emit -note "scripts/check.sh bench" <bench-run.txt >bench-new.json
+    echo "== benchdiff compare BENCH_v0.json bench-new.json"
+    go run ./tools/benchdiff compare -band 2.0 BENCH_v0.json bench-new.json
     echo "checks passed"
     exit 0
 fi
