@@ -125,11 +125,42 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 	for ecc, v := range ds.DUEMeasuredUnderestimate {
 		out.DUEMeasured[eccKey(ecc)] = v
 	}
-	data, err := json.MarshalIndent(out, "", " ")
+	return WriteJSONAtomic(path, out)
+}
+
+// WriteJSONAtomic marshals v (indented, trailing newline-free like
+// MarshalIndent) and renames it into place over path, so a reader — or
+// a crash mid-write — never observes a torn file. Study artifacts and
+// the serve daemon's campaign checkpoints both persist through it: a
+// checkpoint that a campaign will later resume from must be all-or-
+// nothing, or the resumed trial sequence would diverge.
+func WriteJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
-		return fmt.Errorf("core: marshaling study: %w", err)
+		return fmt.Errorf("core: marshaling %s: %w", path, err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadJSON unmarshals the file at path into v, the counterpart of
+// WriteJSONAtomic.
+func ReadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadDeviceStudy reads a study saved by SaveJSON.

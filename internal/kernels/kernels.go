@@ -99,9 +99,12 @@ type Runner struct {
 	subRejoins  atomic.Uint64 // replays cut off at a sub-launch rejoin
 }
 
-// imageBudgetBytes caps the approximate memory spent on sub-launch
+// ImageBudgetBytes caps the approximate memory spent on sub-launch
 // images per Runner; the per-launch image count is scaled down to fit.
-const imageBudgetBytes = 64 << 20
+// The serve-layer runner cache reuses it as the unit its own budget is
+// expressed in: one budget's worth of cache holds roughly one
+// image-saturated runner.
+const ImageBudgetBytes = 64 << 20
 
 // NewRunner builds the workload once, performs the golden run, and
 // records the launch-boundary snapshots that make faulted replays cheap.
@@ -116,7 +119,7 @@ func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel)
 	// Sub-launch images cost roughly one global snapshot plus resident
 	// block state apiece; divide the budget across launches and skip
 	// recording where fewer than two images would fit.
-	maxImgs := imageBudgetBytes / len(inst.Launches) /
+	maxImgs := ImageBudgetBytes / len(inst.Launches) /
 		(inst.Global.AllocatedBytes() + 64*1024)
 	if maxImgs > sim.DefaultMaxImages {
 		maxImgs = sim.DefaultMaxImages
@@ -155,6 +158,25 @@ func NewRunner(name string, build Builder, dev *device.Device, opt asm.OptLevel)
 		return nil, fmt.Errorf("kernels: golden run of %s fails its own check", name)
 	}
 	return r, nil
+}
+
+// MemoryFootprint approximates the bytes the runner retains for the
+// life of the cache entry: the instance's device memory, the launch-
+// boundary snapshots, and the sub-launch golden images. The replay
+// scratch pool is excluded — it grows with concurrent replays, not with
+// cache residency. Cache layers (internal/serve) charge this against
+// their byte budget when deciding evictions.
+func (r *Runner) MemoryFootprint() int {
+	total := r.inst.Global.CapacityBytes()
+	for _, s := range r.snaps {
+		total += s.SizeBytes()
+	}
+	for _, imgs := range r.images {
+		for _, img := range imgs {
+			total += img.FootprintBytes()
+		}
+	}
+	return total
 }
 
 // Instance returns the cached build artifacts: assembled programs,

@@ -20,6 +20,10 @@ type Snapshot struct {
 // CapacityBytes returns the total capacity of the Global in bytes.
 func (g *Global) CapacityBytes() int { return len(g.words) * 4 }
 
+// SizeBytes returns the snapshot's retained memory, the term a cache
+// holding many runners' snapshots budgets against.
+func (s *Snapshot) SizeBytes() int { return len(s.words) * 4 }
+
 // Snapshot captures the allocated region (null guard included, so word
 // indices line up) and the allocator state.
 func (g *Global) Snapshot() *Snapshot {

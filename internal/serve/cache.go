@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"gpurel/internal/asm"
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+	"gpurel/internal/suite"
+)
+
+// RunnerKey identifies a cached runner: the same triple the study-level
+// runnerCache (internal/core) keys on, plus the device, because one
+// daemon serves campaigns against both architectures.
+type RunnerKey struct {
+	Code   string
+	Device string
+	Opt    asm.OptLevel
+}
+
+// RunnerCache is a byte-budgeted LRU over built kernels.Runner
+// instances. A runner is expensive twice over — the golden run that
+// builds it costs more than most campaigns' injection work, and its
+// snapshots and sub-launch images hold tens of megabytes — so the
+// daemon shares runners across requests and evicts least-recently-used
+// entries once their MemoryFootprint sum exceeds the budget
+// (a multiple of the PR-7 per-runner image budget,
+// kernels.ImageBudgetBytes).
+//
+// Eviction only drops the cache's reference: campaigns already holding
+// the runner keep using it (runners are immutable after the golden
+// run), and the memory is reclaimed when they finish.
+type RunnerCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	lru     *list.List // of *cacheEntry; front = most recently used
+	entries map[RunnerKey]*cacheEntry
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  RunnerKey
+	elem *list.Element
+	size int64 // 0 until the build completes
+
+	once sync.Once
+	r    *kernels.Runner
+	err  error
+}
+
+// NewRunnerCache returns a cache with the given byte budget
+// (<= 0: DefaultCacheBytes).
+func NewRunnerCache(budget int64) *RunnerCache {
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	return &RunnerCache{
+		budget:  budget,
+		lru:     list.New(),
+		entries: make(map[RunnerKey]*cacheEntry),
+	}
+}
+
+// DefaultCacheBytes is the default runner-cache budget: four
+// image-saturated runners' worth. The PR-7 budget bounds one runner's
+// sub-launch images; the cache bounds how many such runners stay warm.
+const DefaultCacheBytes = 4 * kernels.ImageBudgetBytes
+
+// Get returns the runner for (entry, dev, opt), building it — golden
+// run included — at most once per residency no matter how many
+// campaigns request it concurrently (they block on the one build).
+func (c *RunnerCache) Get(e suite.Entry, dev *device.Device, opt asm.OptLevel) (*kernels.Runner, error) {
+	key := RunnerKey{Code: e.Name, Device: dev.Name, Opt: opt}
+	c.mu.Lock()
+	ent := c.entries[key]
+	if ent != nil {
+		c.lru.MoveToFront(ent.elem)
+		c.hits++
+	} else {
+		ent = &cacheEntry{key: key}
+		ent.elem = c.lru.PushFront(ent)
+		c.entries[key] = ent
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	ent.once.Do(func() {
+		ent.r, ent.err = kernels.NewRunner(e.Name, e.Build, dev, opt)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if ent.err != nil {
+			// A failed build must not pin a dead entry (or poison
+			// retries after a transient failure).
+			c.drop(ent)
+			return
+		}
+		ent.size = int64(ent.r.MemoryFootprint())
+		c.used += ent.size
+		c.evictLocked()
+	})
+	return ent.r, ent.err
+}
+
+// evictLocked removes entries from the cold end until the budget holds,
+// never evicting entries whose build is still in flight (size 0) and
+// always keeping at least one finished entry resident.
+func (c *RunnerCache) evictLocked() {
+	for c.used > c.budget {
+		var victim *cacheEntry
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			if e.size > 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil || c.lru.Len() <= 1 {
+			return
+		}
+		c.drop(victim)
+		c.evictions++
+	}
+}
+
+// drop unlinks an entry. Callers hold c.mu.
+func (c *RunnerCache) drop(e *cacheEntry) {
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	c.lru.Remove(e.elem)
+	c.used -= e.size
+}
+
+// Stats returns the cache counters for /metrics.
+func (c *RunnerCache) Stats() (hits, misses, evictions uint64, usedBytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.used, len(c.entries)
+}

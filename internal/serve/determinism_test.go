@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// waitFor blocks until the campaign satisfies pred (or the test times
+// out), re-checking at every engine state change.
+func waitFor(t *testing.T, c *Campaign, what string, pred func(Status) bool) Status {
+	t.Helper()
+	deadline := time.After(120 * time.Second)
+	for {
+		upd := c.Updated()
+		st := c.Status()
+		if pred(st) {
+			return st
+		}
+		if st.Done() && !pred(c.Status()) {
+			t.Fatalf("campaign %s reached terminal state %q (err %q) before %s",
+				c.ID, st.State, st.Error, what)
+		}
+		select {
+		case <-upd:
+		case <-deadline:
+			t.Fatalf("campaign %s: timed out waiting for %s (state %q, %d trials)",
+				c.ID, what, st.State, st.Trials)
+		}
+	}
+}
+
+func waitDone(t *testing.T, c *Campaign) Status {
+	t.Helper()
+	st := waitFor(t, c, "completion", func(s Status) bool { return s.Done() })
+	if st.State != StateDone {
+		t.Fatalf("campaign %s failed: %s", c.ID, st.Error)
+	}
+	return st
+}
+
+func countsBytes(t *testing.T, c *Campaign) []byte {
+	t.Helper()
+	data, err := json.Marshal(c.Counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Options{SpoolDir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDeterminismAcrossWorkers pins the service's core guarantee: the
+// same request produces byte-identical final counts whether its trials
+// run sequentially or sharded eight ways.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	s := testServer(t)
+	base := Request{
+		Code: "FMXM", Device: "volta",
+		TargetWidth: 0.2, Seed: 41, Batch: 8, MinTrials: 8,
+	}
+	var got [][]byte
+	for _, workers := range []int{1, 8} {
+		req := base
+		req.Workers = workers
+		c, err := s.Create(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, c)
+		got = append(got, countsBytes(t, c))
+	}
+	if string(got[0]) != string(got[1]) {
+		t.Fatalf("final counts differ between 1 and 8 workers:\n%s\n%s", got[0], got[1])
+	}
+}
+
+// TestDeterminismAcrossPauseResume extends the guarantee over the
+// checkpoint machinery: a campaign paused mid-flight and resumed — in
+// the same process, and in a fresh "restarted daemon" process sharing
+// only the spool directory — still lands on the same bytes.
+func TestDeterminismAcrossPauseResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign pause/resume soak; run without -short")
+	}
+	spool := t.TempDir()
+	req := Request{
+		Code: "FMXM", Device: "volta",
+		TargetWidth: 0.12, Seed: 97, Batch: 8, MinTrials: 8, Workers: 8,
+	}
+
+	// Reference: uninterrupted.
+	s1 := testServer(t)
+	ref, err := s1.Create(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ref)
+	want := countsBytes(t, ref)
+
+	// Same-process pause/resume.
+	s2 := testServer(t)
+	c2, err := s2.Create(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, c2, "first trials", func(st Status) bool {
+		return st.State == StateRunning && st.Trials > 0
+	})
+	if err := c2.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	st := waitFor(t, c2, "pause", func(st Status) bool { return st.State == StatePaused })
+	if st.Trials == 0 || st.Trials >= st.BaselineTrials {
+		t.Logf("note: paused at %d trials (baseline %d)", st.Trials, st.BaselineTrials)
+	}
+	if err := c2.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c2)
+	if got := countsBytes(t, c2); string(got) != string(want) {
+		t.Fatalf("pause/resume changed final counts:\nwant %s\ngot  %s", want, got)
+	}
+
+	// Cross-process resume: pause in one server, revive the checkpoint
+	// in another sharing the spool (a daemon restart).
+	s3, err := New(Options{SpoolDir: spool, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := s3.Create(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, c3, "first trials", func(st Status) bool {
+		return st.State == StateRunning && st.Trials > 0
+	})
+	if err := c3.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, c3, "pause", func(st Status) bool { return st.State == StatePaused })
+
+	s4, err := New(Options{SpoolDir: spool, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := s4.ResumeFromCheckpoint(c3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, c4)
+	if got := countsBytes(t, c4); string(got) != string(want) {
+		t.Fatalf("daemon-restart resume changed final counts:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestAdaptiveStopBeatsFixedBaseline pins the point of the adaptive
+// engine: the campaign reaches the target width on every class with
+// fewer total trials than the fixed-count baseline sized for the same
+// guarantee.
+func TestAdaptiveStopBeatsFixedBaseline(t *testing.T) {
+	s := testServer(t)
+	c, err := s.Create(Request{
+		Code: "NW", Device: "kepler",
+		TargetWidth: 0.2, Seed: 5, Workers: 8, Batch: 8, MinTrials: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, c)
+	if st.Trials >= st.BaselineTrials {
+		t.Fatalf("adaptive campaign used %d trials, fixed baseline is %d", st.Trials, st.BaselineTrials)
+	}
+	for _, cs := range st.Classes {
+		if cs.CapHit {
+			t.Fatalf("class %s hit the trial cap before reaching width %g", cs.Class, c.req.TargetWidth)
+		}
+		if cs.SDCWidth > c.req.TargetWidth || cs.DUEWidth > c.req.TargetWidth {
+			t.Fatalf("class %s stopped with widths %.3f/%.3f above target %g",
+				cs.Class, cs.SDCWidth, cs.DUEWidth, c.req.TargetWidth)
+		}
+	}
+}

@@ -106,6 +106,14 @@ func (img *LaunchImage) FilteredOps(filter func(op isa.Op) bool) uint64 {
 	return n
 }
 
+// FootprintBytes approximates the image's retained memory: the global
+// snapshot dominates, and the frozen block/SM state rides within the
+// same 64 KiB allowance the Runner's recording budget charges per image
+// (kernels.NewRunner divides its budget by snapshot size + 64 KiB).
+func (img *LaunchImage) FootprintBytes() int {
+	return img.Mem.SizeBytes() + 64*1024
+}
+
 // PickImage returns the latest image whose trigger clock had not yet
 // reached the plan's trigger at capture time — the furthest point the
 // replay can start from without missing its own fault — or nil when no

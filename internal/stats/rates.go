@@ -71,18 +71,13 @@ func NewProportion(successes, trials int) Proportion {
 	if successes < 0 || successes > trials {
 		panic(fmt.Sprintf("stats: successes %d out of range [0,%d]", successes, trials))
 	}
-	const z = 1.959963984540054 // 97.5% normal quantile
-	n := float64(trials)
-	p := float64(successes) / n
-	denom := 1 + z*z/n
-	center := (p + z*z/(2*n)) / denom
-	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	iv := Wilson(successes, trials)
 	return Proportion{
 		Successes: successes,
 		Trials:    trials,
-		P:         p,
-		Lower:     math.Max(0, center-half),
-		Upper:     math.Min(1, center+half),
+		P:         float64(successes) / float64(trials),
+		Lower:     iv.Lower,
+		Upper:     iv.Upper,
 	}
 }
 

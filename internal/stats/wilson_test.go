@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonZeroTrials(t *testing.T) {
+	iv := Wilson(0, 0)
+	if iv.Lower != 0 || iv.Upper != 1 {
+		t.Fatalf("Wilson(0,0) = [%g, %g], want the vacuous [0, 1]", iv.Lower, iv.Upper)
+	}
+	if iv.Width() != 1 {
+		t.Fatalf("Wilson(0,0).Width() = %g, want 1", iv.Width())
+	}
+}
+
+func TestWilsonZeroSuccesses(t *testing.T) {
+	iv := Wilson(0, 50)
+	if iv.Lower != 0 {
+		t.Fatalf("Wilson(0,50).Lower = %g, want exactly 0", iv.Lower)
+	}
+	// The upper bound must stay strictly positive: zero observed
+	// events never proves a zero rate.
+	if iv.Upper <= 0 || iv.Upper >= 0.2 {
+		t.Fatalf("Wilson(0,50).Upper = %g, want in (0, 0.2)", iv.Upper)
+	}
+}
+
+func TestWilsonAllSuccesses(t *testing.T) {
+	iv := Wilson(50, 50)
+	if iv.Upper != 1 {
+		t.Fatalf("Wilson(50,50).Upper = %g, want exactly 1", iv.Upper)
+	}
+	if iv.Lower <= 0.8 || iv.Lower >= 1 {
+		t.Fatalf("Wilson(50,50).Lower = %g, want in (0.8, 1)", iv.Lower)
+	}
+	// Symmetry with the zero-successes case.
+	z := Wilson(0, 50)
+	if d := math.Abs((1 - iv.Lower) - z.Upper); d > 1e-12 {
+		t.Fatalf("Wilson(n,n) and Wilson(0,n) not mirror images: delta %g", d)
+	}
+}
+
+func TestWilsonSingleTrial(t *testing.T) {
+	for _, s := range []int{0, 1} {
+		iv := Wilson(s, 1)
+		if iv.Lower < 0 || iv.Upper > 1 || iv.Lower >= iv.Upper {
+			t.Fatalf("Wilson(%d,1) = [%g, %g], want a proper sub-interval of [0,1]",
+				s, iv.Lower, iv.Upper)
+		}
+		// One trial decides almost nothing: the interval must still
+		// cover most of [0, 1].
+		if iv.Width() < 0.7 {
+			t.Fatalf("Wilson(%d,1).Width() = %g, implausibly tight for n=1", s, iv.Width())
+		}
+	}
+}
+
+func TestWilsonMatchesProportion(t *testing.T) {
+	// NewProportion is the historical implementation; the shared helper
+	// must reproduce it bit-for-bit.
+	for _, c := range []struct{ s, n int }{{0, 7}, {3, 7}, {7, 7}, {120, 450}, {1, 1}} {
+		iv := Wilson(c.s, c.n)
+		p := NewProportion(c.s, c.n)
+		if iv.Lower != p.Lower || iv.Upper != p.Upper {
+			t.Fatalf("Wilson(%d,%d) = [%g,%g], NewProportion = [%g,%g]",
+				c.s, c.n, iv.Lower, iv.Upper, p.Lower, p.Upper)
+		}
+	}
+}
+
+// TestWilsonWidthMonotonicity pins the property the adaptive early-stop
+// rule depends on: at a stable observed proportion, accumulating trials
+// never widens the interval — so once a class's width crosses below the
+// target, running the scheduled remainder of its batch cannot un-stop
+// it, and the round-boundary stop decision is stable.
+func TestWilsonWidthMonotonicity(t *testing.T) {
+	for _, num := range []int{0, 1, 2, 5, 9, 10} {
+		den := 10
+		prev := math.Inf(1)
+		for n := den; n <= 10240; n *= 2 {
+			w := Wilson(n*num/den, n).Width()
+			if w > prev+1e-12 {
+				t.Fatalf("width grew at p=%d/%d: n=%d width %g > previous %g",
+					num, den, n, w, prev)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestWilsonWorstCaseAtHalf pins the second half of the rule: at fixed
+// n, no observed proportion yields a wider interval than p = 1/2, which
+// is what makes WorstCaseTrials a sound fixed-count baseline.
+func TestWilsonWorstCaseAtHalf(t *testing.T) {
+	for _, n := range []int{2, 10, 61, 384} {
+		worst := Wilson(n/2, n).Width()
+		for s := 0; s <= n; s++ {
+			if w := Wilson(s, n).Width(); w > worst+1e-12 {
+				t.Fatalf("n=%d: width at s=%d (%g) exceeds width at n/2 (%g)", n, s, w, worst)
+			}
+		}
+	}
+}
+
+func TestWorstCaseTrials(t *testing.T) {
+	for _, width := range []float64{0.5, 0.25, 0.1, 0.05} {
+		n := WorstCaseTrials(width)
+		if got := Wilson(n/2, n).Width(); got > width {
+			t.Fatalf("WorstCaseTrials(%g) = %d but width there is %g", width, n, got)
+		}
+		if n > 1 {
+			m := n - 1
+			if got := Wilson(m/2, m).Width(); got <= width {
+				t.Fatalf("WorstCaseTrials(%g) = %d is not minimal: n-1 already has width %g",
+					width, n, got)
+			}
+		}
+	}
+	// Spot-check the classical scale: a 0.05-wide interval needs a few
+	// thousand trials (z^2/w^2 ~ 1537 at full width... the full width
+	// here is Upper-Lower, so w=0.05 means ±0.025).
+	if n := WorstCaseTrials(0.05); n < 1000 || n > 10000 {
+		t.Fatalf("WorstCaseTrials(0.05) = %d, outside the plausible band", n)
+	}
+}

@@ -7,6 +7,15 @@
 #   scripts/check.sh artifacts  golden-artifact drift gate: regenerate out/ and byte-diff
 #   scripts/check.sh crossval   static-vs-injection agreement gate + table export
 #   scripts/check.sh opt        optimization-matrix ordering gate + sweep table export
+#   scripts/check.sh serve      campaign-daemon gate: serve tests under -race, then a
+#                               loadgen soak (200+ concurrent campaigns) against a live
+#                               gpurel-serve; soak report lands at serve-soak.txt
+#
+# Unknown tier names fail immediately (exit 1) rather than silently
+# running tier 1 — a typo'd "scripts/check.sh crosval" in CI must not
+# masquerade as a passing crossval gate. Setting CHECK_SH_PARSE_ONLY=1
+# validates the tier argument and exits before doing any work (used by
+# the dispatcher's own tests).
 #
 # The race run executes the whole test suite a second time under
 # -race instrumentation; expect it to take several times longer than
@@ -21,6 +30,21 @@
 # silent drift — both are worth failing CI over.
 set -eu
 cd "$(dirname "$0")/.."
+
+tier="${1:-}"
+case "$tier" in
+    ""|full|bench|crossval|opt|artifacts|serve) ;;
+    *)
+        echo "check.sh: unknown tier \"$tier\"" >&2
+        echo "known tiers: <none> (tier 1), full, bench, crossval, opt, artifacts, serve" >&2
+        exit 1
+        ;;
+esac
+
+if [ "${CHECK_SH_PARSE_ONLY:-}" = "1" ]; then
+    echo "tier ok: ${tier:-default}"
+    exit 0
+fi
 
 if [ "${1:-}" = "bench" ]; then
     # Two stages. First a one-iteration smoke pass over every substrate
@@ -110,6 +134,42 @@ if [ "${1:-}" = "artifacts" ]; then
         exit 1
     fi
     rm -f out-drift-summary.txt
+    echo "checks passed"
+    exit 0
+fi
+
+if [ "$tier" = "serve" ]; then
+    # Campaign-daemon gate, two stages. First the serve/stats/faultinj
+    # packages rerun under -race: the daemon is the one place the repo
+    # shards one campaign's trials across goroutines, so its tests are
+    # where the race detector earns its keep. Then a live soak: build
+    # gpurel-serve and tools/loadgen, boot the daemon on a loopback
+    # port, and push a few hundred concurrent campaigns through it.
+    # The loadgen asserts determinism (duplicate requests land on
+    # byte-identical /counts bodies), verifies adaptive stopping beat
+    # the fixed-count baseline on every CrossValKernel, and writes the
+    # savings table + latency percentiles + a /metrics scrape to
+    # serve-soak.txt (stable path; gitignored) for CI to upload.
+    echo "== go test -race ./internal/serve/ ./internal/stats/ ./internal/faultinj/"
+    go test -race -timeout 20m ./internal/serve/ ./internal/stats/ ./internal/faultinj/
+    bindir="$(mktemp -d)"
+    spool="$(mktemp -d)"
+    daemon_pid=""
+    cleanup() {
+        [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+        rm -rf "$bindir" "$spool"
+    }
+    trap cleanup EXIT
+    echo "== go build ./cmd/gpurel-serve ./tools/loadgen"
+    go build -o "$bindir/gpurel-serve" ./cmd/gpurel-serve
+    go build -o "$bindir/loadgen" ./tools/loadgen
+    addr="127.0.0.1:${GPUREL_SERVE_PORT:-8397}"
+    echo "== gpurel-serve -addr $addr (background)"
+    "$bindir/gpurel-serve" -addr "$addr" -spool "$spool" -quiet &
+    daemon_pid=$!
+    echo "== loadgen -addr $addr -campaigns 200"
+    "$bindir/loadgen" -addr "$addr" -campaigns 200 -out serve-soak.txt
+    cat serve-soak.txt
     echo "checks passed"
     exit 0
 fi
