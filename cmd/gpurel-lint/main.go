@@ -16,6 +16,11 @@
 //	                                            gate (CI): exit 1 when static
 //	                                            and injection AVF orderings
 //	                                            disagree on any matrix
+//	gpurel-lint -twolevel-gate                  two-level estimator gate (CI):
+//	                                            exit 1 when any workload's
+//	                                            two-level SDC AVF leaves the
+//	                                            tolerance band or spends more
+//	                                            than 1/5 the exhaustive trials
 //
 // Exit status is 1 when any Error-severity finding exists (warnings do
 // not gate), 2 on usage or build failures.
@@ -30,6 +35,7 @@ import (
 	"gpurel/internal/analysis"
 	"gpurel/internal/asm"
 	"gpurel/internal/beam"
+	"gpurel/internal/core"
 	"gpurel/internal/device"
 	"gpurel/internal/faultinj"
 	"gpurel/internal/isa"
@@ -75,6 +81,7 @@ func main() {
 	measuredGate := flag.Bool("measured-gate", false, "with -cross-validate: exit 1 unless every measured-residency hidden estimate agrees with the beam within the tighter tolerance")
 	crossvalGate := flag.Bool("crossval-gate", false, "with -cross-validate: exit 1 unless every workload's bit-resolved static AVF agrees with injection within the tolerance")
 	optGate := flag.Bool("opt-gate", false, "run the optimization-matrix sweep and exit 1 unless the static AVF ordering matches injection's on every matrix")
+	twoLevelGate := flag.Bool("twolevel-gate", false, "run the two-level estimator against exhaustive NVBitFI campaigns and exit 1 on any out-of-tolerance workload or a speedup below 5x")
 	flag.Parse()
 
 	if *selftest {
@@ -92,6 +99,10 @@ func main() {
 
 	if *optGate {
 		os.Exit(runOptGate(devs, *code, *faults, *seed, *csv))
+	}
+
+	if *twoLevelGate {
+		os.Exit(runTwoLevelGate(devs, *code, *faults, *seed, *csv))
 	}
 
 	if *crossVal {
@@ -410,6 +421,79 @@ func runOptGate(devs []*device.Device, code string, faults int, seed uint64, csv
 		}
 	}
 	fmt.Print(report.OptMatrixSweep(ms, csv))
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runTwoLevelGate runs, per device and cross-validation workload, both
+// the exhaustive NVBitFI campaign and the two-level estimate on a shared
+// runner, and gates on the estimator's two promises: the SDC AVF within
+// faultinj.TwoLevelTolerance of the exhaustive result, at five or more
+// times fewer simulations.
+func runTwoLevelGate(devs []*device.Device, code string, faults int, seed uint64, csv bool) int {
+	bad := 0
+	ds := make(map[*device.Device]*core.DeviceStudy)
+	for _, dev := range devs {
+		all := suite.ForDevice(dev)
+		var entries []suite.Entry
+		if code != "" {
+			e, err := suite.Find(all, code)
+			if err != nil {
+				fail(err)
+			}
+			entries = []suite.Entry{e}
+		} else {
+			for _, name := range faultinj.CrossValKernels {
+				if e, err := suite.Find(all, name); err == nil {
+					entries = append(entries, e)
+				}
+			}
+		}
+		study := &core.DeviceStudy{
+			Dev:      dev,
+			AVF:      map[faultinj.Tool]map[string]*faultinj.Result{faultinj.NVBitFI: {}},
+			TwoLevel: map[string]*faultinj.TwoLevelResult{},
+		}
+		ds[dev] = study
+		for _, e := range entries {
+			runner, err := kernels.NewRunner(e.Name, e.Build, dev, faultinj.NVBitFI.OptLevel())
+			if err != nil {
+				fail(err)
+			}
+			exact, err := faultinj.RunWithRunner(faultinj.Config{
+				Tool: faultinj.NVBitFI, TotalFaults: faults, Seed: seed,
+			}, runner)
+			if err != nil {
+				fail(err)
+			}
+			tl, err := faultinj.TwoLevelEstimateWithRunner(faultinj.TwoLevelConfig{
+				Tool: faultinj.NVBitFI, Seed: seed,
+			}, runner)
+			if err != nil {
+				fail(err)
+			}
+			study.AVF[faultinj.NVBitFI][e.Name] = exact
+			study.TwoLevel[e.Name] = tl
+			fmt.Fprintf(os.Stderr, "done %s on %s: exact %.3f, two-level %.3f (%d vs %d trials)\n",
+				e.Name, dev.Name, exact.SDCAVF.P, tl.SDCAVF, exact.Injected, tl.Trials)
+			if !tl.Agrees(exact) {
+				fmt.Fprintf(os.Stderr, "twolevel-gate: %s on %s outside ±%.2f (delta %+.3f)\n",
+					e.Name, dev.Name, faultinj.TwoLevelTolerance, tl.Delta(exact))
+				bad++
+			}
+			if tl.Speedup(exact) < 5 {
+				fmt.Fprintf(os.Stderr, "twolevel-gate: %s on %s speedup %.1fx below 5x (%d vs %d trials)\n",
+					e.Name, dev.Name, tl.Speedup(exact), tl.Trials, exact.Injected)
+				bad++
+			}
+		}
+	}
+	for _, dev := range devs {
+		fmt.Print(report.TwoLevelTable(ds[dev], csv))
+		fmt.Println()
+	}
 	if bad > 0 {
 		return 1
 	}

@@ -119,6 +119,8 @@ func writeAll(outDir string, study *core.Study) {
 		{"bitband", report.StudyBitBand},
 		{"opt", report.OptTable},
 		{"opt_pressure", report.OptPressureTable},
+		{"patterns", report.PatternsTable},
+		{"patterns_twolevel", report.TwoLevelTable},
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)

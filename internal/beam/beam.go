@@ -24,6 +24,7 @@ import (
 	"gpurel/internal/device"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/patterns"
 	"gpurel/internal/sim"
 	"gpurel/internal/stats"
 )
@@ -80,6 +81,12 @@ type Result struct {
 	// (§VII-B): the per-resource ledger the static hidden-DUE model of
 	// internal/analysis cross-validates against.
 	ByHidden [device.HiddenCount]struct{ Strikes, SDC, DUE int }
+
+	// Patterns is the campaign's SDC pattern ledger. Strikes resolved
+	// without simulation (ECC-intercepted storage strikes, hidden-
+	// resource draws) have no output diff; their SDCs count as
+	// Unclassified.
+	Patterns patterns.Ledger
 }
 
 // HiddenStrikes returns the total hidden-resource strike count.
@@ -230,12 +237,14 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 		return nil, firstErr
 	}
 
+	geo := inst.Output
 	for _, o := range outs {
 		res.BySource[o.src].Strikes++
 		if o.src == SrcHidden {
 			res.ByHidden[o.hid].Strikes++
 		}
-		switch o.outcome {
+		res.Patterns.Count(patterns.Observe(o.rec, geo))
+		switch o.rec.Outcome {
 		case kernels.SDC:
 			res.SDC++
 			res.BySource[o.src].SDC++
@@ -258,12 +267,12 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 	return res, nil
 }
 
-// trialOut is the classified outcome of one strike trial; hid is
+// trialOut is the classified record of one strike trial; hid is
 // meaningful only when src == SrcHidden.
 type trialOut struct {
-	src     Source
-	hid     device.HiddenResource
-	outcome kernels.Outcome
+	src Source
+	hid device.HiddenResource
+	rec kernels.TrialRecord
 }
 
 // runTrial samples one strike and classifies its outcome. A non-nil
@@ -284,20 +293,20 @@ func runTrial(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 
 	switch {
 	case x < ex.opTotal:
-		oc, err := fuStrike(r, sil, ex, rng, cfg.ECC)
-		return trialOut{src: SrcFU, outcome: oc}, err
+		rec, err := fuStrike(r, sil, ex, rng, cfg.ECC)
+		return trialOut{src: SrcFU, rec: rec}, err
 	case x < ex.opTotal+ex.rfLambda:
-		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcRF, allocBits)
-		return trialOut{src: SrcRF, outcome: oc}, err
+		rec, err := storageStrike(cfg, r, sil, ex, rng, SrcRF, allocBits)
+		return trialOut{src: SrcRF, rec: rec}, err
 	case x < ex.opTotal+ex.rfLambda+ex.shLambda:
-		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcShared, allocBits)
-		return trialOut{src: SrcShared, outcome: oc}, err
+		rec, err := storageStrike(cfg, r, sil, ex, rng, SrcShared, allocBits)
+		return trialOut{src: SrcShared, rec: rec}, err
 	case x < ex.opTotal+ex.rfLambda+ex.shLambda+ex.glLambda:
-		oc, err := storageStrike(cfg, r, sil, ex, rng, SrcGlobal, allocBits)
-		return trialOut{src: SrcGlobal, outcome: oc}, err
+		rec, err := storageStrike(cfg, r, sil, ex, rng, SrcGlobal, allocBits)
+		return trialOut{src: SrcGlobal, rec: rec}, err
 	default:
-		h, oc := hiddenStrike(sil, ex, rng)
-		return trialOut{src: SrcHidden, hid: h, outcome: oc}, nil
+		h, rec := hiddenStrike(sil, ex, rng)
+		return trialOut{src: SrcHidden, hid: h, rec: rec}, nil
 	}
 }
 
@@ -305,7 +314,7 @@ func runTrial(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 // unit: usually its output value, sometimes its effective address
 // (memory ops), occasionally a pipeline latch that suppresses the
 // instruction.
-func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *stats.RNG, ecc bool) (kernels.Outcome, error) {
+func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *stats.RNG, ecc bool) (kernels.TrialRecord, error) {
 	// Sample the dynamic operation proportional to sigma * count.
 	x := rng.Float64() * ex.opTotal
 	var op isa.Op
@@ -332,7 +341,7 @@ func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *st
 	// The memory data path is end-to-end ECC-covered when ECC is on;
 	// the address path is not (§V-B).
 	if kind == sim.FaultValueBit && op.IsMemory() && ecc && rng.Bool(sil.PLDSTDataECC) {
-		return kernels.Masked, nil
+		return kernels.TrialRecord{Outcome: kernels.Masked}, nil
 	}
 	opFilter := func(target isa.Op) func(isa.Op) bool {
 		return func(o isa.Op) bool { return o == target }
@@ -343,23 +352,23 @@ func fuStrike(r *kernels.Runner, sil *device.SiliconModel, ex *exposure, rng *st
 		TriggerIndex: uint64(rng.Int64N(int64(ex.perOp[op]))),
 		Bit:          rng.IntN(64),
 	}
-	return r.RunWithFault(plan, ex.launch)
+	return r.RunTrialWithFault(plan, ex.launch)
 }
 
 // storageStrike flips one bit of the register file, shared memory, or
 // global memory. Under SECDED ECC the flip is corrected (masked) unless
 // it is a multi-bit upset, which becomes a detected unrecoverable error.
 func storageStrike(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
-	ex *exposure, rng *stats.RNG, src Source, allocBits float64) (kernels.Outcome, error) {
+	ex *exposure, rng *stats.RNG, src Source, allocBits float64) (kernels.TrialRecord, error) {
 	if cfg.ECC {
 		p := sil.MBUProb
 		if src == SrcGlobal {
 			p = sil.DRAMDetectedProb // DRAM multi-cell upsets and bursts
 		}
 		if rng.Bool(p) {
-			return kernels.DUE, nil // detected uncorrectable
+			return kernels.TrialRecord{Outcome: kernels.DUE}, nil // detected uncorrectable
 		}
-		return kernels.Masked, nil // corrected SBU
+		return kernels.TrialRecord{Outcome: kernels.Masked}, nil // corrected SBU
 	}
 	plan := &sim.FaultPlan{
 		TriggerIndex: uint64(rng.Int64N(int64(maxU64(ex.laneOps, 1)))),
@@ -379,7 +388,7 @@ func storageStrike(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 		plan.Kind = sim.FaultGlobalBit
 		plan.BitIdx = rng.Uint64() % uint64(maxInt(int(allocBits), 1))
 	}
-	return r.RunWithFault(plan, ex.launch)
+	return r.RunTrialWithFault(plan, ex.launch)
 }
 
 // hiddenStrike resolves a strike on management hardware the SASS-level
@@ -387,7 +396,7 @@ func storageStrike(cfg Config, r *kernels.Runner, sil *device.SiliconModel,
 // silicon model. These are the events that make architecture-level
 // fault simulation underestimate the DUE rate by orders of magnitude
 // (§VII-B).
-func hiddenStrike(sil *device.SiliconModel, ex *exposure, rng *stats.RNG) (device.HiddenResource, kernels.Outcome) {
+func hiddenStrike(sil *device.SiliconModel, ex *exposure, rng *stats.RNG) (device.HiddenResource, kernels.TrialRecord) {
 	x := rng.Float64() * ex.hidTotal
 	h := device.HiddenScheduler
 	for hr := device.HiddenResource(0); hr < device.HiddenCount; hr++ {
@@ -402,11 +411,11 @@ func hiddenStrike(sil *device.SiliconModel, ex *exposure, rng *stats.RNG) (devic
 	roll := rng.Float64()
 	switch {
 	case roll < s.PDUE:
-		return h, kernels.DUE
+		return h, kernels.TrialRecord{Outcome: kernels.DUE}
 	case roll < s.PDUE+s.PSDC:
-		return h, kernels.SDC
+		return h, kernels.TrialRecord{Outcome: kernels.SDC}
 	default:
-		return h, kernels.Masked
+		return h, kernels.TrialRecord{Outcome: kernels.Masked}
 	}
 }
 

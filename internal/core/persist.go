@@ -41,6 +41,7 @@ type deviceStudyJSON struct {
 	StaticAVF      map[string]*analysis.Estimate
 	ScalarAVF      map[string]*analysis.Estimate
 	OptMatrix      map[string]*faultinj.OptMatrix
+	TwoLevel       map[string]*faultinj.TwoLevelResult
 	Beam           []beamEntryJSON
 	Predictions    []predEntryJSON
 	Comparisons    []fit.Comparison
@@ -73,6 +74,7 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 		StaticAVF:      ds.StaticAVF,
 		ScalarAVF:      ds.ScalarAVF,
 		OptMatrix:      ds.OptMatrix,
+		TwoLevel:       ds.TwoLevel,
 		StaticHidden:   ds.StaticHidden,
 		MeasuredHidden: ds.MeasuredHidden,
 		DUE:            map[string]float64{},
@@ -193,6 +195,7 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 		StaticAVF:                 in.StaticAVF,
 		ScalarAVF:                 in.ScalarAVF,
 		OptMatrix:                 in.OptMatrix,
+		TwoLevel:                  in.TwoLevel,
 		Beam:                      map[BeamKey]*beam.Result{},
 		Predictions:               map[PredKey]fit.Prediction{},
 		Comparisons:               in.Comparisons,
@@ -210,6 +213,9 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 	}
 	if ds.OptMatrix == nil {
 		ds.OptMatrix = map[string]*faultinj.OptMatrix{}
+	}
+	if ds.TwoLevel == nil {
+		ds.TwoLevel = map[string]*faultinj.TwoLevelResult{}
 	}
 	if ds.StaticHidden == nil {
 		ds.StaticHidden = map[string]*analysis.HiddenEstimate{}

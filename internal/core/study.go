@@ -229,6 +229,13 @@ type DeviceStudy struct {
 	// explainer metrics, and per-cell Eq. 1-4 prediction.
 	OptMatrix map[string]*faultinj.OptMatrix
 
+	// TwoLevel holds, per cross-validation workload, the two-level
+	// propagation estimate (per-static-site sampling, dynamic-weight
+	// propagation with the SDC pattern model) run against the same
+	// NVBitFI site population as AVF[NVBitFI] — the cheap side of the
+	// patterns_twolevel artifact.
+	TwoLevel map[string]*faultinj.TwoLevelResult
+
 	// StaticHidden is the per-code static hidden-resource DUE estimate
 	// (internal/analysis), the correction term the injectors cannot
 	// supply. MeasuredHidden is its measured-residency counterpart,
@@ -296,6 +303,7 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		Beam:                      make(map[BeamKey]*beam.Result),
 		Predictions:               make(map[PredKey]fit.Prediction),
 		OptMatrix:                 make(map[string]*faultinj.OptMatrix),
+		TwoLevel:                  make(map[string]*faultinj.TwoLevelResult),
 		StaticHidden:              make(map[string]*analysis.HiddenEstimate),
 		MeasuredHidden:            make(map[string]*analysis.HiddenEstimate),
 		DUEUnderestimate:          make(map[bool]float64),
@@ -515,6 +523,42 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		mu.Unlock()
 		opts.Progress("opt matrix %-10s: %d configs, ordering tau %.2f",
 			e.Name, len(m.Cells), m.OrderingTau(faultinj.OptOrderingEps))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 3c. Two-level estimates over the cross-validation workloads: the
+	// stratified per-site estimator the patterns_twolevel artifact
+	// compares against the exhaustive NVBitFI campaigns of phase 3. The
+	// runner (and its golden profiles) is shared with that phase via the
+	// cache, so this costs only the level-1 site samples.
+	var tlJobs []suite.Entry
+	for _, e := range matrixJobs {
+		if injectable(dev, faultinj.NVBitFI, e) {
+			tlJobs = append(tlJobs, e)
+		}
+	}
+	outer, innerW = splitWorkers(opts.Workers, len(tlJobs))
+	err = forEach(len(tlJobs), outer, func(i int) error {
+		e := tlJobs[i]
+		r, err := cache.get(e.Name, e.Build, faultinj.NVBitFI.OptLevel())
+		if err != nil {
+			return fmt.Errorf("core: two-level %s: %w", e.Name, err)
+		}
+		res, err := faultinj.TwoLevelEstimateWithRunner(faultinj.TwoLevelConfig{
+			Tool: faultinj.NVBitFI, Workers: innerW,
+			Seed: opts.Seed ^ hash(e.Name) ^ 0x2c0de1,
+		}, r)
+		if err != nil {
+			return fmt.Errorf("core: two-level %s: %w", e.Name, err)
+		}
+		mu.Lock()
+		ds.TwoLevel[e.Name] = res
+		mu.Unlock()
+		opts.Progress("two-level %-10s: SDC %.3f DUE %.3f (%d sites, %d trials)",
+			e.Name, res.SDCAVF, res.DUEAVF, res.Sites, res.Trials)
 		return nil
 	})
 	if err != nil {

@@ -41,6 +41,12 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	if !reflect.DeepEqual(a.ByMode, b.ByMode) {
 		t.Fatalf("per-mode AVFs differ across worker counts:\n1: %+v\n8: %+v", a.ByMode, b.ByMode)
 	}
+	if a.Patterns != b.Patterns {
+		t.Fatalf("pattern ledgers differ across worker counts:\n1: %+v\n8: %+v", a.Patterns, b.Patterns)
+	}
+	if a.Patterns.SDCs() != a.SDC {
+		t.Fatalf("pattern ledger absorbed %d SDCs, campaign counted %d", a.Patterns.SDCs(), a.SDC)
+	}
 }
 
 // TestNVBitFIDeterministicAcrossWorkers covers the same property for the
@@ -64,6 +70,9 @@ func TestNVBitFIDeterministicAcrossWorkers(t *testing.T) {
 	if a.SDC != b.SDC || a.DUE != b.DUE || a.Masked != b.Masked || a.Injected != b.Injected {
 		t.Fatalf("workers=1 gave SDC/DUE/Masked %d/%d/%d of %d, workers=8 gave %d/%d/%d of %d",
 			a.SDC, a.DUE, a.Masked, a.Injected, b.SDC, b.DUE, b.Masked, b.Injected)
+	}
+	if a.Patterns != b.Patterns {
+		t.Fatalf("pattern ledgers differ across worker counts:\n1: %+v\n8: %+v", a.Patterns, b.Patterns)
 	}
 }
 

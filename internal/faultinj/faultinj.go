@@ -28,6 +28,7 @@ import (
 	"gpurel/internal/device"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/patterns"
 	"gpurel/internal/sim"
 	"gpurel/internal/stats"
 )
@@ -73,14 +74,49 @@ func (m Mode) String() string {
 	return [...]string{"IOV", "IOA", "PRED", "GPR"}[m]
 }
 
-// ModeAVF is the per-mode outcome of a campaign; the GPR mode's SDC AVF
-// is the AVF(MEM) term of Equation 3.
-type ModeAVF struct {
+// Tally accumulates trial outcomes plus their SDC pattern ledger — the
+// one shape the whole-campaign, per-class, per-mode, and per-band
+// aggregations share (each used to repeat the counters and the
+// proportion finalization). Count folds one observed trial in; Finalize
+// computes the Wilson proportions once counting ends.
+type Tally struct {
 	Injected int
 	SDC      int
 	DUE      int
-	SDCAVF   stats.Proportion
-	DUEAVF   stats.Proportion
+	Masked   int
+
+	// SDCAVF / DUEAVF are Wilson 95% proportions over Injected.
+	SDCAVF stats.Proportion
+	DUEAVF stats.Proportion
+
+	// Patterns is the SDC pattern ledger of the tallied trials.
+	Patterns patterns.Ledger
+}
+
+// Count folds one observed trial into the tally.
+func (t *Tally) Count(ob patterns.Observation) {
+	t.Injected++
+	switch ob.Outcome {
+	case kernels.SDC:
+		t.SDC++
+	case kernels.DUE:
+		t.DUE++
+	default:
+		t.Masked++
+	}
+	t.Patterns.Count(ob)
+}
+
+// Finalize computes the Wilson proportions from the counters.
+func (t *Tally) Finalize() {
+	t.SDCAVF = stats.NewProportion(t.SDC, t.Injected)
+	t.DUEAVF = stats.NewProportion(t.DUE, t.Injected)
+}
+
+// ModeAVF is the per-mode outcome of a campaign; the GPR mode's SDC AVF
+// is the AVF(MEM) term of Equation 3.
+type ModeAVF struct {
+	Tally
 }
 
 // Config sizes a campaign.
@@ -111,39 +147,24 @@ type Config struct {
 // dynamic counterpart of the static estimator's Band profile. Trials
 // whose trigger was never reached carry no bit and are excluded.
 type BandAVF struct {
-	Injected int
-	SDC      int
-	DUE      int
-	SDCAVF   stats.Proportion
-	DUEAVF   stats.Proportion
+	Tally
 }
 
 // ClassAVF is the per-instruction-class outcome of a campaign: the
 // AVF(INST_i) terms of Equation 2.
 type ClassAVF struct {
-	Class    isa.Class
-	Injected int
-	SDC      int
-	DUE      int
-	Masked   int
-	SDCAVF   stats.Proportion
-	DUEAVF   stats.Proportion
+	Class isa.Class
+	Tally
 }
 
-// Result is a whole-campaign outcome for one workload.
+// Result is a whole-campaign outcome for one workload. Its embedded
+// Tally holds the dynamically weighted whole-application counters and
+// AVFs plotted in Figure 4, plus the campaign's SDC pattern ledger.
 type Result struct {
-	Name     string
-	Tool     Tool
-	Device   string
-	Injected int
-	SDC      int
-	DUE      int
-	Masked   int
-
-	// SDCAVF / DUEAVF are the dynamically weighted whole-application
-	// AVFs plotted in Figure 4.
-	SDCAVF stats.Proportion
-	DUEAVF stats.Proportion
+	Name   string
+	Tool   Tool
+	Device string
+	Tally
 
 	PerClass map[isa.Class]*ClassAVF
 	PerMode  map[Mode]int
@@ -224,68 +245,48 @@ func RunWithRunner(cfg Config, runner *kernels.Runner) (*Result, error) {
 		ByMode:   make(map[Mode]*ModeAVF),
 		ByBand:   make(map[analysis.BitBand]*BandAVF),
 	}
-	outcomes, err := runPlans(cfg, runner, plans)
+	records, err := runPlans(cfg, runner, plans)
 	if err != nil {
 		return nil, err
 	}
+	geo := runner.Instance().Output
 	for i, p := range plans {
-		res.Injected++
+		// Classify once; every tally the trial lands in shares the
+		// observation.
+		ob := patterns.Observe(records[i], geo)
 		res.PerMode[p.mode]++
 		ca := res.PerClass[p.class]
 		if ca == nil {
 			ca = &ClassAVF{Class: p.class}
 			res.PerClass[p.class] = ca
 		}
-		ca.Injected++
 		ma := res.ByMode[p.mode]
 		if ma == nil {
 			ma = &ModeAVF{}
 			res.ByMode[p.mode] = ma
 		}
-		ma.Injected++
-		var ba *BandAVF
+		res.Count(ob)
+		ca.Count(ob)
+		ma.Count(ob)
 		if p.fault.Kind == sim.FaultValueBit && p.fault.FiredWidth > 0 {
 			band := analysis.BandOf(p.fault.FiredBit, p.fault.FiredWidth)
-			ba = res.ByBand[band]
+			ba := res.ByBand[band]
 			if ba == nil {
 				ba = &BandAVF{}
 				res.ByBand[band] = ba
 			}
-			ba.Injected++
-		}
-		switch outcomes[i] {
-		case kernels.SDC:
-			res.SDC++
-			ca.SDC++
-			ma.SDC++
-			if ba != nil {
-				ba.SDC++
-			}
-		case kernels.DUE:
-			res.DUE++
-			ca.DUE++
-			ma.DUE++
-			if ba != nil {
-				ba.DUE++
-			}
-		default:
-			res.Masked++
-			ca.Masked++
+			ba.Count(ob)
 		}
 	}
-	res.SDCAVF = stats.NewProportion(res.SDC, res.Injected)
-	res.DUEAVF = stats.NewProportion(res.DUE, res.Injected)
+	res.Finalize()
 	for _, ca := range res.PerClass {
-		ca.SDCAVF = stats.NewProportion(ca.SDC, ca.Injected)
-		ca.DUEAVF = stats.NewProportion(ca.DUE, ca.Injected)
+		ca.Finalize()
 	}
 	for _, ma := range res.ByMode {
-		ma.SDCAVF = stats.NewProportion(ma.SDC, ma.Injected)
-		ma.DUEAVF = stats.NewProportion(ma.DUE, ma.Injected)
+		ma.Finalize()
 	}
 	for _, ba := range res.ByBand {
-		ba.SDCAVF = stats.NewProportion(ba.SDC, ba.Injected)
-		ba.DUEAVF = stats.NewProportion(ba.DUE, ba.Injected)
+		ba.Finalize()
 	}
 	return res, nil
 }
@@ -480,12 +481,12 @@ func sampleSite(rng *stats.RNG, perLaunch []uint64, total uint64) (int, uint64) 
 // infrastructure error (build or simulator failure, as opposed to a
 // simulated crash, which classifies as DUE) aborts the campaign: it must
 // surface to the caller rather than be counted as any outcome.
-func runPlans(cfg Config, r *kernels.Runner, plans []plan) ([]kernels.Outcome, error) {
+func runPlans(cfg Config, r *kernels.Runner, plans []plan) ([]kernels.TrialRecord, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	outcomes := make([]kernels.Outcome, len(plans))
+	records := make([]kernels.TrialRecord, len(plans))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -495,7 +496,7 @@ func runPlans(cfg Config, r *kernels.Runner, plans []plan) ([]kernels.Outcome, e
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				out, err := r.RunWithFault(plans[i].fault, plans[i].launch)
+				rec, err := r.RunTrialWithFault(plans[i].fault, plans[i].launch)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -505,7 +506,7 @@ func runPlans(cfg Config, r *kernels.Runner, plans []plan) ([]kernels.Outcome, e
 					mu.Unlock()
 					continue
 				}
-				outcomes[i] = out
+				records[i] = rec
 			}
 		}()
 	}
@@ -517,5 +518,5 @@ func runPlans(cfg Config, r *kernels.Runner, plans []plan) ([]kernels.Outcome, e
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return outcomes, nil
+	return records, nil
 }

@@ -55,16 +55,20 @@ func fakeAVF() *faultinj.Result {
 	mk := func(sdc, due float64) *faultinj.ClassAVF {
 		n := 100
 		return &faultinj.ClassAVF{
-			Injected: n,
-			SDCAVF:   stats.NewProportion(int(sdc*float64(n)), n),
-			DUEAVF:   stats.NewProportion(int(due*float64(n)), n),
+			Tally: faultinj.Tally{
+				Injected: n,
+				SDCAVF:   stats.NewProportion(int(sdc*float64(n)), n),
+				DUEAVF:   stats.NewProportion(int(due*float64(n)), n),
+			},
 		}
 	}
 	return &faultinj.Result{
-		Name:     "FAKE",
-		Injected: 300,
-		SDCAVF:   stats.NewProportion(90, 300),
-		DUEAVF:   stats.NewProportion(30, 300),
+		Name: "FAKE",
+		Tally: faultinj.Tally{
+			Injected: 300,
+			SDCAVF:   stats.NewProportion(90, 300),
+			DUEAVF:   stats.NewProportion(30, 300),
+		},
 		PerClass: map[isa.Class]*faultinj.ClassAVF{
 			isa.ClassFMA:  mk(0.4, 0.05),
 			isa.ClassLDST: mk(0.2, 0.3),
@@ -72,9 +76,11 @@ func fakeAVF() *faultinj.Result {
 		},
 		ByMode: map[faultinj.Mode]*faultinj.ModeAVF{
 			faultinj.ModeGPR: {
-				Injected: 100,
-				SDCAVF:   stats.NewProportion(15, 100),
-				DUEAVF:   stats.NewProportion(5, 100),
+				Tally: faultinj.Tally{
+					Injected: 100,
+					SDCAVF:   stats.NewProportion(15, 100),
+					DUEAVF:   stats.NewProportion(5, 100),
+				},
 			},
 		},
 	}

@@ -27,20 +27,24 @@ import (
 // to make the synthetic origin visible to any consumer that looks).
 func StaticAVFResult(est *analysis.Estimate, tool faultinj.Tool, device string) *faultinj.Result {
 	res := &faultinj.Result{
-		Name:     est.Name,
-		Tool:     tool,
-		Device:   device,
-		SDCAVF:   stats.Proportion{P: est.SDC},
-		DUEAVF:   stats.Proportion{P: est.DUE},
+		Name:   est.Name,
+		Tool:   tool,
+		Device: device,
+		Tally: faultinj.Tally{
+			SDCAVF: stats.Proportion{P: est.SDC},
+			DUEAVF: stats.Proportion{P: est.DUE},
+		},
 		PerClass: make(map[isa.Class]*faultinj.ClassAVF, len(est.PerClass)),
 		PerMode:  map[faultinj.Mode]int{},
 		ByMode:   map[faultinj.Mode]*faultinj.ModeAVF{},
 	}
 	for class, ce := range est.PerClass {
 		res.PerClass[class] = &faultinj.ClassAVF{
-			Class:  class,
-			SDCAVF: stats.Proportion{P: ce.SDC},
-			DUEAVF: stats.Proportion{P: ce.DUE},
+			Class: class,
+			Tally: faultinj.Tally{
+				SDCAVF: stats.Proportion{P: ce.SDC},
+				DUEAVF: stats.Proportion{P: ce.DUE},
+			},
 		}
 	}
 	return res

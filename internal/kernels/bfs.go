@@ -117,6 +117,7 @@ func buildBFS(dev *device.Device, opt asm.OptLevel) (*Instance, error) {
 		Global:   g,
 		Launches: launches,
 		Check:    checkWords(distBase, want),
+		Output:   &OutputRegion{Base: distBase, Rows: 1, Cols: n, DType: isa.I32},
 	}, nil
 }
 

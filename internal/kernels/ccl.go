@@ -118,6 +118,7 @@ func buildCCL(dev *device.Device, opt asm.OptLevel) (*Instance, error) {
 		Global:   g,
 		Launches: launches,
 		Check:    checkWords(out, want),
+		Output:   &OutputRegion{Base: out, Rows: h, Cols: w, DType: isa.I32},
 	}, nil
 }
 

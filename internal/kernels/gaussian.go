@@ -85,6 +85,7 @@ func buildGaussian(dev *device.Device, opt asm.OptLevel) (*Instance, error) {
 		Global:   g,
 		Launches: launches,
 		Check:    checkWords(aBase, want),
+		Output:   &OutputRegion{Base: aBase, Rows: n, Cols: cols, DType: isa.F32},
 	}, nil
 }
 

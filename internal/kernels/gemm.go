@@ -87,7 +87,8 @@ func buildGEMM(dev *device.Device, opt asm.OptLevel, e Elem) (*Instance, error) 
 			GridY:        n / tileM,
 			BlockThreads: sh.thrM * sh.thrN,
 		}},
-		Check: checkWords(cBase, e.expectWords(C)),
+		Check:  checkWords(cBase, e.expectWords(C)),
+		Output: &OutputRegion{Base: cBase, Rows: n, Cols: n, DType: e.dt},
 	}, nil
 }
 

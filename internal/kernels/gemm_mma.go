@@ -163,6 +163,8 @@ func buildGEMMMMA(dev *device.Device, opt asm.OptLevel, half bool) (*Instance, e
 			Prog: prog, GridX: n / 16, GridY: n / 16, BlockThreads: 32,
 		}},
 		Check: checkWords(cBase, want),
+		// The accumulator tile is stored in FP32 for both precisions.
+		Output: &OutputRegion{Base: cBase, Rows: n, Cols: n, DType: isa.F32},
 	}, nil
 }
 

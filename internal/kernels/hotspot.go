@@ -110,6 +110,7 @@ func buildHotspot(dev *device.Device, opt asm.OptLevel, e Elem) (*Instance, erro
 		Global:   g,
 		Launches: launches,
 		Check:    checkWords(outBase, e.expectWords(cur)),
+		Output:   &OutputRegion{Base: outBase, Rows: h, Cols: w, DType: e.dt},
 	}, nil
 }
 

@@ -40,6 +40,43 @@ type Instance struct {
 	// implement the paper's tolerance-aware criterion here (faults that
 	// do not change the detection are not errors, §VI).
 	Check func(g *mem.Global) bool
+
+	// Output declares the geometry of the workload's primary output
+	// buffer so SDC diffs can be classified by spatial pattern
+	// (internal/patterns). Workloads without a natural output grid (the
+	// micro-benchmarks) leave it nil; their SDCs stay unclassified.
+	Output *OutputRegion
+}
+
+// OutputRegion is a dense Rows×Cols grid of elements of type DType
+// starting at byte address Base. It is declarative only — comparators
+// keep their own golden data — and exists so a corrupt word's byte
+// address can be mapped onto the output grid.
+type OutputRegion struct {
+	Base  uint32
+	Rows  int
+	Cols  int
+	DType isa.DType
+}
+
+// ElemWords returns the 32-bit words one element occupies (2 for F64;
+// F16 elements are stored one per word, low half).
+func (o *OutputRegion) ElemWords() int { return o.DType.Regs() }
+
+// WordCount returns the region size in 32-bit words.
+func (o *OutputRegion) WordCount() int { return o.Rows * o.Cols * o.ElemWords() }
+
+// Locate maps a byte address to its (row, col) element coordinates.
+// ok is false when the address falls outside the region.
+func (o *OutputRegion) Locate(addr uint32) (row, col int, ok bool) {
+	if addr < o.Base {
+		return 0, 0, false
+	}
+	elem := int(addr-o.Base) / 4 / o.ElemWords()
+	if elem >= o.Rows*o.Cols {
+		return 0, 0, false
+	}
+	return elem / o.Cols, elem % o.Cols, true
 }
 
 // Builder constructs a fresh Instance for a device and compiler pipeline.
@@ -56,9 +93,58 @@ const (
 	DUE                   // crashed or hung
 )
 
-// String names the outcome.
+// String names the outcome. Out-of-range values (a corrupted or
+// uninitialized Outcome) render as Outcome(n) instead of panicking.
 func (o Outcome) String() string {
-	return [...]string{"Masked", "SDC", "DUE"}[o]
+	switch o {
+	case Masked:
+		return "Masked"
+	case SDC:
+		return "SDC"
+	case DUE:
+		return "DUE"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// CorruptWord is one corrupted 32-bit word of a trial's output diff:
+// its byte address and the golden and observed values.
+type CorruptWord struct {
+	Addr     uint32 `json:"addr"`
+	Golden   uint32 `json:"golden"`
+	Observed uint32 `json:"observed"`
+}
+
+// DiffBudgetWords caps the per-trial recorded diff. The cap bounds the
+// record's footprint on campaigns with massive corruptions (a scattered
+// strike can dirty a whole matrix); CorruptWords keeps the uncapped
+// count so truncation loses only addresses, not magnitude.
+const DiffBudgetWords = 64
+
+// TrialRecord is the structured result of one faulted trial: the
+// ternary outcome plus, for SDCs, a compact diff of the output region
+// against the golden image. The diff is captured only after the
+// comparator has already failed, so the Masked fast path (snapshot
+// equality at a launch boundary, sub-launch rejoin) pays nothing.
+type TrialRecord struct {
+	Outcome Outcome
+
+	// Diff holds the corrupted output words in ascending address order,
+	// capped at DiffBudgetWords. When the instance declares an Output
+	// region, whole elements are emitted — every word of an element with
+	// at least one corrupt word, including its still-golden words — so
+	// multi-word (F64) values stay decodable. Empty for Masked/DUE, and
+	// for SDCs whose corruption lies entirely outside the scanned
+	// region.
+	Diff []CorruptWord
+
+	// DiffTruncated reports that the budget cut the recorded diff short.
+	DiffTruncated bool
+
+	// CorruptWords counts every corrupt word in the scanned region,
+	// regardless of the recording budget.
+	CorruptWords int
 }
 
 // Runner executes a workload repeatedly: once golden (capturing per-launch
@@ -215,18 +301,33 @@ func (r *Runner) LaunchLaneOps(filter func(op isa.Op) bool) []uint64 {
 }
 
 // RunWithFault executes the workload with the fault plan applied to the
-// given launch, using the checkpointed engine: launches before the fault
-// are skipped by restoring the pre-launch snapshot, and a fault launch
-// whose memory matches the golden post-launch snapshot is masked without
-// simulating the rest of the program. The watchdog is set to a small
-// multiple of the golden cycle count so hangs resolve quickly.
+// given launch and collapses the trial to its ternary outcome. It is
+// RunTrialWithFault without the structured record, kept for callers
+// that only tally outcomes.
 //
 // On an infrastructure error the returned Outcome is DUE, but callers
 // must treat the error as fatal to the trial, not as a classification:
 // an errored trial is neither Masked nor a DUE observation.
 func (r *Runner) RunWithFault(plan *sim.FaultPlan, faultLaunch int) (Outcome, error) {
+	rec, err := r.RunTrialWithFault(plan, faultLaunch)
+	return rec.Outcome, err
+}
+
+// RunTrialWithFault executes the workload with the fault plan applied to
+// the given launch, using the checkpointed engine: launches before the
+// fault are skipped by restoring the pre-launch snapshot, and a fault
+// launch whose memory matches the golden post-launch snapshot is masked
+// without simulating the rest of the program. The watchdog is set to a
+// small multiple of the golden cycle count so hangs resolve quickly.
+// SDC trials additionally carry a budget-capped diff of the output
+// region against the final golden snapshot (TrialRecord).
+//
+// On an infrastructure error the record's Outcome is DUE, but callers
+// must treat the error as fatal to the trial, not as a classification:
+// an errored trial is neither Masked nor a DUE observation.
+func (r *Runner) RunTrialWithFault(plan *sim.FaultPlan, faultLaunch int) (TrialRecord, error) {
 	if faultLaunch < 0 || faultLaunch >= len(r.inst.Launches) {
-		return DUE, fmt.Errorf("kernels: %s has no launch %d", r.Name, faultLaunch)
+		return TrialRecord{Outcome: DUE}, fmt.Errorf("kernels: %s has no launch %d", r.Name, faultLaunch)
 	}
 	g := r.pool.Get()
 	defer r.pool.Put(g)
@@ -241,11 +342,11 @@ func (r *Runner) RunWithFault(plan *sim.FaultPlan, faultLaunch int) (Outcome, er
 		g.Restore(r.snaps[faultLaunch])
 	}
 
-	out, err := r.resumeWithFault(g, plan, faultLaunch, img)
+	rec, err := r.resumeWithFault(g, plan, faultLaunch, img)
 	if err != nil {
-		return DUE, err
+		return TrialRecord{Outcome: DUE}, err
 	}
-	return out, nil
+	return rec, nil
 }
 
 // ReplayStats reports how often faulted replays used the sub-launch
@@ -259,7 +360,7 @@ func (r *Runner) ReplayStats() (restores, rejoins uint64) {
 // resumeWithFault runs launches faultLaunch.. on the working memory g
 // (already holding the pre-fault-launch state), injecting the plan into
 // the first of them and cutting off as soon as the state rejoins golden.
-func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch int, img *sim.LaunchImage) (Outcome, error) {
+func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch int, img *sim.LaunchImage) (TrialRecord, error) {
 	launches := r.inst.Launches
 	for i := faultLaunch; i < len(launches); i++ {
 		l := launches[i]
@@ -285,27 +386,78 @@ func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch
 			res, err = sim.Run(cfg, g)
 		}
 		if err != nil {
-			return DUE, fmt.Errorf("kernels: %s launch %d: %w", r.Name, i, err)
+			return TrialRecord{Outcome: DUE}, fmt.Errorf("kernels: %s launch %d: %w", r.Name, i, err)
 		}
 		if res.Outcome == sim.OutcomeDUE {
-			return DUE, nil
+			return TrialRecord{Outcome: DUE}, nil
 		}
 		// Sub-launch rejoin cutoff: the replay's full state matched a
 		// golden mid-launch image after the fault fired, so the rest of
 		// the launch — and the remaining launches — replay golden.
 		if res.RejoinedGolden {
 			r.subRejoins.Add(1)
-			return Masked, nil
+			return TrialRecord{Outcome: Masked}, nil
 		}
 		// Early masked-fault cutoff: if memory at this launch boundary is
 		// bit-identical to golden, the remaining launches replay the
 		// golden execution exactly and the comparator must pass.
 		if g.EqualSnapshot(r.snaps[i+1]) {
-			return Masked, nil
+			return TrialRecord{Outcome: Masked}, nil
 		}
 	}
 	if !r.inst.Check(g) {
-		return SDC, nil
+		rec := TrialRecord{Outcome: SDC}
+		r.captureDiff(g, &rec)
+		return rec, nil
 	}
-	return Masked, nil
+	return TrialRecord{Outcome: Masked}, nil
+}
+
+// captureDiff fills rec with the word-level diff between g and the
+// final golden snapshot. With a declared Output region the scan walks
+// the grid element-wise and emits whole elements; without one it walks
+// the entire allocated region word-wise (the count still sizes the
+// corruption, but nothing downstream can classify it).
+func (r *Runner) captureDiff(g *mem.Global, rec *TrialRecord) {
+	golden := r.snaps[len(r.inst.Launches)]
+	out := r.inst.Output
+	if out == nil {
+		for addr := uint32(0); int(addr) < golden.AllocatedBytes(); addr += 4 {
+			gw, ow := golden.Word(addr), g.Word(addr)
+			if gw == ow {
+				continue
+			}
+			rec.CorruptWords++
+			if len(rec.Diff) < DiffBudgetWords {
+				rec.Diff = append(rec.Diff, CorruptWord{Addr: addr, Golden: gw, Observed: ow})
+			} else {
+				rec.DiffTruncated = true
+			}
+		}
+		return
+	}
+	ew := uint32(out.ElemWords())
+	for elem := 0; elem < out.Rows*out.Cols; elem++ {
+		base := out.Base + uint32(elem)*ew*4
+		corrupt := false
+		for w := uint32(0); w < ew; w++ {
+			if golden.Word(base+w*4) != g.Word(base+w*4) {
+				corrupt = true
+				rec.CorruptWords++
+			}
+		}
+		if !corrupt {
+			continue
+		}
+		if len(rec.Diff)+int(ew) > DiffBudgetWords {
+			rec.DiffTruncated = true
+			continue
+		}
+		for w := uint32(0); w < ew; w++ {
+			addr := base + w*4
+			rec.Diff = append(rec.Diff, CorruptWord{
+				Addr: addr, Golden: golden.Word(addr), Observed: g.Word(addr),
+			})
+		}
+	}
 }

@@ -105,6 +105,8 @@ func buildLava(dev *device.Device, opt asm.OptLevel, e Elem) (*Instance, error) 
 			Prog: prog, GridX: nb, GridY: 1, BlockThreads: ppb,
 		}},
 		Check: checkWords(fBase, e.expectWords(F)),
+		// One particle's force vector (fx, fy, fz, pad) per row.
+		Output: &OutputRegion{Base: fBase, Rows: n, Cols: 4, DType: e.dt},
 	}, nil
 }
 

@@ -80,6 +80,7 @@ func buildLUD(dev *device.Device, opt asm.OptLevel) (*Instance, error) {
 		Global:   g,
 		Launches: launches,
 		Check:    checkWords(aBase, want),
+		Output:   &OutputRegion{Base: aBase, Rows: n, Cols: n, DType: isa.F32},
 	}, nil
 }
 

@@ -78,6 +78,7 @@ func buildMergesort(dev *device.Device, opt asm.OptLevel) (*Instance, error) {
 		Global:   g,
 		Launches: launches,
 		Check:    checkWords(out, want),
+		Output:   &OutputRegion{Base: out, Rows: 1, Cols: n, DType: isa.I32},
 	}, nil
 }
 

@@ -95,6 +95,7 @@ func buildMxM(dev *device.Device, opt asm.OptLevel, e Elem) (*Instance, error) {
 		Launches: []Launch{{
 			Prog: prog, GridX: 1, GridY: n, BlockThreads: n,
 		}},
-		Check: checkWords(cBase, e.expectWords(C)),
+		Check:  checkWords(cBase, e.expectWords(C)),
+		Output: &OutputRegion{Base: cBase, Rows: n, Cols: n, DType: e.dt},
 	}, nil
 }

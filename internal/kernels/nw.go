@@ -104,6 +104,7 @@ func buildNW(dev *device.Device, opt asm.OptLevel) (*Instance, error) {
 		Global:   g,
 		Launches: launches,
 		Check:    checkWords(scoreBase, want),
+		Output:   &OutputRegion{Base: scoreBase, Rows: rows, Cols: rows, DType: isa.I32},
 	}, nil
 }
 

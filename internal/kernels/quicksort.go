@@ -69,6 +69,8 @@ func buildQuicksort(dev *device.Device, opt asm.OptLevel) (*Instance, error) {
 			Prog: prog, GridX: nThr / 32, GridY: 1, BlockThreads: 32,
 		}},
 		Check: checkWords(dataBase, want),
+		// Each thread's sorted chunk is one row of the output grid.
+		Output: &OutputRegion{Base: dataBase, Rows: nThr, Cols: chunk, DType: isa.I32},
 	}, nil
 }
 

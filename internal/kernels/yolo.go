@@ -160,6 +160,8 @@ func buildYOLO(dev *device.Device, opt asm.OptLevel, e Elem, spec cnn.Spec) (*In
 			}
 			return cnn.SameDetections(golden, cnn.Decode(head, classes, cells), tol)
 		},
+		// The detection head: one channel per row, one cell per column.
+		Output: &OutputRegion{Base: headBase, Rows: headDims[0], Cols: cells, DType: e.dt},
 	}, nil
 }
 

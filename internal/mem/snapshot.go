@@ -24,6 +24,15 @@ func (g *Global) CapacityBytes() int { return len(g.words) * 4 }
 // holding many runners' snapshots budgets against.
 func (s *Snapshot) SizeBytes() int { return len(s.words) * 4 }
 
+// Word returns the snapshot word at byte address addr. The address must
+// lie below the snapshot's allocation high-water mark; like Global.Word
+// it is a trusted accessor for diffing, not a bounds-checked load.
+func (s *Snapshot) Word(addr uint32) uint32 { return s.words[addr/4] }
+
+// AllocatedBytes returns the allocation high-water mark captured with
+// the snapshot — the extent of the region Word may address.
+func (s *Snapshot) AllocatedBytes() int { return int(s.hwm) }
+
 // Snapshot captures the allocated region (null guard included, so word
 // indices line up) and the allocator state.
 func (g *Global) Snapshot() *Snapshot {

@@ -1,0 +1,221 @@
+// Package patterns classifies SDC output corruptions by spatial pattern
+// and value magnitude — the "Anatomy of SDC" taxonomy the paper's
+// combination argument leans on. A trial's structured record
+// (kernels.TrialRecord) carries the word-level output diff; this package
+// maps it onto the workload's declared output grid
+// (kernels.OutputRegion) and aggregates the classes into per-campaign
+// ledgers that the study persists as patterns_* artifacts.
+//
+// Spatial classes follow the taxonomy's precedence: a single corrupted
+// element beats any multi-element explanation; one shared row beats one
+// shared column (the tie, a fully corrupted 1×N box, is a row by
+// convention); a fully covered bounding box of at least 2×2 elements is
+// an aligned block; everything else is scattered. Magnitude splits
+// critical corruptions (NaN/Inf, or a relative deviation above
+// CriticalRel) from tolerable ones, the DNN fault-model paper's bands.
+package patterns
+
+import (
+	"errors"
+	"math"
+
+	"gpurel/internal/isa"
+	"gpurel/internal/kernels"
+)
+
+// Spatial is the corruption's footprint on the output grid.
+type Spatial uint8
+
+// Spatial classes, in precedence order.
+const (
+	Single    Spatial = iota // exactly one corrupted element
+	SameRow                  // several elements, all in one row
+	SameCol                  // several elements, all in one column
+	Block                    // a fully corrupted aligned block, ≥2×2
+	Scattered                // multiple elements with none of the above
+)
+
+// String names the spatial class.
+func (s Spatial) String() string {
+	switch s {
+	case Single:
+		return "single"
+	case SameRow:
+		return "same-row"
+	case SameCol:
+		return "same-col"
+	case Block:
+		return "block"
+	case Scattered:
+		return "scattered"
+	default:
+		return "spatial(?)"
+	}
+}
+
+// Magnitude is the corruption's value band.
+type Magnitude uint8
+
+// Magnitude bands.
+const (
+	Tolerable Magnitude = iota // every corrupted value stays near golden
+	Critical                   // some value is NaN/Inf or far off golden
+)
+
+// String names the magnitude band.
+func (m Magnitude) String() string {
+	if m == Critical {
+		return "critical"
+	}
+	return "tolerable"
+}
+
+// CriticalRel is the relative-deviation threshold separating tolerable
+// from critical corrupted values: |observed−golden| / max(|golden|, ε)
+// above it — or any non-finite observed value — marks the trial
+// critical. 0.10 is the DNN taxonomy's band edge (a 10% activation
+// perturbation is where detection outcomes start flipping).
+const CriticalRel = 0.10
+
+// Class is one SDC's pattern classification.
+type Class struct {
+	Spatial   Spatial
+	Magnitude Magnitude
+}
+
+// String renders the class as "spatial/magnitude".
+func (c Class) String() string { return c.Spatial.String() + "/" + c.Magnitude.String() }
+
+// Classification errors. Campaigns fold all of them into the ledger's
+// Unclassified bucket; they are distinguished for tests.
+var (
+	// ErrNoGeometry: the instance declares no output grid.
+	ErrNoGeometry = errors.New("patterns: no output geometry declared")
+	// ErrEmptyDiff: the record carries no corrupted words (a Masked/DUE
+	// record, or a capture that recorded nothing).
+	ErrEmptyDiff = errors.New("patterns: empty diff")
+	// ErrOutsideOutput: every corrupted word lies outside the output
+	// region (the fault corrupted scratch state the comparator happens
+	// to cover).
+	ErrOutsideOutput = errors.New("patterns: corruption outside the output region")
+)
+
+// elemDiff is one output element touched by the diff: its grid
+// coordinates and its (up to two) memory words.
+type elemDiff struct {
+	row, col         int
+	golden, observed [2]uint32
+	corrupt          bool
+}
+
+// Classify maps one SDC record's diff onto the output grid and returns
+// its pattern class. Corrupted words outside the region are ignored;
+// if none land inside, ErrOutsideOutput is returned.
+func Classify(rec kernels.TrialRecord, geo *kernels.OutputRegion) (Class, error) {
+	if geo == nil {
+		return Class{}, ErrNoGeometry
+	}
+	if len(rec.Diff) == 0 {
+		return Class{}, ErrEmptyDiff
+	}
+	// Group the corrupt words by element. The capture emits whole
+	// elements (a multi-word element's still-golden words included), so
+	// magnitude decoding sees complete values; only words that actually
+	// differ define the corrupt-element set.
+	ew := geo.ElemWords()
+	elems := make(map[int]*elemDiff)
+	order := make([]int, 0, len(rec.Diff))
+	for _, w := range rec.Diff {
+		row, col, ok := geo.Locate(w.Addr)
+		if !ok {
+			continue
+		}
+		idx := row*geo.Cols + col
+		e := elems[idx]
+		if e == nil {
+			e = &elemDiff{row: row, col: col}
+			elems[idx] = e
+			order = append(order, idx)
+		}
+		slot := int(w.Addr-geo.Base) / 4 % ew
+		e.golden[slot], e.observed[slot] = w.Golden, w.Observed
+		if w.Golden != w.Observed {
+			e.corrupt = true
+		}
+	}
+	corrupt := make([]*elemDiff, 0, len(order))
+	for _, idx := range order {
+		if elems[idx].corrupt {
+			corrupt = append(corrupt, elems[idx])
+		}
+	}
+	if len(corrupt) == 0 {
+		return Class{}, ErrOutsideOutput
+	}
+
+	cls := Class{Spatial: spatialOf(corrupt), Magnitude: Tolerable}
+	for _, e := range corrupt {
+		if critical(geo.DType, e.golden, e.observed) {
+			cls.Magnitude = Critical
+			break
+		}
+	}
+	return cls, nil
+}
+
+// spatialOf applies the precedence order to the corrupt-element set.
+func spatialOf(corrupt []*elemDiff) Spatial {
+	if len(corrupt) == 1 {
+		return Single
+	}
+	minR, maxR := corrupt[0].row, corrupt[0].row
+	minC, maxC := corrupt[0].col, corrupt[0].col
+	for _, e := range corrupt[1:] {
+		minR, maxR = min(minR, e.row), max(maxR, e.row)
+		minC, maxC = min(minC, e.col), max(maxC, e.col)
+	}
+	if minR == maxR {
+		return SameRow
+	}
+	if minC == maxC {
+		return SameCol
+	}
+	// Aligned block: the bounding box is fully corrupted and at least
+	// 2×2. (A fully covered 1×N or N×1 box was already a row/column.)
+	if len(corrupt) == (maxR-minR+1)*(maxC-minC+1) {
+		return Block
+	}
+	return Scattered
+}
+
+// critical reports whether one corrupted element's value deviation
+// crosses the band edge.
+func critical(dt isa.DType, golden, observed [2]uint32) bool {
+	switch dt {
+	case isa.F16:
+		return criticalFloat(float64(isa.F16ToF32(isa.Float16(golden[0]&0xffff))),
+			float64(isa.F16ToF32(isa.Float16(observed[0]&0xffff))))
+	case isa.F64:
+		return criticalFloat(
+			math.Float64frombits(uint64(golden[0])|uint64(golden[1])<<32),
+			math.Float64frombits(uint64(observed[0])|uint64(observed[1])<<32))
+	case isa.F32:
+		return criticalFloat(float64(math.Float32frombits(golden[0])),
+			float64(math.Float32frombits(observed[0])))
+	case isa.I32:
+		g, o := float64(int32(golden[0])), float64(int32(observed[0]))
+		return math.Abs(o-g) > CriticalRel*math.Max(math.Abs(g), 1)
+	default: // U32 and anything unrecognized: raw word distance
+		g, o := float64(golden[0]), float64(observed[0])
+		return math.Abs(o-g) > CriticalRel*math.Max(math.Abs(g), 1)
+	}
+}
+
+// criticalFloat applies the band edge to a floating-point element.
+func criticalFloat(g, o float64) bool {
+	if math.IsNaN(o) || math.IsInf(o, 0) {
+		return true
+	}
+	const eps = 1e-6 // floor for near-zero golden values
+	return math.Abs(o-g) > CriticalRel*math.Max(math.Abs(g), eps)
+}

@@ -13,6 +13,7 @@ import (
 	"gpurel/internal/faultinj"
 	"gpurel/internal/isa"
 	"gpurel/internal/microbench"
+	"gpurel/internal/patterns"
 	"gpurel/internal/stats"
 	"gpurel/internal/suite"
 )
@@ -411,7 +412,92 @@ func Full(ds *core.DeviceStudy, csv bool) string {
 	b.WriteString(OptTable(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(OptPressureTable(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(PatternsTable(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(TwoLevelTable(ds, csv))
 	return b.String()
+}
+
+// patternsRow appends one ledger row to the patterns table.
+func patternsRow(t *table, code, model string, l patterns.Ledger) {
+	if l.SDCs() == 0 {
+		return
+	}
+	t.add(code, model,
+		fmt.Sprintf("%d", l.SDCs()),
+		fmt.Sprintf("%d", l.Single),
+		fmt.Sprintf("%d", l.SameRow),
+		fmt.Sprintf("%d", l.SameCol),
+		fmt.Sprintf("%d", l.Block),
+		fmt.Sprintf("%d", l.Scattered),
+		fmt.Sprintf("%d", l.Critical),
+		fmt.Sprintf("%d", l.Tolerable),
+		fmt.Sprintf("%d", l.Unclassified))
+}
+
+// PatternsTable renders the SDC pattern taxonomy per workload and fault
+// model: the spatial footprint (single element, same row, same column,
+// aligned block, scattered) and the magnitude band (critical vs
+// tolerable) of every SDC each campaign produced. Rows with no SDCs are
+// omitted; beam rows carry the ECC state in the model column.
+func PatternsTable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "model", "sdc", "single", "same-row",
+		"same-col", "block", "scattered", "critical", "tolerable", "uncls"}}
+	tools := []faultinj.Tool{faultinj.Sassifi, faultinj.NVBitFI}
+	for _, name := range suiteOrder(ds) {
+		for _, tool := range tools {
+			if r, ok := ds.AVF[tool][name]; ok {
+				patternsRow(t, name, tool.String(), r.Patterns)
+			}
+		}
+		for _, ecc := range []bool{false, true} {
+			if r, ok := ds.Beam[core.BeamKey{Code: name, ECC: ecc}]; ok {
+				patternsRow(t, name, "beam ECC "+eccLabel(ecc), r.Patterns)
+			}
+		}
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"SDC pattern taxonomy on %s (spatial footprint and magnitude per fault model)", ds.Dev.Name))
+}
+
+// TwoLevelTable renders the two-level estimator against the exhaustive
+// NVBitFI campaigns: the propagated SDC/DUE AVFs, the signed SDC delta,
+// trials spent on each side, the resulting speedup, and whether the
+// delta sits inside the documented tolerance.
+func TwoLevelTable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "exact SDC", "2-level SDC", "delta",
+		"exact DUE", "2-level DUE", "sites", "trials", "exact n", "speedup",
+		"critical frac", "within tol"}}
+	for _, name := range suiteOrder(ds) {
+		tl, ok := ds.TwoLevel[name]
+		if !ok {
+			continue
+		}
+		exact, ok := ds.AVF[faultinj.NVBitFI][name]
+		if !ok {
+			continue
+		}
+		agree := "yes"
+		if !tl.Agrees(exact) {
+			agree = "NO"
+		}
+		t.add(name,
+			fmt.Sprintf("%.3f", exact.SDCAVF.P),
+			fmt.Sprintf("%.3f", tl.SDCAVF),
+			fmt.Sprintf("%+.3f", tl.Delta(exact)),
+			fmt.Sprintf("%.3f", exact.DUEAVF.P),
+			fmt.Sprintf("%.3f", tl.DUEAVF),
+			fmt.Sprintf("%d", tl.Sites),
+			fmt.Sprintf("%d", tl.Trials),
+			fmt.Sprintf("%d", exact.Injected),
+			fmt.Sprintf("%.1fx", tl.Speedup(exact)),
+			fmt.Sprintf("%.3f", tl.Patterns.Critical),
+			agree)
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"Two-level propagation vs exhaustive NVBitFI on %s (tolerance ±%.2f)",
+		ds.Dev.Name, faultinj.TwoLevelTolerance))
 }
 
 // OptTable renders the cross-section-vs-optimization matrix of one

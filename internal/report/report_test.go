@@ -52,10 +52,12 @@ func fakeStudy() *core.DeviceStudy {
 		AVF: map[faultinj.Tool]map[string]*faultinj.Result{
 			faultinj.Sassifi: {
 				"FMXM": {
-					Name: "FMXM", Tool: faultinj.Sassifi, Injected: 100,
-					SDC: 40, DUE: 10, Masked: 50,
-					SDCAVF: stats.NewProportion(40, 100),
-					DUEAVF: stats.NewProportion(10, 100),
+					Name: "FMXM", Tool: faultinj.Sassifi,
+					Tally: faultinj.Tally{
+						Injected: 100, SDC: 40, DUE: 10, Masked: 50,
+						SDCAVF: stats.NewProportion(40, 100),
+						DUEAVF: stats.NewProportion(10, 100),
+					},
 				},
 			},
 			faultinj.NVBitFI: {},

@@ -11,6 +11,7 @@ import (
 	"gpurel/internal/faultinj"
 	"gpurel/internal/isa"
 	"gpurel/internal/kernels"
+	"gpurel/internal/patterns"
 	"gpurel/internal/stats"
 )
 
@@ -132,25 +133,30 @@ type Counts struct {
 	Classes []ClassCounts `json:"classes"`
 }
 
-// ClassCounts is one class's deterministic outcome tallies.
+// ClassCounts is one class's deterministic outcome tallies. Patterns
+// breaks the class's SDCs down by spatial/magnitude pattern; like the
+// outcome counts it is a pure function of (Seed, class, index) and so
+// byte-identical across worker counts and pause/resume histories.
 type ClassCounts struct {
-	Class  string `json:"class"`
-	Trials int    `json:"trials"`
-	SDC    int    `json:"sdc"`
-	DUE    int    `json:"due"`
-	Masked int    `json:"masked"`
+	Class    string          `json:"class"`
+	Trials   int             `json:"trials"`
+	SDC      int             `json:"sdc"`
+	DUE      int             `json:"due"`
+	Masked   int             `json:"masked"`
+	Patterns patterns.Ledger `json:"patterns"`
 }
 
 // classProgress is the engine's per-class accumulator.
 type classProgress struct {
-	class   isa.Class
-	sampler *faultinj.ClassSampler // nil while paused / before build
-	trials  int
-	sdc     int
-	due     int
-	masked  int
-	stopped bool
-	capHit  bool
+	class    isa.Class
+	sampler  *faultinj.ClassSampler // nil while paused / before build
+	trials   int
+	sdc      int
+	due      int
+	masked   int
+	patterns patterns.Ledger
+	stopped  bool
+	capHit   bool
 }
 
 // Campaign is one adaptively-stopped injection campaign owned by a
@@ -251,6 +257,7 @@ func (c *Campaign) Counts() Counts {
 		out.Classes = append(out.Classes, ClassCounts{
 			Class: cp.class.String(), Trials: cp.trials,
 			SDC: cp.sdc, DUE: cp.due, Masked: cp.masked,
+			Patterns: cp.patterns,
 		})
 	}
 	return out
@@ -318,6 +325,7 @@ func (c *Campaign) checkpointLocked() error {
 		ck.Classes = append(ck.Classes, ClassCounts{
 			Class: cp.class.String(), Trials: cp.trials,
 			SDC: cp.sdc, DUE: cp.due, Masked: cp.masked,
+			Patterns: cp.patterns,
 		})
 		if cp.stopped {
 			ck.Stopped = append(ck.Stopped, cp.class.String())
@@ -357,7 +365,8 @@ func (s *Server) loadCheckpoint(id string) (*Campaign, error) {
 		c.classes = append(c.classes, &classProgress{
 			class: class, trials: cc.Trials,
 			sdc: cc.SDC, due: cc.DUE, masked: cc.Masked,
-			stopped: stopped[cc.Class], capHit: capHit[cc.Class],
+			patterns: cc.Patterns,
+			stopped:  stopped[cc.Class], capHit: capHit[cc.Class],
 		})
 	}
 	c.state = StatePaused
@@ -497,9 +506,9 @@ func (c *Campaign) acquireRunner() error {
 
 // trialJob addresses one trial: class slot and deterministic index.
 type trialJob struct {
-	ci      int
-	index   uint64
-	outcome kernels.Outcome
+	ci    int
+	index uint64
+	rec   kernels.TrialRecord
 }
 
 // scheduleRound fixes the next round's trial set: for every class that
@@ -555,7 +564,7 @@ func (c *Campaign) runRound(jobs []*trialJob) error {
 			c.srv.simSem <- struct{}{}
 			defer func() { <-c.srv.simSem }()
 			plan, launch := samplers[job.ci].Plan(seed, job.index)
-			out, err := runner.RunWithFault(plan, launch)
+			rec, err := runner.RunTrialWithFault(plan, launch)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -564,7 +573,7 @@ func (c *Campaign) runRound(jobs []*trialJob) error {
 				errMu.Unlock()
 				return
 			}
-			job.outcome = out
+			job.rec = rec
 			c.srv.metrics.TrialDone()
 		}(job)
 	}
@@ -575,10 +584,15 @@ func (c *Campaign) runRound(jobs []*trialJob) error {
 // settleRound folds the round's outcomes into the class tallies and
 // re-evaluates the stop rule. Callers hold c.mu.
 func (c *Campaign) settleRound(jobs []*trialJob) {
+	var geo *kernels.OutputRegion
+	if c.runnerRef != nil {
+		geo = c.runnerRef.Instance().Output
+	}
 	for _, job := range jobs {
 		cp := c.classes[job.ci]
 		cp.trials++
-		switch job.outcome {
+		cp.patterns.Count(patterns.Observe(job.rec, geo))
+		switch job.rec.Outcome {
 		case kernels.SDC:
 			cp.sdc++
 		case kernels.DUE:

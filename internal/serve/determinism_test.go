@@ -80,6 +80,24 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 	if string(got[0]) != string(got[1]) {
 		t.Fatalf("final counts differ between 1 and 8 workers:\n%s\n%s", got[0], got[1])
 	}
+	// The byte comparison above already covers the pattern ledgers (they
+	// ride the counts body); additionally pin that they are populated and
+	// consistent — every SDC a class counted landed in its ledger.
+	var counts Counts
+	if err := json.Unmarshal(got[0], &counts); err != nil {
+		t.Fatal(err)
+	}
+	sdc, ledger := 0, 0
+	for _, cc := range counts.Classes {
+		sdc += cc.SDC
+		ledger += cc.Patterns.SDCs()
+	}
+	if sdc == 0 {
+		t.Fatal("campaign produced no SDCs; the pattern assertion needs at least one")
+	}
+	if ledger != sdc {
+		t.Fatalf("pattern ledgers absorbed %d SDCs, classes counted %d", ledger, sdc)
+	}
 }
 
 // TestDeterminismAcrossPauseResume extends the guarantee over the

@@ -10,6 +10,9 @@
 #   scripts/check.sh serve      campaign-daemon gate: serve tests under -race, then a
 #                               loadgen soak (200+ concurrent campaigns) against a live
 #                               gpurel-serve; soak report lands at serve-soak.txt
+#   scripts/check.sh patterns   SDC-pattern gate: classifier + two-level tests under
+#                               -race, then the two-level agreement gate; rendered
+#                               table lands at patterns-gate-table.txt
 #
 # Unknown tier names fail immediately (exit 1) rather than silently
 # running tier 1 — a typo'd "scripts/check.sh crosval" in CI must not
@@ -33,10 +36,10 @@ cd "$(dirname "$0")/.."
 
 tier="${1:-}"
 case "$tier" in
-    ""|full|bench|crossval|opt|artifacts|serve) ;;
+    ""|full|bench|crossval|opt|artifacts|serve|patterns) ;;
     *)
         echo "check.sh: unknown tier \"$tier\"" >&2
-        echo "known tiers: <none> (tier 1), full, bench, crossval, opt, artifacts, serve" >&2
+        echo "known tiers: <none> (tier 1), full, bench, crossval, opt, artifacts, serve, patterns" >&2
         exit 1
         ;;
 esac
@@ -134,6 +137,32 @@ if [ "${1:-}" = "artifacts" ]; then
         exit 1
     fi
     rm -f out-drift-summary.txt
+    echo "checks passed"
+    exit 0
+fi
+
+if [ "$tier" = "patterns" ]; then
+    # SDC-pattern gate, two stages. First the taxonomy-carrying packages
+    # under -race: the classifier itself, the kernels diff capture, and
+    # the two-level estimator's worker pool (-short keeps the exhaustive
+    # campaign tests in the un-instrumented stage below). Then the full
+    # two-level cross-validation test plus the gpurel-lint gate: on every
+    # CrossValKernels workload of both devices, the two-level SDC AVF
+    # must sit within faultinj.TwoLevelTolerance of an exhaustive
+    # NVBitFI campaign at five or more times fewer simulations. The
+    # rendered table lands at patterns-gate-table.txt (stable path;
+    # gitignored) so CI can upload it either way.
+    echo "== go test -race -short ./internal/patterns/ ./internal/kernels/ ./internal/faultinj/"
+    go test -race -short -timeout 20m ./internal/patterns/ ./internal/kernels/ ./internal/faultinj/
+    echo "== go test -run 'TestTwoLevel' ./internal/faultinj/"
+    go test -run 'TestTwoLevel' -timeout 20m ./internal/faultinj/
+    echo "== gpurel-lint -twolevel-gate -faults 500"
+    if ! go run ./cmd/gpurel-lint -twolevel-gate -faults 500 >patterns-gate-table.txt; then
+        cat patterns-gate-table.txt
+        echo "PATTERNS GATE: the two-level estimate left the tolerance band or lost its speedup (see above)"
+        exit 1
+    fi
+    cat patterns-gate-table.txt
     echo "checks passed"
     exit 0
 fi

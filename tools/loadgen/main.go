@@ -32,6 +32,7 @@ import (
 
 	"gpurel/internal/device"
 	"gpurel/internal/faultinj"
+	"gpurel/internal/patterns"
 	"gpurel/internal/serve"
 	"gpurel/internal/suite"
 )
@@ -348,6 +349,50 @@ func render(runs []*campaignRun, wall time.Duration, metrics []byte) (string, in
 			fmt.Fprintf(&b, "ADAPTIVE FAIL: aggregate %d trials did not beat the fixed baseline %d\n",
 				total, totalBase)
 		}
+	}
+
+	// SDC pattern rollup: aggregate the per-class pattern ledgers from
+	// one representative counts body per determinism group (members are
+	// byte-identical, so any member stands for the group). A kernel with
+	// SDCs but a fully Unclassified ledger would mean the taxonomy is
+	// not riding through the service — worth seeing in the soak report
+	// even though it is not a gate.
+	patTotals := map[string]*patterns.Ledger{}
+	seenGroup := map[key]bool{}
+	for _, r := range runs {
+		if r.err != nil {
+			continue
+		}
+		k := key{r.kernel, r.group}
+		if seenGroup[k] {
+			continue
+		}
+		seenGroup[k] = true
+		var counts serve.Counts
+		if json.Unmarshal(r.countsBody, &counts) != nil {
+			continue
+		}
+		led := patTotals[r.kernel]
+		if led == nil {
+			led = &patterns.Ledger{}
+			patTotals[r.kernel] = led
+		}
+		for _, cc := range counts.Classes {
+			led.Merge(cc.Patterns)
+		}
+	}
+	patKernels := make([]string, 0, len(patTotals))
+	for k := range patTotals {
+		patKernels = append(patKernels, k)
+	}
+	sort.Strings(patKernels)
+	fmt.Fprintf(&b, "\n%-12s %6s %7s %8s %8s %6s %10s %9s %10s %7s\n",
+		"patterns", "sdc", "single", "same-row", "same-col", "block", "scattered", "critical", "tolerable", "uncls")
+	for _, k := range patKernels {
+		l := patTotals[k]
+		fmt.Fprintf(&b, "%-12s %6d %7d %8d %8d %6d %10d %9d %10d %7d\n",
+			k, l.SDCs(), l.Single, l.SameRow, l.SameCol, l.Block, l.Scattered,
+			l.Critical, l.Tolerable, l.Unclassified)
 	}
 
 	// Latency percentiles.
