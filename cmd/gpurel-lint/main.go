@@ -16,6 +16,12 @@
 //	                                            gate (CI): exit 1 when static
 //	                                            and injection AVF orderings
 //	                                            disagree on any matrix
+//	gpurel-lint -due-modes                      static vs injection DUE-mode
+//	                                            share table per workload
+//	gpurel-lint -duemode-gate                   DUE-mode agreement gate (CI):
+//	                                            exit 1 when any measurable
+//	                                            workload's mode shares leave
+//	                                            the L-inf tolerance
 //	gpurel-lint -twolevel-gate                  two-level estimator gate (CI):
 //	                                            exit 1 when any workload's
 //	                                            two-level SDC AVF leaves the
@@ -82,6 +88,8 @@ func main() {
 	crossvalGate := flag.Bool("crossval-gate", false, "with -cross-validate: exit 1 unless every workload's bit-resolved static AVF agrees with injection within the tolerance")
 	optGate := flag.Bool("opt-gate", false, "run the optimization-matrix sweep and exit 1 unless the static AVF ordering matches injection's on every matrix")
 	twoLevelGate := flag.Bool("twolevel-gate", false, "run the two-level estimator against exhaustive NVBitFI campaigns and exit 1 on any out-of-tolerance workload or a speedup below 5x")
+	dueModes := flag.Bool("due-modes", false, "compare the static DUE-mode shares against an NVBitFI campaign's typed-DUE ledger, per workload")
+	dueModeGate := flag.Bool("duemode-gate", false, "like -due-modes, and exit 1 unless every measurable workload agrees within faultinj.DUEModeTolerance")
 	flag.Parse()
 
 	if *selftest {
@@ -103,6 +111,10 @@ func main() {
 
 	if *twoLevelGate {
 		os.Exit(runTwoLevelGate(devs, *code, *faults, *seed, *csv))
+	}
+
+	if *dueModes || *dueModeGate {
+		os.Exit(runDUEModes(devs, *code, *faults, *seed, *csv, *dueModeGate))
 	}
 
 	if *crossVal {
@@ -343,6 +355,58 @@ func runCrossValidate(devs []*device.Device, code string, faults, beamTrials int
 					hcv.Name, hcv.Device, faultinj.MeasuredCrossValTolerance, hcv.MeasuredDelta())
 				return 1
 			}
+		}
+	}
+	return 0
+}
+
+// runDUEModes runs, per device and cross-validation workload, an
+// NVBitFI campaign and the static DUE-mode estimator, and renders both
+// share distributions side by side. With gate set it exits 1 when any
+// measurable workload's L-infinity delta leaves
+// faultinj.DUEModeTolerance.
+func runDUEModes(devs []*device.Device, code string, faults int, seed uint64, csv, gate bool) int {
+	var cvs []*faultinj.DUEModeCrossVal
+	for _, dev := range devs {
+		all := suite.ForDevice(dev)
+		var entries []suite.Entry
+		if code != "" {
+			e, err := suite.Find(all, code)
+			if err != nil {
+				fail(err)
+			}
+			entries = []suite.Entry{e}
+		} else {
+			for _, name := range faultinj.CrossValKernels {
+				if e, err := suite.Find(all, name); err == nil {
+					entries = append(entries, e)
+				}
+			}
+		}
+		cfg := faultinj.Config{Tool: faultinj.NVBitFI, TotalFaults: faults, Seed: seed}
+		for _, e := range entries {
+			cv, err := faultinj.CrossValidateDUEModes(cfg, e.Name, e.Build, dev)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skip %s on %s: %v\n", e.Name, dev.Name, err)
+				continue
+			}
+			cvs = append(cvs, cv)
+			fmt.Fprintf(os.Stderr, "done %s on %s: delta %.3f over %d typed DUEs\n",
+				e.Name, dev.Name, cv.Delta(), cv.DynamicDUEs)
+		}
+	}
+	fmt.Print(report.DUEModeCrossValidation(cvs, csv))
+	if gate {
+		bad := 0
+		for _, cv := range cvs {
+			if !cv.Agrees() {
+				fmt.Fprintf(os.Stderr, "duemode-gate: %s on %s outside %.2f (L-inf delta %.3f over %d typed DUEs)\n",
+					cv.Name, cv.Device, faultinj.DUEModeTolerance, cv.Delta(), cv.DynamicDUEs)
+				bad++
+			}
+		}
+		if bad > 0 {
+			return 1
 		}
 	}
 	return 0

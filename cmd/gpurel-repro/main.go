@@ -121,6 +121,7 @@ func writeAll(outDir string, study *core.Study) {
 		{"opt_pressure", report.OptPressureTable},
 		{"patterns", report.PatternsTable},
 		{"patterns_twolevel", report.TwoLevelTable},
+		{"due_modes", report.DUEModesTable},
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -48,6 +48,10 @@ type Result struct {
 	// ACEVec holds the bit-resolved ACE vectors (see bitflow.go).
 	ACEVec []ACEVector
 
+	// DUEModeVec holds the per-bit DUE-mode split of each ACEVec entry's
+	// DUE channel (see duemode.go).
+	DUEModeVec []DUEModeVec
+
 	// Facts / PredFacts are the forward known-bits/range facts per
 	// definition and the proven SETP outcomes.
 	Facts     []ValueFact
@@ -84,6 +88,7 @@ func AnalyzeLaunch(p *isa.Program, bounds *Bounds) *Result {
 	r.bf.forward()
 	r.Facts, r.PredFacts = r.bf.facts, r.bf.preds
 	r.ACEVec = r.bf.propagateVec()
+	r.DUEModeVec = r.bf.propagateModes(r.ACEVec)
 	r.Findings = lint(r)
 	return r
 }

@@ -732,6 +732,137 @@ func (bf *bitflow) cmpContrib(i int, e UseEdge, useIn *isa.Instr, uv *ACEVector,
 	}
 }
 
+// stencilKind says how one data-edge bit reads the consumer's vector.
+type stencilKind uint8
+
+const (
+	stExact    stencilKind = iota // channel[idx] (out of range: 0)
+	stMeanFrom                    // mean of the channel over bits >= idx
+	stMean                        // mean of the channel over the window
+)
+
+// bitStencil is the per-bit transfer of one data edge: where the
+// flipped bit lands in the consumer's vector and with what pass factor.
+// It is channel-agnostic — dataContrib applies it to the SDC and DUE
+// channels, and the DUE-mode propagation (duemode.go) applies the same
+// stencil to the per-mode channels, so the two backward passes cannot
+// drift apart per opcode.
+type bitStencil struct {
+	kind stencilKind
+	f    float64
+	idx  int
+}
+
+// edgeInvariants holds the per-edge forward facts the stencil needs,
+// hoisted out of the bit loop.
+type edgeInvariants struct {
+	otherKB    KnownBits
+	shiftK     int
+	shiftKnown bool
+}
+
+func (bf *bitflow) edgeInvariantsOf(e UseEdge, useIn *isa.Instr) edgeInvariants {
+	var inv edgeInvariants
+	switch useIn.Op {
+	case isa.OpLOP:
+		inv.otherKB = bf.operandFact(e.Use, 1-int(e.Slot)).KB
+	case isa.OpSHF:
+		if amt := bf.operandFact(e.Use, 1).KB; amt.IsConst() {
+			inv.shiftK, inv.shiftKnown = int(amt.Const()&31), true
+		}
+	}
+	return inv
+}
+
+// dataStencil computes the transfer stencil for one consumed bit: the
+// per-opcode factor tables of tuning.go plus the known-bits/shift-amount
+// proofs, exactly as the original inline switch applied them.
+func dataStencil(useIn *isa.Instr, slot, ub, uw int, inv edgeInvariants) bitStencil {
+	switch useIn.Op {
+	case isa.OpMOV, isa.OpMOV32I:
+		return bitStencil{stExact, PassMove, ub}
+	case isa.OpSEL:
+		return bitStencil{stExact, PassSel * intBitFactor(ub), ub}
+	case isa.OpIADD:
+		return bitStencil{stExact, PassIAdd * intBitFactor(ub), ub}
+	case isa.OpIMAD:
+		if slot == 2 {
+			// The addend is bit-aligned (same-bit shape), but its
+			// pass factor matches the scalar model's single IMAD
+			// factor so the two estimators stay mean-calibrated.
+			return bitStencil{stExact, PassIMul * intBitFactor(ub), ub}
+		}
+		return bitStencil{stMeanFrom, PassIMul * intBitFactor(ub), ub}
+	case isa.OpIMUL:
+		return bitStencil{stMeanFrom, PassIMul * intBitFactor(ub), ub}
+	case isa.OpIMNMX:
+		return bitStencil{stExact, PassMinMax * intBitFactor(ub), ub}
+	case isa.OpLOP:
+		var f float64
+		switch {
+		case useIn.Logic == isa.LopXOR:
+			f = PassXor
+		case useIn.Logic == isa.LopAND && inv.otherKB.ZeroAt(ub):
+			f = 0 // proven masked
+		case useIn.Logic == isa.LopAND && inv.otherKB.OneAt(ub):
+			f = 1 // proven pass-through
+		case useIn.Logic == isa.LopOR && inv.otherKB.OneAt(ub):
+			f = 0 // proven masked
+		case useIn.Logic == isa.LopOR && inv.otherKB.ZeroAt(ub):
+			f = 1
+		default:
+			f = PassAndOr
+		}
+		return bitStencil{stExact, f, ub}
+	case isa.OpSHF:
+		switch {
+		case slot == 1: // flipping the shift amount
+			return bitStencil{stMean, PassShift, 0}
+		case inv.shiftKnown:
+			ob := ub + inv.shiftK
+			if useIn.Shift == isa.ShiftR {
+				ob = ub - inv.shiftK
+			}
+			return bitStencil{stExact, 1, ob} // exact relocation; out of range = shifted out
+		default:
+			return bitStencil{stMean, PassShift, 0}
+		}
+	case isa.OpFADD, isa.OpFFMA:
+		return bitStencil{stExact, fpBitFactor(32, ub), ub}
+	case isa.OpFMUL:
+		return bitStencil{stExact, FPMulScale * fpBitFactor(32, ub), ub}
+	case isa.OpDADD, isa.OpDFMA:
+		return bitStencil{stExact, fpBitFactor(64, ub), ub}
+	case isa.OpDMUL:
+		return bitStencil{stExact, FPMulScale * fpBitFactor(64, ub), ub}
+	case isa.OpHADD, isa.OpHFMA:
+		return bitStencil{stExact, fpBitFactor(16, ub), ub}
+	case isa.OpHMUL:
+		return bitStencil{stExact, FPMulScale * fpBitFactor(16, ub), ub}
+	case isa.OpHMMA, isa.OpFMMA:
+		return bitStencil{stMean, PassMMA, 0}
+	case isa.OpMUFU:
+		return bitStencil{stMean, PassMufu, 0}
+	case isa.OpF2F:
+		inB, outB := useIn.CvtFrom.Bits(), useIn.CvtTo.Bits()
+		switch {
+		case inB > outB: // narrowing: dropped bits mostly round away
+			drop := inB - outB
+			if ub < drop {
+				return bitStencil{stMean, CvtDropFactor, 0}
+			}
+			return bitStencil{stExact, CvtKeepFactor, ub - drop}
+		case inB < outB: // widening: align the sign/exponent region
+			return bitStencil{stExact, CvtKeepFactor, ub + outB - inB}
+		default:
+			return bitStencil{stExact, PassCvt, ub}
+		}
+	case isa.OpF2I, isa.OpI2F:
+		return bitStencil{stMean, PassCvt, 0}
+	}
+	return bitStencil{stExact, PassDefault, min(ub, max(uw-1, 0))}
+}
+
 // dataContrib handles a value operand: per def bit, the probability the
 // flip survives into the consumer's destination, times the consumer's
 // own per-bit ACE at the bits it can land in.
@@ -750,7 +881,7 @@ func (bf *bitflow) dataContrib(i int, e UseEdge, useIn *isa.Instr, uv *ACEVector
 		}
 		return uv.DUE[idx]
 	}
-	// meanFromS/D average the consumer's vector over bits >= from: a
+	// meanFrom averages the consumer's vector over bits >= from: a
 	// multiply spreads an input bit over the output bits at or above it.
 	meanFrom := func(ch *[64]float64, from int) float64 {
 		if uw == 0 {
@@ -768,18 +899,7 @@ func (bf *bitflow) dataContrib(i int, e UseEdge, useIn *isa.Instr, uv *ACEVector
 
 	vb := useIn.SrcValueBits(int(e.Slot))
 	slot := int(e.Slot)
-
-	// Per-edge invariants, hoisted out of the bit loop.
-	var otherKB KnownBits
-	shiftK, shiftKnown := 0, false
-	switch useIn.Op {
-	case isa.OpLOP:
-		otherKB = bf.operandFact(e.Use, 1-slot).KB
-	case isa.OpSHF:
-		if amt := bf.operandFact(e.Use, 1).KB; amt.IsConst() {
-			shiftK, shiftKnown = int(amt.Const()&31), true
-		}
-	}
+	inv := bf.edgeInvariantsOf(e, useIn)
 
 	for b := lo; b < hi; b++ {
 		rb := b - lo
@@ -787,104 +907,15 @@ func (bf *bitflow) dataContrib(i int, e UseEdge, useIn *isa.Instr, uv *ACEVector
 			continue // the consumer never reads these register bits
 		}
 		ub := 32*int(e.UseReg) + rb
+		st := dataStencil(useIn, slot, ub, uw, inv)
 		var s, d float64
-		switch useIn.Op {
-		case isa.OpMOV, isa.OpMOV32I:
-			s, d = PassMove*atS(ub), PassMove*atD(ub)
-		case isa.OpSEL:
-			f := PassSel * intBitFactor(ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpIADD:
-			f := PassIAdd * intBitFactor(ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpIMAD:
-			if slot == 2 {
-				// The addend is bit-aligned (same-bit shape), but its
-				// pass factor matches the scalar model's single IMAD
-				// factor so the two estimators stay mean-calibrated.
-				f := PassIMul * intBitFactor(ub)
-				s, d = f*atS(ub), f*atD(ub)
-			} else {
-				f := PassIMul * intBitFactor(ub)
-				s, d = f*meanFrom(&uv.SDC, ub), f*meanFrom(&uv.DUE, ub)
-			}
-		case isa.OpIMUL:
-			f := PassIMul * intBitFactor(ub)
-			s, d = f*meanFrom(&uv.SDC, ub), f*meanFrom(&uv.DUE, ub)
-		case isa.OpIMNMX:
-			f := PassMinMax * intBitFactor(ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpLOP:
-			var f float64
-			switch {
-			case useIn.Logic == isa.LopXOR:
-				f = PassXor
-			case useIn.Logic == isa.LopAND && otherKB.ZeroAt(ub):
-				f = 0 // proven masked
-			case useIn.Logic == isa.LopAND && otherKB.OneAt(ub):
-				f = 1 // proven pass-through
-			case useIn.Logic == isa.LopOR && otherKB.OneAt(ub):
-				f = 0 // proven masked
-			case useIn.Logic == isa.LopOR && otherKB.ZeroAt(ub):
-				f = 1
-			default:
-				f = PassAndOr
-			}
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpSHF:
-			switch {
-			case slot == 1: // flipping the shift amount
-				s, d = PassShift*meanS, PassShift*meanD
-			case shiftKnown:
-				ob := ub + shiftK
-				if useIn.Shift == isa.ShiftR {
-					ob = ub - shiftK
-				}
-				s, d = atS(ob), atD(ob) // exact relocation; out of range = shifted out
-			default:
-				s, d = PassShift*meanS, PassShift*meanD
-			}
-		case isa.OpFADD, isa.OpFFMA:
-			f := fpBitFactor(32, ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpFMUL:
-			f := FPMulScale * fpBitFactor(32, ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpDADD, isa.OpDFMA:
-			f := fpBitFactor(64, ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpDMUL:
-			f := FPMulScale * fpBitFactor(64, ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpHADD, isa.OpHFMA:
-			f := fpBitFactor(16, ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpHMUL:
-			f := FPMulScale * fpBitFactor(16, ub)
-			s, d = f*atS(ub), f*atD(ub)
-		case isa.OpHMMA, isa.OpFMMA:
-			s, d = PassMMA*meanS, PassMMA*meanD
-		case isa.OpMUFU:
-			s, d = PassMufu*meanS, PassMufu*meanD
-		case isa.OpF2F:
-			inB, outB := useIn.CvtFrom.Bits(), useIn.CvtTo.Bits()
-			switch {
-			case inB > outB: // narrowing: dropped bits mostly round away
-				drop := inB - outB
-				if ub < drop {
-					s, d = CvtDropFactor*meanS, CvtDropFactor*meanD
-				} else {
-					s, d = CvtKeepFactor*atS(ub-drop), CvtKeepFactor*atD(ub-drop)
-				}
-			case inB < outB: // widening: align the sign/exponent region
-				s, d = CvtKeepFactor*atS(ub+outB-inB), CvtKeepFactor*atD(ub+outB-inB)
-			default:
-				s, d = PassCvt*atS(ub), PassCvt*atD(ub)
-			}
-		case isa.OpF2I, isa.OpI2F:
-			s, d = PassCvt*meanS, PassCvt*meanD
+		switch st.kind {
+		case stMean:
+			s, d = st.f*meanS, st.f*meanD
+		case stMeanFrom:
+			s, d = st.f*meanFrom(&uv.SDC, st.idx), st.f*meanFrom(&uv.DUE, st.idx)
 		default:
-			s, d = PassDefault*atS(min(ub, max(uw-1, 0))), PassDefault*atD(min(ub, max(uw-1, 0)))
+			s, d = st.f*atS(st.idx), st.f*atD(st.idx)
 		}
 		apply(b, s, d)
 	}

@@ -46,6 +46,11 @@ const (
 	KindLongLiveRange = "long-live-range"
 	KindSpillExposure = "spill-exposure"
 	KindUnrollACEMass = "unroll-ace-inflation"
+	// DUE-mode exposure findings (see dueModeFindings below): sites
+	// whose flips provably reach one of the typed DUE mechanisms.
+	KindUnboundedLoopExposure = "unbounded-loop-exposure"
+	KindUnguardedAddressArith = "unguarded-address-arith"
+	KindSyncFragileRegion     = "sync-fragile-region"
 )
 
 // Finding is one lint diagnostic, anchored to an instruction index.
@@ -138,6 +143,112 @@ func lint(r *Result) []Finding {
 	}
 	out = append(out, bitFindings(r)...)
 	out = append(out, optFindings(r)...)
+	out = append(out, dueModeFindings(r)...)
+	return out
+}
+
+// dueModeFindings reports the sites whose DUE exposure is dominated by
+// one of the typed mechanisms, each anchored to the mode propagation's
+// proofs rather than to opcode pattern-matching: a trip-count value the
+// range lattice could not prove flip-immune on the way to a loop
+// backedge, an address chain whose flips can carry the effective
+// address outside the statically proven window, and values or
+// predicates feeding the reconvergence machinery.
+// dueModeFindings reports DUE-mode exposures the prover tried and
+// failed to discharge. Each finding anchors to a failed proof rather
+// than to raw mode mass, so ordinary shapes — a counted loop, a
+// constant-window address, a divergent diamond — stay clean:
+//
+//   - unbounded-loop-exposure: a conditional backedge whose guard
+//     compare has no range knowledge on either side. The trip count is
+//     statically unbounded, so every flip in the condition chain is
+//     hang exposure; a compare against any bounded operand suppresses
+//     the finding.
+//   - unguarded-address-arith: an address-feeding value whose low-bit
+//     band still carries illegal-address mass — the page-window
+//     containment proof (duemode.go) failed, where a proven window
+//     zeroes the band exactly.
+//   - sync-fragile-region: a predicate that directly gates BAR/SYNC
+//     participation (a divergent barrier is a guaranteed sync DUE in
+//     the simulator), or a value whose transitive sync-error exposure
+//     exceeds the one-compare trickle bound.
+func dueModeFindings(r *Result) []Finding {
+	if r.DUEModeVec == nil || r.bf == nil {
+		return nil
+	}
+	p := r.Prog
+	var out []Finding
+	flaggedBackedge := make(map[int]bool)
+	for _, blk := range r.CFG.Blocks {
+		if !r.CFG.Reachable[blk.ID] {
+			continue
+		}
+		for i := blk.Start; i < blk.End; i++ {
+			in := &p.Instrs[i]
+			if in.Op == isa.OpISETP {
+				for _, e := range r.DefUse.Out[i] {
+					use := &p.Instrs[e.Use]
+					if e.Kind != EdgeBranchGuard || use.Op != isa.OpBRA || use.Target > e.Use || flaggedBackedge[e.Use] {
+						continue
+					}
+					if r.bf.operandFact(i, 0).R != rFull() || r.bf.operandFact(i, 1).R != rFull() {
+						continue // some range knowledge bounds the trip count
+					}
+					flaggedBackedge[e.Use] = true
+					out = append(out, Finding{
+						Sev: SevWarn, Kind: KindUnboundedLoopExposure, Instr: e.Use,
+						Msg: fmt.Sprintf("backedge guard at %d proves no trip-count bound; flips in its condition chain hang (%.0f%% exposure): %s",
+							i, 100*r.DUEModeVec[i].Mean(ModeHang), in.String()),
+					})
+				}
+			}
+			if _, ok := in.WritesPredReg(); ok {
+				for _, e := range r.DefUse.Out[i] {
+					use := &p.Instrs[e.Use]
+					if e.Kind == EdgeBranchGuard && (use.Op == isa.OpBAR || use.Op == isa.OpSYNC) {
+						out = append(out, Finding{
+							Sev: SevWarn, Kind: KindSyncFragileRegion, Instr: i,
+							Msg: fmt.Sprintf("predicate gates %s participation at %d; a flipped guard diverges the barrier (%.0f%% sync-error exposure): %s",
+								use.Op, e.Use, 100*r.DUEModeVec[i].Mean(ModeSyncError), in.String()),
+						})
+						break
+					}
+				}
+			}
+			v := &r.DUEModeVec[i]
+			if v.Width < 32 || r.ACEVec[i].Dead() {
+				continue
+			}
+			feedsAddr := false
+			for _, e := range r.DefUse.Out[i] {
+				if e.Kind == EdgeAddr {
+					feedsAddr = true
+					break
+				}
+			}
+			if feedsAddr {
+				var low float64
+				for b := 0; b < AddrPageBits; b++ {
+					low += v.Ch[ModeIllegalAddress][b]
+				}
+				low /= AddrPageBits
+				if low >= AddrExposureMin {
+					out = append(out, Finding{
+						Sev: SevWarn, Kind: KindUnguardedAddressArith, Instr: i,
+						Msg: fmt.Sprintf("address low bits lack an in-window containment proof (%.0f%% low-band illegal-address exposure): %s",
+							100*low, in.String()),
+					})
+				}
+			}
+			if s := v.Mean(ModeSyncError); s >= SyncExposureMin {
+				out = append(out, Finding{
+					Sev: SevWarn, Kind: KindSyncFragileRegion, Instr: i,
+					Msg: fmt.Sprintf("flips here corrupt reconvergence or barrier participation (%.0f%% mean sync-error exposure): %s",
+						100*s, in.String()),
+				})
+			}
+		}
+	}
 	return out
 }
 

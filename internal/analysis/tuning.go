@@ -168,6 +168,48 @@ const (
 	CvtKeepFactor = 0.85
 )
 
+// DUE-mode routing knobs (see duemode.go). The terminal DUE sinks above
+// carry a mechanism: address sinks are illegal-address, backedge and
+// EXIT guards are hangs, barrier/reconvergence guards are sync errors.
+// Only the forward-branch guard is mechanically ambiguous.
+const (
+	// BranchForwardHangFrac: the share of a forward (non-backedge,
+	// non-divergent) branch guard's DUE sink attributed to hangs — the
+	// wrong path can overrun the program end — with the remainder left
+	// unattributed. Backedges and divergent-region branches are routed
+	// whole, so only this split is a guess rather than a proof.
+	BranchForwardHangFrac = 0.5
+
+	// BackedgeMemHangFrac: the hang share of a backedge guard whose loop
+	// body touches memory. Overrun iterations index past the proven
+	// bound and die on the out-of-bounds access long before MaxCycles,
+	// so most of the trip-count DUE converts to illegal-address — the
+	// conversion the injection campaigns measure (mode cross-validation,
+	// faultinj.DUEModeTolerance). Memory-free loop bodies route whole to
+	// hang: they have nothing to fault on but the watchdog.
+	BackedgeMemHangFrac = 0.3
+)
+
+// DUE-mode exposure lint thresholds (see dueModeFindings in lint.go).
+// Both findings anchor to a *failed proof*, not to raw exposure —
+// ordinary address setup and counted loops stay clean because their
+// proofs succeed — so the thresholds only separate a failed proof's
+// residual exposure from transitive trickle.
+const (
+	// AddrExposureMin flags address-feeding sites whose page-window
+	// containment proof failed (unguarded-address-arith): the mean
+	// illegal-address mass over the low AddrPageBits band, which a
+	// successful containment proof drives to exactly 0 and a failed one
+	// leaves near AddrLowDUE.
+	AddrExposureMin = 0.15
+	// SyncExposureMin flags value sites whose flips reach the
+	// reconvergence machinery transitively (sync-fragile-region) with
+	// more than trickle strength. A value one unproven compare away
+	// from a divergent-region branch carries PassCmp * SinkBranchDUE =
+	// 0.12 — below the bar; direct multi-path chains exceed it.
+	SyncExposureMin = 0.2
+)
+
 // DeadBitSpanMin is the smallest contiguous run of provably-masked
 // destination bits the dead-bit-span lint reports. Shorter runs are
 // routine (rounding slack, small masks) and would drown the report.

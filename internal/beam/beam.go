@@ -87,6 +87,12 @@ type Result struct {
 	// resource draws) have no output diff; their SDCs count as
 	// Unclassified.
 	Patterns patterns.Ledger
+
+	// DUEModes is the campaign's typed-DUE ledger. Strikes resolved
+	// without simulation (ECC-intercepted storage strikes, hidden-
+	// resource DUE draws) carry no typed mechanism; they count as
+	// Unattributed.
+	DUEModes patterns.DUELedger
 }
 
 // HiddenStrikes returns the total hidden-resource strike count.
@@ -243,7 +249,9 @@ func Run(cfg Config, r *kernels.Runner) (*Result, error) {
 		if o.src == SrcHidden {
 			res.ByHidden[o.hid].Strikes++
 		}
-		res.Patterns.Count(patterns.Observe(o.rec, geo))
+		ob := patterns.Observe(o.rec, geo)
+		res.Patterns.Count(ob)
+		res.DUEModes.Count(ob)
 		switch o.rec.Outcome {
 		case kernels.SDC:
 			res.SDC++

@@ -40,6 +40,7 @@ type deviceStudyJSON struct {
 	AVF            map[string]map[string]*faultinj.Result
 	StaticAVF      map[string]*analysis.Estimate
 	ScalarAVF      map[string]*analysis.Estimate
+	StaticDUEModes map[string]*analysis.DUEModeEstimate
 	OptMatrix      map[string]*faultinj.OptMatrix
 	TwoLevel       map[string]*faultinj.TwoLevelResult
 	Beam           []beamEntryJSON
@@ -73,6 +74,7 @@ func (ds *DeviceStudy) SaveJSON(path string) error {
 		AVF:            map[string]map[string]*faultinj.Result{},
 		StaticAVF:      ds.StaticAVF,
 		ScalarAVF:      ds.ScalarAVF,
+		StaticDUEModes: ds.StaticDUEModes,
 		OptMatrix:      ds.OptMatrix,
 		TwoLevel:       ds.TwoLevel,
 		StaticHidden:   ds.StaticHidden,
@@ -194,6 +196,7 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 		AVF:                       map[faultinj.Tool]map[string]*faultinj.Result{},
 		StaticAVF:                 in.StaticAVF,
 		ScalarAVF:                 in.ScalarAVF,
+		StaticDUEModes:            in.StaticDUEModes,
 		OptMatrix:                 in.OptMatrix,
 		TwoLevel:                  in.TwoLevel,
 		Beam:                      map[BeamKey]*beam.Result{},
@@ -210,6 +213,12 @@ func LoadDeviceStudy(path string) (*DeviceStudy, error) {
 	}
 	if ds.ScalarAVF == nil {
 		ds.ScalarAVF = map[string]*analysis.Estimate{}
+	}
+	// Studies saved before the DUE-mode taxonomy carry no mode
+	// distributions; load them with an empty (not nil) map so renderers
+	// can range over it unconditionally.
+	if ds.StaticDUEModes == nil {
+		ds.StaticDUEModes = map[string]*analysis.DUEModeEstimate{}
 	}
 	if ds.OptMatrix == nil {
 		ds.OptMatrix = map[string]*faultinj.OptMatrix{}

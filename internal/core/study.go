@@ -223,6 +223,12 @@ type DeviceStudy struct {
 	StaticAVF map[string]*analysis.Estimate
 	ScalarAVF map[string]*analysis.Estimate
 
+	// StaticDUEModes is the per-code static DUE-mode distribution over
+	// the same NVBitFI site population: how a flip kills the kernel,
+	// proven from the known-bits/range lattice. The due_modes artifacts
+	// compare it against AVF[NVBitFI]'s typed-DUE ledger.
+	StaticDUEModes map[string]*analysis.DUEModeEstimate
+
 	// OptMatrix holds, per cross-validation workload, the compiler-
 	// optimization reliability matrix: every asm.MatrixConfigs
 	// configuration with its fixed-injector campaign, static estimate,
@@ -300,6 +306,7 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		AVF:                       make(map[faultinj.Tool]map[string]*faultinj.Result),
 		StaticAVF:                 make(map[string]*analysis.Estimate),
 		ScalarAVF:                 make(map[string]*analysis.Estimate),
+		StaticDUEModes:            make(map[string]*analysis.DUEModeEstimate),
 		Beam:                      make(map[BeamKey]*beam.Result),
 		Predictions:               make(map[PredKey]fit.Prediction),
 		OptMatrix:                 make(map[string]*faultinj.OptMatrix),
@@ -459,6 +466,7 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 		// injection-free, and the other side of the cross-validation
 		// artifacts. Computed here because the runner is already built.
 		var st, sc *analysis.Estimate
+		var dm *analysis.DUEModeEstimate
 		if j.tool == faultinj.NVBitFI {
 			if st, err = faultinj.StaticEstimate(r, j.tool); err != nil {
 				return fmt.Errorf("core: static estimate %s: %w", j.e.Name, err)
@@ -466,12 +474,16 @@ func RunDevice(dev *device.Device, opts Options) (*DeviceStudy, error) {
 			if sc, err = faultinj.StaticEstimateScalar(r, j.tool); err != nil {
 				return fmt.Errorf("core: scalar estimate %s: %w", j.e.Name, err)
 			}
+			if dm, err = faultinj.StaticDUEModes(r, j.tool); err != nil {
+				return fmt.Errorf("core: static DUE modes %s: %w", j.e.Name, err)
+			}
 		}
 		mu.Lock()
 		ds.AVF[j.tool][j.e.Name] = res
 		if st != nil {
 			ds.StaticAVF[j.e.Name] = st
 			ds.ScalarAVF[j.e.Name] = sc
+			ds.StaticDUEModes[j.e.Name] = dm
 		}
 		mu.Unlock()
 		opts.Progress("%s %-10s: AVF SDC %.3f DUE %.3f (n=%d)",

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"os"
 	"testing"
 
 	"gpurel/internal/device"
 	"gpurel/internal/faultinj"
+	"gpurel/internal/patterns"
 	"gpurel/internal/suite"
 )
 
@@ -253,5 +255,56 @@ func TestPersistRoundTrip(t *testing.T) {
 		if cok && got.DUECorrectedUnderestimate[ecc] != c {
 			t.Fatalf("volta ecc=%v: corrected ratio lost in round trip", ecc)
 		}
+	}
+}
+
+// TestLoadLegacyStudyNoDUEModes pins backward compatibility with
+// studies saved before the DUE-mode taxonomy: a study_*.json with no
+// StaticDUEModes section and no typed-DUE ledgers in its campaign
+// tallies must load with an empty (never nil) mode map and zero-valued
+// ledgers, so every renderer can consume old and new artifacts alike.
+func TestLoadLegacyStudyNoDUEModes(t *testing.T) {
+	legacy := `{
+ "Device": "Tesla V100",
+ "AVF": {
+  "NVBitFI": {
+   "FMXM": {"Name": "FMXM", "Device": "Tesla V100", "Injected": 10, "SDC": 2, "DUE": 3, "Masked": 5}
+  }
+ }
+}`
+	path := t.TempDir() + "/study_legacy.json"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDeviceStudy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.StaticDUEModes == nil {
+		t.Fatal("legacy study loaded with nil StaticDUEModes map")
+	}
+	if len(ds.StaticDUEModes) != 0 {
+		t.Fatalf("legacy study invented %d static mode estimates", len(ds.StaticDUEModes))
+	}
+	res := ds.AVF[faultinj.NVBitFI]["FMXM"]
+	if res == nil {
+		t.Fatal("legacy AVF entry lost")
+	}
+	if res.DUEModes.DUEs() != 0 {
+		t.Fatalf("legacy tally grew a DUE-mode ledger: %+v", res.DUEModes)
+	}
+	if mix := res.DUEModes.Mix(); mix != (patterns.DUEMix{}) {
+		t.Fatalf("legacy tally's mode mix = %+v, want zero", mix)
+	}
+	// Re-saving and re-loading the upgraded study must keep the map.
+	if err := ds.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadDeviceStudy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StaticDUEModes == nil {
+		t.Fatal("upgraded study lost the StaticDUEModes map")
 	}
 }

@@ -1,0 +1,123 @@
+package faultinj
+
+import (
+	"testing"
+
+	"gpurel/internal/device"
+	"gpurel/internal/kernels"
+	"gpurel/internal/suite"
+)
+
+// TestDUEModeCrossVal checks, over every cross-validation workload on
+// both devices, that the static DUE-mode distribution and the typed DUE
+// ledger of an NVBitFI campaign agree within DUEModeTolerance (L-inf
+// over the four mode shares), skipping campaigns with too few DUEs to
+// measure a distribution.
+func TestDUEModeCrossVal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-kernel 400-fault campaigns on two devices; skipped in -short")
+	}
+	devices := []struct {
+		dev     *device.Device
+		entries []suite.Entry
+	}{
+		{device.K40c(), suite.Kepler()},
+		{device.V100(), suite.Volta()},
+	}
+	cfg := Config{Tool: NVBitFI, TotalFaults: 400, Seed: 7}
+	checked := 0
+	for _, d := range devices {
+		for _, name := range CrossValKernels {
+			e, err := suite.Find(d.entries, name)
+			if err != nil {
+				continue // kernel not in this device's suite
+			}
+			cv, err := CrossValidateDUEModes(cfg, e.Name, e.Build, d.dev)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, d.dev.Name, err)
+			}
+			t.Logf("%-10s %-5s dyn(n=%3d) h %.2f i %.2f s %.2f u %.2f | static h %.2f i %.2f s %.2f u %.2f | L-inf %.3f",
+				name, d.dev.Name, cv.DynamicDUEs,
+				cv.DynamicMix.Hang, cv.DynamicMix.IllegalAddress, cv.DynamicMix.SyncError, cv.DynamicMix.Unattributed,
+				cv.StaticMix.Hang, cv.StaticMix.IllegalAddress, cv.StaticMix.SyncError, cv.StaticMix.Unattributed,
+				cv.Delta())
+			if cv.Static.Sites == 0 || cv.Static.DUEMass <= 0 {
+				t.Errorf("%s on %s: degenerate static mode estimate (%d sites, mass %g)",
+					name, d.dev.Name, cv.Static.Sites, cv.Static.DUEMass)
+			}
+			if !cv.Measurable() {
+				continue
+			}
+			checked++
+			if !cv.Agrees() {
+				t.Errorf("%s on %s: static vs injected DUE-mode L-inf %.3f outside tolerance %.2f",
+					name, d.dev.Name, cv.Delta(), DUEModeTolerance)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("no campaign produced enough DUEs to test the mode distribution")
+	}
+}
+
+// TestDUEModeLedgerWorkerDeterminism pins that the typed-DUE ledger a
+// campaign tallies is independent of its worker count.
+func TestDUEModeLedgerWorkerDeterminism(t *testing.T) {
+	dev := device.K40c()
+	e, err := suite.Find(suite.Kepler(), "BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (Tally, error) {
+		r, err := kernels.NewRunner(e.Name, e.Build, dev, NVBitFI.OptLevel())
+		if err != nil {
+			return Tally{}, err
+		}
+		res, err := RunWithRunner(Config{
+			Tool: NVBitFI, TotalFaults: 120, Workers: workers, Seed: 99,
+		}, r)
+		if err != nil {
+			return Tally{}, err
+		}
+		return res.Tally, nil
+	}
+	a, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DUEModes != b.DUEModes {
+		t.Errorf("DUE-mode ledger depends on worker count: 1 worker %+v, 7 workers %+v",
+			a.DUEModes, b.DUEModes)
+	}
+	if a.DUEModes.DUEs() != a.DUE {
+		t.Errorf("ledger absorbed %d DUEs, campaign counted %d", a.DUEModes.DUEs(), a.DUE)
+	}
+}
+
+// TestStaticDUEModesDeterministic pins the static mode estimate as a
+// pure function of the workload.
+func TestStaticDUEModesDeterministic(t *testing.T) {
+	dev := device.K40c()
+	e, err := suite.Find(suite.Kepler(), "FMXM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() [4]float64 {
+		r, err := kernels.NewRunner(e.Name, e.Build, dev, NVBitFI.OptLevel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := StaticDUEModes(r, NVBitFI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [4]float64{st.Hang, st.IllegalAddress, st.SyncError, st.Unattributed}
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("static DUE modes not deterministic: %v vs %v", a, b)
+	}
+}

@@ -91,6 +91,9 @@ type Tally struct {
 
 	// Patterns is the SDC pattern ledger of the tallied trials.
 	Patterns patterns.Ledger
+
+	// DUEModes is the typed-DUE ledger of the tallied trials.
+	DUEModes patterns.DUELedger
 }
 
 // Count folds one observed trial into the tally.
@@ -105,6 +108,7 @@ func (t *Tally) Count(ob patterns.Observation) {
 		t.Masked++
 	}
 	t.Patterns.Count(ob)
+	t.DUEModes.Count(ob)
 }
 
 // Finalize computes the Wilson proportions from the counters.

@@ -139,6 +139,12 @@ type Prediction struct {
 
 	// PerUnit attributes the instruction-term SDC FIT to units.
 	PerUnit map[string]float64
+
+	// DUEByMode splits the (uncorrected) DUEFIT across the typed DUE
+	// mechanisms, in the proportions of the feeding campaign's typed-DUE
+	// ledger (sim.DUEMode spellings as keys). Campaigns with no typed
+	// DUEs leave every mode at zero.
+	DUEByMode map[string]float64
 }
 
 // Predict applies Equations 1-4 to one workload.
@@ -201,6 +207,13 @@ func Predict(cp *profiler.CodeProfile, avf *faultinj.Result, units *UnitFITs, ec
 	}
 	p.SDCFIT = p.InstSDC + p.MemSDC
 	p.DUEFIT = p.InstDUE + p.MemDUE
+	mix := avf.DUEModes.Mix()
+	p.DUEByMode = map[string]float64{
+		"hang":            p.DUEFIT * mix.Hang,
+		"illegal-address": p.DUEFIT * mix.IllegalAddress,
+		"sync-error":      p.DUEFIT * mix.SyncError,
+		"unattributed":    p.DUEFIT * mix.Unattributed,
+	}
 	return p
 }
 

@@ -130,6 +130,11 @@ const DiffBudgetWords = 64
 type TrialRecord struct {
 	Outcome Outcome
 
+	// DUEMode is the typed mechanism of a DUE outcome (sim.DUENone for
+	// non-DUE records, and for synthetic DUEs that were never simulated,
+	// such as ECC-intercepted beam strikes).
+	DUEMode sim.DUEMode
+
 	// Diff holds the corrupted output words in ascending address order,
 	// capped at DiffBudgetWords. When the instance declares an Output
 	// region, whole elements are emitted — every word of an element with
@@ -389,7 +394,7 @@ func (r *Runner) resumeWithFault(g *mem.Global, plan *sim.FaultPlan, faultLaunch
 			return TrialRecord{Outcome: DUE}, fmt.Errorf("kernels: %s launch %d: %w", r.Name, i, err)
 		}
 		if res.Outcome == sim.OutcomeDUE {
-			return TrialRecord{Outcome: DUE}, nil
+			return TrialRecord{Outcome: DUE, DUEMode: res.DUEMode}, nil
 		}
 		// Sub-launch rejoin cutoff: the replay's full state matched a
 		// golden mid-launch image after the fault fired, so the rest of

@@ -1,11 +1,18 @@
 // Package lintgo is a small, dependency-free static analyzer for the
-// repository's own Go source. Its one check guards the golden-artifact
-// pipeline: a `for ... range` over a map whose body feeds an output
-// writer is nondeterministic (Go randomizes map iteration order), so
-// any table, JSON file, or log line produced that way will drift from
-// run to run and trip the artifact diff gate for no semantic reason.
-// The fix is always the same — collect the keys, sort, iterate the
-// slice — and the writers in internal/core/persist.go are the model.
+// repository's own Go source. Its checks guard the determinism
+// contract behind the golden-artifact pipeline.
+//
+// The map-iteration check: a `for ... range` over a map whose body
+// feeds an output writer is nondeterministic (Go randomizes map
+// iteration order), so any table, JSON file, or log line produced that
+// way will drift from run to run and trip the artifact diff gate for
+// no semantic reason. The fix is always the same — collect the keys,
+// sort, iterate the slice — and the writers in internal/core/persist.go
+// are the model.
+//
+// The nondeterminism-source check (nondet.go): the deterministic
+// campaign packages must not read the wall clock or sample from an
+// ambient math/rand generator; all randomness goes through stats.RNG.
 //
 // The analyzer is built on go/parser and go/types only (the module has
 // no external dependencies, so golang.org/x/tools is off the table).
@@ -213,8 +220,12 @@ func (c *checker) checkDir(dir string) ([]Finding, error) {
 		return nil, err
 	}
 	var out []Finding
+	ban, banned := nondetBanFor(filepath.ToSlash(rel))
 	for _, f := range lp.files {
 		out = append(out, c.scanFile(lp.info, f)...)
+		if banned {
+			out = append(out, c.scanNondet(f, ban)...)
+		}
 	}
 	return out, nil
 }

@@ -134,6 +134,95 @@ func Dump(t *store.Table) {
 	}
 }
 
+// Nondeterminism sources inside the deterministic campaign packages
+// must be flagged: time.Now and math/rand (either version) in
+// internal/faultinj, and math/rand in internal/serve.
+func TestNondetViolations(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/faultinj/bad.go": `package faultinj
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func Jitter() int64 {
+	r := rand.New(rand.NewPCG(1, uint64(time.Now().UnixNano())))
+	return r.Int64()
+}
+`,
+		"internal/serve/bad.go": `package serve
+
+import "math/rand"
+
+func Pick(n int) int { return rand.Intn(n) }
+`,
+	})
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("got %d findings, want 3 (rand import + time.Now in faultinj, rand import in serve): %v", len(fs), fs)
+	}
+	var randHits, clockHits int
+	for _, f := range fs {
+		switch {
+		case strings.Contains(f.Message, "math/rand"):
+			randHits++
+			if !strings.Contains(f.Message, "stats.RNG") {
+				t.Errorf("rand finding %q should point at stats.RNG", f.Message)
+			}
+		case strings.Contains(f.Message, "time.Now"):
+			clockHits++
+		default:
+			t.Errorf("unexpected finding %q", f.Message)
+		}
+	}
+	if randHits != 2 || clockHits != 1 {
+		t.Errorf("got %d rand + %d clock findings, want 2 + 1", randHits, clockHits)
+	}
+}
+
+// The sanctioned exemptions must hold: internal/stats may wrap
+// math/rand/v2 (it is the seeded RNG's home), internal/serve may read
+// the clock for elapsed-time bookkeeping, and packages outside the ban
+// list are untouched.
+func TestNondetExemptions(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"internal/stats/rng.go": `package stats
+
+import "math/rand/v2"
+
+type RNG struct{ src *rand.Rand }
+`,
+		"internal/serve/clock.go": `package serve
+
+import "time"
+
+func Started() time.Time { return time.Now() }
+`,
+		"cmd/tool/main.go": `package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() { _ = rand.Intn(int(time.Now().Unix())) }
+`,
+	})
+	fs, err := CheckTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("sanctioned uses flagged: %v", fs)
+	}
+}
+
 // The repository itself must stay clean — this is the same gate the
 // full check tier runs via tools/gomaplint.
 func TestRepoClean(t *testing.T) {

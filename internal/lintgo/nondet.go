@@ -1,0 +1,101 @@
+package lintgo
+
+// Nondeterminism-source check. The campaign pipeline promises bitwise
+// reproducibility from a seed: every stochastic draw goes through
+// stats.RNG and every artifact byte is a pure function of the study
+// inputs. A stray time.Now() feeding a decision, or an ambient
+// math/rand generator, silently breaks that promise in ways the unit
+// tests rarely catch (they pass; the artifact drift gate fails a week
+// later). This check bans the two ambient sources from the packages
+// that carry the determinism contract.
+//
+// Matching is syntactic, like the sink matching of the map-iteration
+// check: an import of a banned path is flagged at the import line, and
+// a `time.Now` selector call is flagged at the call site. Packages may
+// be granted partial exemptions — internal/stats owns the sanctioned
+// math/rand/v2 wrapper, and internal/serve legitimately reads the
+// clock for elapsed-time bookkeeping that never feeds a sampling
+// decision or a persisted artifact.
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// nondetBan describes which ambient nondeterminism sources are banned
+// in one package subtree.
+type nondetBan struct {
+	timeNow  bool // ban time.Now call sites
+	mathRand bool // ban math/rand and math/rand/v2 imports
+}
+
+// nondetBans maps module-relative package directories (prefix-matched,
+// so subpackages inherit the ban) to the sources banned there.
+var nondetBans = map[string]nondetBan{
+	// The simulator, injectors, classifiers, and beam campaigns are the
+	// deterministic replay core: all randomness must come through
+	// stats.RNG, and nothing in them may consult the wall clock.
+	"internal/sim":      {timeNow: true, mathRand: true},
+	"internal/faultinj": {timeNow: true, mathRand: true},
+	"internal/patterns": {timeNow: true, mathRand: true},
+	"internal/beam":     {timeNow: true, mathRand: true},
+	// stats owns the sanctioned math/rand/v2 wrapper (stats.RNG), so
+	// only the clock is banned there.
+	"internal/stats": {timeNow: true},
+	// The campaign daemon reads the clock for elapsed-time bookkeeping
+	// (progress, metrics) but must never sample from an ambient
+	// generator: its trial sharding is seed-derived.
+	"internal/serve": {mathRand: true},
+}
+
+// nondetBanFor returns the ban covering a module-relative package
+// directory, if any.
+func nondetBanFor(rel string) (nondetBan, bool) {
+	for prefix, ban := range nondetBans {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			return ban, true
+		}
+	}
+	return nondetBan{}, false
+}
+
+// scanNondet flags banned nondeterminism sources in one file.
+func (c *checker) scanNondet(f *ast.File, ban nondetBan) []Finding {
+	var out []Finding
+	if ban.mathRand {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, Finding{
+					Pos: c.fset.Position(imp.Pos()),
+					Message: fmt.Sprintf("deterministic package imports %s; draw from *stats.RNG instead (seeded, splittable)",
+						path),
+				})
+			}
+		}
+	}
+	if ban.timeNow {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "time" || sel.Sel.Name != "Now" {
+				return true
+			}
+			out = append(out, Finding{
+				Pos: c.fset.Position(call.Pos()),
+				Message: "deterministic package calls time.Now; campaign behavior must be a pure function of the seed" +
+					" (clock reads belong in the daemon/CLI layers)",
+			})
+			return true
+		})
+	}
+	return out
+}

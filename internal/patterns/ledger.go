@@ -1,22 +1,28 @@
 package patterns
 
-import "gpurel/internal/kernels"
+import (
+	"gpurel/internal/kernels"
+	"gpurel/internal/sim"
+)
 
 // Observation is one trial classified for aggregation: the ternary
-// outcome plus, for SDCs, the pattern class. Classified is false for
-// SDCs whose diff could not be mapped onto an output grid (no declared
-// geometry, corruption outside the region, or a synthetic outcome that
-// was never simulated, like an ECC-intercepted beam strike).
+// outcome plus, for SDCs, the pattern class and, for DUEs, the typed
+// mechanism. Classified is false for SDCs whose diff could not be
+// mapped onto an output grid (no declared geometry, corruption outside
+// the region, or a synthetic outcome that was never simulated, like an
+// ECC-intercepted beam strike).
 type Observation struct {
 	Outcome    kernels.Outcome
 	Class      Class
 	Classified bool
+	DUEMode    sim.DUEMode
 }
 
 // Observe classifies a trial record against an output geometry. Non-SDC
-// outcomes and unclassifiable diffs yield Classified=false.
+// outcomes and unclassifiable diffs yield Classified=false; DUE
+// outcomes carry the record's typed mode through for DUELedger.
 func Observe(rec kernels.TrialRecord, geo *kernels.OutputRegion) Observation {
-	ob := Observation{Outcome: rec.Outcome}
+	ob := Observation{Outcome: rec.Outcome, DUEMode: rec.DUEMode}
 	if rec.Outcome != kernels.SDC {
 		return ob
 	}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"gpurel/internal/analysis"
 	"gpurel/internal/core"
 	"gpurel/internal/faultinj"
 	"gpurel/internal/isa"
@@ -416,7 +417,94 @@ func Full(ds *core.DeviceStudy, csv bool) string {
 	b.WriteString(PatternsTable(ds, csv))
 	b.WriteString("\n")
 	b.WriteString(TwoLevelTable(ds, csv))
+	b.WriteString("\n")
+	b.WriteString(DUEModesTable(ds, csv))
 	return b.String()
+}
+
+// dueModesRow appends one typed-DUE ledger row: the DUE count and the
+// normalized mode shares. Ledgers with no DUEs are omitted.
+func dueModesRow(t *table, code, model string, l patterns.DUELedger) {
+	n := l.DUEs()
+	if n == 0 {
+		return
+	}
+	mix := l.Mix()
+	t.add(code, model,
+		fmt.Sprintf("%d", n),
+		fmt.Sprintf("%.3f", mix.Hang),
+		fmt.Sprintf("%.3f", mix.IllegalAddress),
+		fmt.Sprintf("%.3f", mix.SyncError),
+		fmt.Sprintf("%.3f", mix.Unattributed))
+}
+
+// DUEModesTable renders the DUE-mode taxonomy per workload: the static
+// analyzer's proven mode shares (model column "static"; the dues column
+// shows its site count) next to each campaign's typed-DUE ledger
+// normalized over its DUE trials. Rows with no DUEs are omitted; beam
+// rows carry the ECC state in the model column.
+func DUEModesTable(ds *core.DeviceStudy, csv bool) string {
+	t := &table{header: []string{"code", "model", "dues", "hang",
+		"illegal-addr", "sync-err", "unattr"}}
+	tools := []faultinj.Tool{faultinj.Sassifi, faultinj.NVBitFI}
+	for _, name := range suiteOrder(ds) {
+		if e, ok := ds.StaticDUEModes[name]; ok && e != nil && e.DUEMass > 0 {
+			t.add(name, "static",
+				fmt.Sprintf("%d", e.Sites),
+				fmt.Sprintf("%.3f", e.Share(analysis.ModeHang)),
+				fmt.Sprintf("%.3f", e.Share(analysis.ModeIllegalAddress)),
+				fmt.Sprintf("%.3f", e.Share(analysis.ModeSyncError)),
+				fmt.Sprintf("%.3f", e.Share(analysis.ModeUnattributed)))
+		}
+		for _, tool := range tools {
+			if r, ok := ds.AVF[tool][name]; ok {
+				dueModesRow(t, name, tool.String(), r.DUEModes)
+			}
+		}
+		for _, ecc := range []bool{false, true} {
+			if r, ok := ds.Beam[core.BeamKey{Code: name, ECC: ecc}]; ok {
+				dueModesRow(t, name, "beam ECC "+eccLabel(ecc), r.DUEModes)
+			}
+		}
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"DUE-mode taxonomy on %s (static proven shares vs typed campaign DUEs; dues column is sites for the static rows)", ds.Dev.Name))
+}
+
+// DUEModeCrossValidation renders the static-vs-injection DUE-mode
+// agreement table: both share distributions side by side, the
+// L-infinity delta, and the tolerance verdict. Campaigns below
+// faultinj.DUEModeMinDUEs typed DUEs are marked unmeasurable and agree
+// vacuously.
+func DUEModeCrossValidation(cvs []*faultinj.DUEModeCrossVal, csv bool) string {
+	t := &table{header: []string{"code", "device",
+		"st hang", "st ill", "st sync", "st unattr",
+		"dyn hang", "dyn ill", "dyn sync", "dyn unattr",
+		"delta", "dues", "within tol"}}
+	for _, cv := range cvs {
+		agree := "yes"
+		switch {
+		case !cv.Measurable():
+			agree = "n/a"
+		case !cv.Agrees():
+			agree = "NO"
+		}
+		t.add(cv.Name, cv.Device,
+			fmt.Sprintf("%.3f", cv.StaticMix.Hang),
+			fmt.Sprintf("%.3f", cv.StaticMix.IllegalAddress),
+			fmt.Sprintf("%.3f", cv.StaticMix.SyncError),
+			fmt.Sprintf("%.3f", cv.StaticMix.Unattributed),
+			fmt.Sprintf("%.3f", cv.DynamicMix.Hang),
+			fmt.Sprintf("%.3f", cv.DynamicMix.IllegalAddress),
+			fmt.Sprintf("%.3f", cv.DynamicMix.SyncError),
+			fmt.Sprintf("%.3f", cv.DynamicMix.Unattributed),
+			fmt.Sprintf("%.3f", cv.Delta()),
+			fmt.Sprintf("%d", cv.DynamicDUEs),
+			agree)
+	}
+	return finish(t, csv, fmt.Sprintf(
+		"Static vs injection DUE-mode shares (L-inf tolerance %.2f, measurable at >= %d typed DUEs)",
+		faultinj.DUEModeTolerance, faultinj.DUEModeMinDUEs))
 }
 
 // patternsRow appends one ledger row to the patterns table.

@@ -138,12 +138,13 @@ type Counts struct {
 // outcome counts it is a pure function of (Seed, class, index) and so
 // byte-identical across worker counts and pause/resume histories.
 type ClassCounts struct {
-	Class    string          `json:"class"`
-	Trials   int             `json:"trials"`
-	SDC      int             `json:"sdc"`
-	DUE      int             `json:"due"`
-	Masked   int             `json:"masked"`
-	Patterns patterns.Ledger `json:"patterns"`
+	Class    string             `json:"class"`
+	Trials   int                `json:"trials"`
+	SDC      int                `json:"sdc"`
+	DUE      int                `json:"due"`
+	Masked   int                `json:"masked"`
+	Patterns patterns.Ledger    `json:"patterns"`
+	DUEModes patterns.DUELedger `json:"due_modes"`
 }
 
 // classProgress is the engine's per-class accumulator.
@@ -155,6 +156,7 @@ type classProgress struct {
 	due      int
 	masked   int
 	patterns patterns.Ledger
+	dueModes patterns.DUELedger
 	stopped  bool
 	capHit   bool
 }
@@ -257,7 +259,7 @@ func (c *Campaign) Counts() Counts {
 		out.Classes = append(out.Classes, ClassCounts{
 			Class: cp.class.String(), Trials: cp.trials,
 			SDC: cp.sdc, DUE: cp.due, Masked: cp.masked,
-			Patterns: cp.patterns,
+			Patterns: cp.patterns, DUEModes: cp.dueModes,
 		})
 	}
 	return out
@@ -325,7 +327,7 @@ func (c *Campaign) checkpointLocked() error {
 		ck.Classes = append(ck.Classes, ClassCounts{
 			Class: cp.class.String(), Trials: cp.trials,
 			SDC: cp.sdc, DUE: cp.due, Masked: cp.masked,
-			Patterns: cp.patterns,
+			Patterns: cp.patterns, DUEModes: cp.dueModes,
 		})
 		if cp.stopped {
 			ck.Stopped = append(ck.Stopped, cp.class.String())
@@ -365,8 +367,8 @@ func (s *Server) loadCheckpoint(id string) (*Campaign, error) {
 		c.classes = append(c.classes, &classProgress{
 			class: class, trials: cc.Trials,
 			sdc: cc.SDC, due: cc.DUE, masked: cc.Masked,
-			patterns: cc.Patterns,
-			stopped:  stopped[cc.Class], capHit: capHit[cc.Class],
+			patterns: cc.Patterns, dueModes: cc.DUEModes,
+			stopped: stopped[cc.Class], capHit: capHit[cc.Class],
 		})
 	}
 	c.state = StatePaused
@@ -591,7 +593,9 @@ func (c *Campaign) settleRound(jobs []*trialJob) {
 	for _, job := range jobs {
 		cp := c.classes[job.ci]
 		cp.trials++
-		cp.patterns.Count(patterns.Observe(job.rec, geo))
+		ob := patterns.Observe(job.rec, geo)
+		cp.patterns.Count(ob)
+		cp.dueModes.Count(ob)
 		switch job.rec.Outcome {
 		case kernels.SDC:
 			cp.sdc++

@@ -1,0 +1,81 @@
+package sim
+
+import "fmt"
+
+// DUEMode is the typed taxonomy of detected-unrecoverable-error
+// mechanisms the simulator can reach — the NSREC'21 decomposition
+// (hangs, illegal memory accesses, synchronization faults) that PR 10
+// promotes from the free-form DUEReason string to a first-class enum so
+// campaigns can aggregate per-mode ledgers and the static analyzer has
+// a ground truth to cross-validate against.
+type DUEMode uint8
+
+// The DUE modes. DUENone is the zero value of a trial that did not DUE
+// (or of a record predating the taxonomy); it never counts in a ledger.
+const (
+	DUENone DUEMode = iota
+	// DUEHang: the program stopped making forward progress — watchdog
+	// timeout, scheduler deadlock, or an instruction fetch that ran
+	// beyond the program (a corrupted trip count or branch target).
+	DUEHang
+	// DUEIllegalAddress: a memory operation's effective address left
+	// the valid range of its backing allocation.
+	DUEIllegalAddress
+	// DUESyncError: the reconvergence or barrier machinery was
+	// corrupted — SYNC without a divergent region, a barrier reached by
+	// a divergent warp, divergence-stack overflow, or an MMA issued
+	// from a divergent warp.
+	DUESyncError
+	// DUEUnattributed: a detected error none of the mechanism buckets
+	// claims (unimplemented opcode, unsupported conversion, unhandled
+	// control op).
+	DUEUnattributed
+
+	DUEModeCount
+)
+
+var dueModeNames = [...]string{
+	DUENone:           "none",
+	DUEHang:           "hang",
+	DUEIllegalAddress: "illegal-address",
+	DUESyncError:      "sync-error",
+	DUEUnattributed:   "unattributed",
+}
+
+// String names the mode.
+func (m DUEMode) String() string {
+	if int(m) < len(dueModeNames) {
+		return dueModeNames[m]
+	}
+	return fmt.Sprintf("duemode(%d)", uint8(m))
+}
+
+// ParseDUEMode is the inverse of String.
+func ParseDUEMode(s string) (DUEMode, error) {
+	for m, name := range dueModeNames {
+		if s == name {
+			return DUEMode(m), nil
+		}
+	}
+	return DUENone, fmt.Errorf("sim: unknown DUE mode %q", s)
+}
+
+// MarshalText lets DUEMode serve as a JSON map key or value with the
+// stable String spelling instead of a bare integer.
+func (m DUEMode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText is the inverse of MarshalText.
+func (m *DUEMode) UnmarshalText(b []byte) error {
+	v, err := ParseDUEMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// DUEModes lists the countable modes in display order (DUENone
+// excluded), for renderers that iterate the taxonomy.
+func DUEModes() []DUEMode {
+	return []DUEMode{DUEHang, DUEIllegalAddress, DUESyncError, DUEUnattributed}
+}

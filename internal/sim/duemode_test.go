@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Every countable mode (plus the DUENone zero value) must round-trip
+// through String/ParseDUEMode and through the text marshaling JSON map
+// keys use.
+func TestDUEModeRoundTrip(t *testing.T) {
+	for m := DUEMode(0); m < DUEModeCount; m++ {
+		s := m.String()
+		if s == "" {
+			t.Fatalf("mode %d has no name", m)
+		}
+		back, err := ParseDUEMode(s)
+		if err != nil {
+			t.Fatalf("ParseDUEMode(%q): %v", s, err)
+		}
+		if back != m {
+			t.Fatalf("ParseDUEMode(%q) = %v, want %v", s, back, m)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jm DUEMode
+		if err := json.Unmarshal(data, &jm); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if jm != m {
+			t.Fatalf("JSON round-trip of %v gave %v", m, jm)
+		}
+	}
+	if _, err := ParseDUEMode("no-such-mode"); err == nil {
+		t.Fatal("ParseDUEMode must reject unknown names")
+	}
+	if len(DUEModes()) != int(DUEModeCount)-1 {
+		t.Fatalf("DUEModes() lists %d modes, want %d (all but DUENone)",
+			len(DUEModes()), int(DUEModeCount)-1)
+	}
+	for _, m := range DUEModes() {
+		if m == DUENone {
+			t.Fatal("DUEModes() must not list DUENone")
+		}
+	}
+}

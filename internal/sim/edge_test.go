@@ -66,8 +66,8 @@ func TestSyncOutsideDivergenceIsDUE(t *testing.T) {
 		{Op: isa.OpEXIT, Pred: isa.PT, DstP: isa.PT, Dst: isa.RZ, Srcs: zero},
 	}}
 	res, _ := Run(Config{Device: device.K40c(), Program: prog, GridX: 1, GridY: 1, BlockThreads: 32}, g)
-	if res.Outcome != OutcomeDUE || !strings.Contains(res.DUEReason, "SYNC") {
-		t.Fatalf("bare SYNC must fault: %+v", res)
+	if res.Outcome != OutcomeDUE || res.DUEMode != DUESyncError {
+		t.Fatalf("bare SYNC must fault as a sync error: %+v", res)
 	}
 }
 
@@ -87,8 +87,8 @@ func TestBarrierInDivergentRegionIsDUE(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, _ := Run(Config{Device: device.K40c(), Program: prog, GridX: 1, GridY: 1, BlockThreads: 32}, g)
-	if res.Outcome != OutcomeDUE || !strings.Contains(res.DUEReason, "barrier") {
-		t.Fatalf("divergent barrier must fault: %+v", res)
+	if res.Outcome != OutcomeDUE || res.DUEMode != DUESyncError {
+		t.Fatalf("divergent barrier must fault as a sync error: %+v", res)
 	}
 }
 
@@ -250,8 +250,8 @@ func TestAddrFaultHighWordAlwaysFaults(t *testing.T) {
 		Bit:          40, // high address word: out of the 32-bit arena
 	}
 	res, _ := Run(Config{Device: device.K40c(), Program: prog, GridX: 1, GridY: 1, BlockThreads: 32, Fault: fp}, g)
-	if res.Outcome != OutcomeDUE {
-		t.Fatal("a flip in the high address word must always fault")
+	if res.Outcome != OutcomeDUE || res.DUEMode != DUEIllegalAddress {
+		t.Fatalf("a flip in the high address word must always fault as an illegal address: %+v", res.DUEMode)
 	}
 }
 

@@ -243,7 +243,8 @@ type engine struct {
 	issuedThisCycle int
 	nextReady       int64
 
-	due string
+	due     string
+	dueMode DUEMode
 
 	// Launch arenas: block and warp state is carved from chunked slabs
 	// so making a CTA resident costs a few bulk allocations amortized
@@ -460,6 +461,18 @@ func (e *engine) checkBarrier(sm *smState, blk *blockState) {
 	}
 }
 
+// raiseDUE records a detected unrecoverable error: the typed mechanism
+// plus its human-readable detail. The detail string doubles as the
+// "a DUE is pending" sentinel the scheduling loops poll, so it is never
+// empty. Only the first raise of a run sticks.
+func (e *engine) raiseDUE(mode DUEMode, format string, args ...any) {
+	if e.due != "" {
+		return
+	}
+	e.due = fmt.Sprintf(format, args...)
+	e.dueMode = mode
+}
+
 // run executes the launch to completion or DUE.
 func (e *engine) run() *Result {
 	if !e.restored {
@@ -473,7 +486,7 @@ func (e *engine) run() *Result {
 	for e.liveBlocks > 0 || e.nextBlock < e.totalBlock {
 		e.cycle++
 		if e.cycle > e.maxCycles {
-			e.due = "watchdog timeout (hang)"
+			e.raiseDUE(DUEHang, "watchdog timeout (hang)")
 			break
 		}
 		e.issuedThisCycle = 0
@@ -534,7 +547,7 @@ func (e *engine) run() *Result {
 			// scoreboard unblocks anyone, crediting the skipped cycles to
 			// the occupancy accounting.
 			if e.nextReady >= int64(1)<<62 {
-				e.due = "scheduler deadlock: no warp can ever issue"
+				e.raiseDUE(DUEHang, "scheduler deadlock: no warp can ever issue")
 				break
 			}
 			skip := e.nextReady - e.cycle - 1
@@ -597,6 +610,7 @@ func (e *engine) run() *Result {
 	}
 	if e.due != "" {
 		res.Outcome = OutcomeDUE
+		res.DUEMode = e.dueMode
 		res.DUEReason = e.due
 	}
 	return res
@@ -806,7 +820,7 @@ func (e *engine) ready(w *warpState, top *simtEntry, slots []int) bool {
 func (e *engine) issue(sm *smState, w *warpState, top *simtEntry, slots []int) bool {
 	pc := top.pc
 	if int(pc) >= len(e.dec) || pc < 0 {
-		e.due = fmt.Sprintf("instruction fetch beyond program end (pc=%d)", pc)
+		e.raiseDUE(DUEHang, "instruction fetch beyond program end (pc=%d)", pc)
 		return true
 	}
 	d := &e.dec[pc]
@@ -1013,7 +1027,7 @@ func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Inst
 				rpc = pc + 1
 			}
 			if len(w.stack) >= maxSIMTDepth {
-				e.due = "divergence stack overflow"
+				e.raiseDUE(DUESyncError, "divergence stack overflow")
 				return true
 			}
 			top.pc = rpc
@@ -1024,13 +1038,13 @@ func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Inst
 		}
 	case isa.OpSYNC:
 		if top.rpc < 0 {
-			e.due = "SYNC outside divergent region"
+			e.raiseDUE(DUESyncError, "SYNC outside divergent region")
 			return true
 		}
 		top.pc = top.rpc
 	case isa.OpBAR:
 		if active != w.fullMask&^w.exited {
-			e.due = "barrier with divergent warp"
+			e.raiseDUE(DUESyncError, "barrier with divergent warp")
 			return true
 		}
 		w.atBar = true
@@ -1044,7 +1058,7 @@ func (e *engine) control(sm *smState, w *warpState, top *simtEntry, in *isa.Inst
 			e.retireWarp(sm, w)
 		}
 	default:
-		e.due = fmt.Sprintf("unhandled control op %s", in.Op)
+		e.raiseDUE(DUEUnattributed, "unhandled control op %s", in.Op)
 	}
 	return true
 }

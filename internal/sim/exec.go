@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
 	"gpurel/internal/isa"
@@ -544,7 +543,7 @@ func execF2F_16to64(e *engine, w *warpState, d *decoded, active uint32) {
 }
 
 func execF2FBad(e *engine, w *warpState, d *decoded, active uint32) {
-	e.due = fmt.Sprintf("unsupported F2F conversion %s->%s", d.in.CvtFrom, d.in.CvtTo)
+	e.raiseDUE(DUEUnattributed, "unsupported F2F conversion %s->%s", d.in.CvtFrom, d.in.CvtTo)
 }
 
 func execF2I(e *engine, w *warpState, d *decoded, active uint32) {
@@ -603,7 +602,7 @@ func mufuEval(fn isa.MufuFunc, x float64) float64 {
 }
 
 func execUnimplemented(e *engine, w *warpState, d *decoded, active uint32) {
-	e.due = fmt.Sprintf("unimplemented opcode %s", d.in.Op)
+	e.raiseDUE(DUEUnattributed, "unimplemented opcode %s", d.in.Op)
 }
 
 // --- memory handlers (fault modeling inline, keyed off e.faultLane) ---
@@ -650,7 +649,7 @@ func execLDG(e *engine, w *warpState, d *decoded, active uint32) {
 				}
 				if coalesced {
 					if err := e.glob.LoadRow32(a0, dstLo); err != nil {
-						e.due = err.Error()
+						e.raiseDUE(DUEIllegalAddress, "%s", err)
 					}
 					return
 				}
@@ -665,7 +664,7 @@ func execLDG(e *engine, w *warpState, d *decoded, active uint32) {
 				if uniform {
 					v, err := e.glob.Load32(a0)
 					if err != nil {
-						e.due = err.Error()
+						e.raiseDUE(DUEIllegalAddress, "%s", err)
 						return
 					}
 					for lane := range dstLo {
@@ -678,7 +677,7 @@ func execLDG(e *engine, w *warpState, d *decoded, active uint32) {
 		for lane := range aRow {
 			v, err := e.glob.Load32(aRow[lane] + off)
 			if err != nil {
-				e.due = err.Error()
+				e.raiseDUE(DUEIllegalAddress, "%s", err)
 				return
 			}
 			dstLo[lane] = v
@@ -697,7 +696,7 @@ func execLDG(e *engine, w *warpState, d *decoded, active uint32) {
 		if in.Wide {
 			lo, hi, err := e.glob.Load64(addr)
 			if err != nil {
-				e.due = err.Error()
+				e.raiseDUE(DUEIllegalAddress, "%s", err)
 				return
 			}
 			if faulted {
@@ -708,7 +707,7 @@ func execLDG(e *engine, w *warpState, d *decoded, active uint32) {
 		} else {
 			v, err := e.glob.Load32(addr)
 			if err != nil {
-				e.due = err.Error()
+				e.raiseDUE(DUEIllegalAddress, "%s", err)
 				return
 			}
 			if faulted {
@@ -745,7 +744,7 @@ func execLDS(e *engine, w *warpState, d *decoded, active uint32) {
 		if in.Wide {
 			lo, hi, err := b.shared.Load64(addr)
 			if err != nil {
-				e.due = err.Error()
+				e.raiseDUE(DUEIllegalAddress, "%s", err)
 				return
 			}
 			if faulted {
@@ -756,7 +755,7 @@ func execLDS(e *engine, w *warpState, d *decoded, active uint32) {
 		} else {
 			v, err := b.shared.Load32(addr)
 			if err != nil {
-				e.due = err.Error()
+				e.raiseDUE(DUEIllegalAddress, "%s", err)
 				return
 			}
 			if faulted {
@@ -796,14 +795,14 @@ func execSTG(e *engine, w *warpState, d *decoded, active uint32) {
 			}
 			if coalesced {
 				if err := e.glob.StoreRow32(a0, vLo); err != nil {
-					e.due = err.Error()
+					e.raiseDUE(DUEIllegalAddress, "%s", err)
 				}
 				return
 			}
 		}
 		for lane := range aRow {
 			if err := e.glob.Store32(aRow[lane]+off, vLo[lane]); err != nil {
-				e.due = err.Error()
+				e.raiseDUE(DUEIllegalAddress, "%s", err)
 				return
 			}
 		}
@@ -837,7 +836,7 @@ func execSTG(e *engine, w *warpState, d *decoded, active uint32) {
 			err = e.glob.Store32(addr, sv)
 		}
 		if err != nil {
-			e.due = err.Error()
+			e.raiseDUE(DUEIllegalAddress, "%s", err)
 			return
 		}
 	}
@@ -885,7 +884,7 @@ func execSTS(e *engine, w *warpState, d *decoded, active uint32) {
 			err = b.shared.Store32(addr, sv)
 		}
 		if err != nil {
-			e.due = err.Error()
+			e.raiseDUE(DUEIllegalAddress, "%s", err)
 			return
 		}
 	}
@@ -915,7 +914,7 @@ func execRED(e *engine, w *warpState, d *decoded, active uint32) {
 			sv = vRow[lane]
 		}
 		if _, err := e.glob.AtomicAdd32(addr, sv); err != nil {
-			e.due = err.Error()
+			e.raiseDUE(DUEIllegalAddress, "%s", err)
 			return
 		}
 	}
@@ -931,7 +930,7 @@ func execRED(e *engine, w *warpState, d *decoded, active uint32) {
 func execMMA(e *engine, w *warpState, d *decoded, active uint32) {
 	in := d.in
 	if active != w.fullMask || w.fullMask != ^uint32(0) {
-		e.due = "MMA issued by divergent or partial warp"
+		e.raiseDUE(DUESyncError, "MMA issued by divergent or partial warp")
 		return
 	}
 	blk := w.block
@@ -1216,7 +1215,7 @@ func (e *engine) execLaneSlow(w *warpState, in *isa.Instr, t int, faulted bool) 
 		e.writeReg(lr, in.Dst, math.Float32bits(float32(mufuEval(in.Mufu, x))), faulted)
 
 	default:
-		e.due = fmt.Sprintf("unimplemented opcode %s", in.Op)
+		e.raiseDUE(DUEUnattributed, "unimplemented opcode %s", in.Op)
 	}
 }
 
@@ -1284,7 +1283,7 @@ func (e *engine) convertF2F(lr laneRegs, in *isa.Instr, faulted bool) {
 	case in.CvtFrom == isa.F16 && in.CvtTo == isa.F64:
 		e.writeReg64(lr, in.Dst, math.Float64bits(float64(h16src(lr, in.Srcs[0], false))), faulted)
 	default:
-		e.due = fmt.Sprintf("unsupported F2F conversion %s->%s", in.CvtFrom, in.CvtTo)
+		e.raiseDUE(DUEUnattributed, "unsupported F2F conversion %s->%s", in.CvtFrom, in.CvtTo)
 	}
 }
 

@@ -94,7 +94,10 @@ func (o Outcome) String() string {
 
 // Result is the outcome of one launch.
 type Result struct {
-	Outcome   Outcome
+	Outcome Outcome
+	// DUEMode is the typed mechanism of a DUE outcome (DUENone
+	// otherwise); DUEReason carries the human-readable detail string.
+	DUEMode   DUEMode
 	DUEReason string
 	Profile   Profile
 

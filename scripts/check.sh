@@ -13,6 +13,10 @@
 #   scripts/check.sh patterns   SDC-pattern gate: classifier + two-level tests under
 #                               -race, then the two-level agreement gate; rendered
 #                               table lands at patterns-gate-table.txt
+#   scripts/check.sh duemode    DUE-mode gate: taxonomy packages under -race, the
+#                               static-vs-injection DUE-mode tests, then the
+#                               gpurel-lint agreement gate; rendered table lands
+#                               at duemode-gate-table.txt
 #
 # Unknown tier names fail immediately (exit 1) rather than silently
 # running tier 1 — a typo'd "scripts/check.sh crosval" in CI must not
@@ -36,10 +40,10 @@ cd "$(dirname "$0")/.."
 
 tier="${1:-}"
 case "$tier" in
-    ""|full|bench|crossval|opt|artifacts|serve|patterns) ;;
+    ""|full|bench|crossval|opt|artifacts|serve|patterns|duemode) ;;
     *)
         echo "check.sh: unknown tier \"$tier\"" >&2
-        echo "known tiers: <none> (tier 1), full, bench, crossval, opt, artifacts, serve, patterns" >&2
+        echo "known tiers: <none> (tier 1), full, bench, crossval, opt, artifacts, serve, patterns, duemode" >&2
         exit 1
         ;;
 esac
@@ -163,6 +167,32 @@ if [ "$tier" = "patterns" ]; then
         exit 1
     fi
     cat patterns-gate-table.txt
+    echo "checks passed"
+    exit 0
+fi
+
+if [ "$tier" = "duemode" ]; then
+    # DUE-mode gate, two stages. First the taxonomy-carrying packages
+    # under -race: the typed simulator outcomes, the static mode
+    # partition, and the DUE ledger (-short keeps the exhaustive
+    # campaign tests out of the instrumented run). Then the full
+    # static-vs-injection DUE-mode tests plus the gpurel-lint gate: on
+    # every measurable CrossValKernels workload of both devices the
+    # static mode shares must sit within faultinj.DUEModeTolerance
+    # (L-infinity) of the campaign's typed-DUE ledger. The rendered
+    # table lands at duemode-gate-table.txt (stable path; gitignored)
+    # so CI can upload it either way.
+    echo "== go test -race -short ./internal/analysis/ ./internal/sim/ ./internal/patterns/"
+    go test -race -short -timeout 20m ./internal/analysis/ ./internal/sim/ ./internal/patterns/
+    echo "== go test -run 'TestDUEMode|TestStaticDUEModes' ./internal/faultinj/"
+    go test -run 'TestDUEMode|TestStaticDUEModes' -timeout 20m ./internal/faultinj/
+    echo "== gpurel-lint -duemode-gate"
+    if ! go run ./cmd/gpurel-lint -duemode-gate >duemode-gate-table.txt; then
+        cat duemode-gate-table.txt
+        echo "DUEMODE GATE: a workload's static DUE-mode shares left the typed-injection tolerance (see above)"
+        exit 1
+    fi
+    cat duemode-gate-table.txt
     echo "checks passed"
     exit 0
 fi

@@ -1,7 +1,8 @@
-// Command gomaplint runs the repository's nondeterministic-map-
-// iteration check (internal/lintgo) over a module tree and exits
-// nonzero on any finding. It exists so the full check tier and CI can
-// gate on it:
+// Command gomaplint runs the repository's determinism checks
+// (internal/lintgo) over a module tree — nondeterministic map
+// iteration feeding writers, plus wall-clock and ambient-rand use in
+// the deterministic campaign packages — and exits nonzero on any
+// finding. It exists so the full check tier and CI can gate on it:
 //
 //	go run ./tools/gomaplint .
 package main
@@ -29,7 +30,7 @@ func main() {
 		fmt.Println(f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "gomaplint: %d nondeterministic map iteration(s) feeding writers\n", len(findings))
+		fmt.Fprintf(os.Stderr, "gomaplint: %d determinism finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
